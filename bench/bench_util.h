@@ -1,0 +1,128 @@
+// Shared setup for the reproduction benchmarks: the "WAN" and "WAN+DCN"
+// environments (scaled-down but shape-preserving stand-ins for the paper's
+// production network), timing helpers, and table/CDF printers.
+//
+// Scale note: the paper's WAN has >2000 routers, O(10^6) prefixes, O(10^9)
+// flows, and runs on 10 physical servers. This repo reproduces the *shape*
+// of every result on a laptop: the synthetic WAN has O(10^2) routers (the
+// WAN+DCN variant O(10^3)), O(10^4) input routes, and O(10^5..10^6) flows,
+// with worker threads standing in for servers. Relative factors (speedups,
+// reduction ratios, crossovers) are the reproduction target, not absolute
+// times. See EXPERIMENTS.md.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/wan_gen.h"
+#include "gen/workload_gen.h"
+
+namespace hoyan::bench {
+
+inline WanSpec wanSpec() {
+  WanSpec spec;
+  spec.regions = 10;
+  spec.coresPerRegion = 3;
+  spec.bordersPerRegion = 2;
+  spec.dcsPerRegion = 3;
+  spec.ispsPerBorder = 2;
+  spec.seed = 42;
+  return spec;
+}
+
+inline WanSpec wanDcnSpec() {
+  WanSpec spec = wanSpec();
+  spec.dcnCoresPerDc = 20;  // + 600 DCN core-layer routers.
+  return spec;
+}
+
+inline WorkloadSpec benchWorkload() {
+  WorkloadSpec workload;
+  workload.prefixesPerIsp = 400;
+  workload.prefixesPerDc = 60;
+  workload.attrGroupSize = 5;
+  workload.v6Share = 0.2;
+  workload.seed = 7;
+  return workload;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Prints an aligned table: header row + data rows.
+inline void printTable(const std::string& title,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size());
+    for (size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::string line = "  ";
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      line += rows[r][i];
+      line.append(widths[i] - rows[r][i].size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule = "  ";
+      for (const size_t w : widths) rule.append(w + 2, '-');
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+}
+
+// Prints percentile points of a sample set (a CDF in table form).
+inline void printCdf(const std::string& title, std::vector<double> samples,
+                     const std::string& unit) {
+  if (samples.empty()) return;
+  std::sort(samples.begin(), samples.end());
+  std::vector<std::vector<std::string>> rows = {{"percentile", unit}};
+  for (const double p : {0.0, 0.10, 0.25, 0.50, 0.75, 0.80, 0.90, 0.95, 1.0}) {
+    const size_t index =
+        std::min(samples.size() - 1, static_cast<size_t>(p * samples.size()));
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.4g", samples[index]);
+    rows.push_back({std::to_string(static_cast<int>(p * 100)) + "%", buffer});
+  }
+  printTable(title, rows);
+}
+
+inline std::string fmt(double value, const char* format = "%.3g") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+}  // namespace hoyan::bench
+
+namespace hoyan::bench {
+
+// Models the end-to-end makespan of running `durations` on `workers` servers
+// with FIFO list scheduling (the message-queue semantics of §3.2): each free
+// worker pops the next subtask. Used to project the measured per-subtask
+// runtimes onto cluster sizes beyond this machine's core count.
+inline double modelMakespan(const std::vector<double>& durations, size_t workers) {
+  if (workers == 0) workers = 1;
+  std::vector<double> busyUntil(workers, 0.0);
+  for (const double duration : durations) {
+    auto next = std::min_element(busyUntil.begin(), busyUntil.end());
+    *next += duration;
+  }
+  return *std::max_element(busyUntil.begin(), busyUntil.end());
+}
+
+}  // namespace hoyan::bench

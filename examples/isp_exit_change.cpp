@@ -1,0 +1,19 @@
+// The §6.1(b) case study: changing ISP exits for IPv6 prefixes, where the
+// ip-prefix/ipv6-prefix vendor-specific behaviour silently widens the change
+// to every IPv6 prefix — caught by the "others do not change" intent and the
+// link-load intent.
+//
+//   $ ./isp_exit_change
+#include <iostream>
+
+#include "scenario/case_studies.h"
+
+using namespace hoyan;
+
+int main() {
+  const CaseStudyResult result = runIspExitChangeCase();
+  std::cout << result.narrative << "\n";
+  std::cout << (result.riskDetected ? "\nRisk detected before rollout — change held.\n"
+                                    : "\nRisk NOT detected (unexpected).\n");
+  return result.riskDetected ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// The §7 tooling in action: a risky change plan is flagged, the
+// misconfiguration localizer narrows the violation to the exact command
+// group, and the default "others do not change" heuristic hardens an
+// incomplete specification.
+//
+//   $ ./misconfig_localization
+#include <iostream>
+
+#include "core/intent_tools.h"
+#include "core/localize.h"
+#include "scenario/scenarios.h"
+
+using namespace hoyan;
+
+int main() {
+  const ScenarioEnvironment environment = makeStandardEnvironment();
+  Hoyan hoyan = makeHoyan(environment);
+
+  // A change plan mixing several benign command groups with one bad one:
+  // the operator re-tags two prefixes and also fat-fingers a deny node that
+  // kills the region's ISP routes.
+  ChangePlan plan;
+  plan.name = "mixed-maintenance";
+  plan.commands =
+      "device BR-0-0\n"
+      "ip-prefix LP-TARGET index 10 permit 100.0.3.0/24\n"
+      "route-policy ISP-IN-0 node 8 permit\n"
+      " match ip-prefix LP-TARGET\n"
+      " apply local-pref 200\n"
+      " apply community add 100:0\n"
+      "device BR-1-0\n"
+      "route-policy ISP-IN-1 node 7 deny\n"  // <- the bad group.
+      "device CORE-2-0\n"
+      "static-route 50.0.0.0/16 nexthop 10.64.0.1\n";
+
+  IntentSet intents;
+  intents.rclIntents = {
+      // The intended effect.
+      "prefix = 100.0.3.0/24 and not device in {ISP-0-0-0} => "
+      "POST |> distVals(localPref) = {200}",
+      // Region 1's routes must be unaffected.
+      "PRE || prefix = 100.1.1.0/24 = POST || prefix = 100.1.1.0/24",
+  };
+
+  std::cout << "=== Verification ===\n";
+  const ChangeVerificationResult verification = hoyan.verifyChange(plan, intents);
+  std::cout << verification.report() << "\n";
+
+  std::cout << "\n=== Misconfiguration localization (§7 future work) ===\n";
+  const LocalizationResult localization = localizeMisconfiguration(hoyan, plan, intents);
+  std::cout << localization.str() << "\n";
+
+  std::cout << "\n=== Default 'others do not change' heuristic (§7) ===\n";
+  IntentSet incomplete;
+  incomplete.rclIntents = {
+      "prefix = 100.0.3.0/24 and not device in {ISP-0-0-0} => "
+      "POST |> distVals(localPref) = {200}"};
+  const auto derived = defaultNoChangeSpec(incomplete.rclIntents);
+  std::cout << "operator wrote:  " << incomplete.rclIntents[0] << "\n";
+  std::cout << "Hoyan adds:      " << (derived ? *derived : "(nothing)") << "\n";
+  IntentSet original;
+  original.rclIntents = {incomplete.rclIntents[0]};
+  const bool incompleteWouldPass = hoyan.verifyChange(plan, original).satisfied();
+  if (augmentWithDefaultNoChange(incomplete)) {
+    const ChangeVerificationResult hardened = hoyan.verifyChange(plan, incomplete);
+    std::cout << "incomplete spec alone: " << (incompleteWouldPass ? "PASS" : "FAIL")
+              << " (misses the BR-1-0 damage)\n";
+    std::cout << "with the default no-change intent: "
+              << (hardened.satisfied() ? "PASS" : "FAIL") << "\n";
+  }
+  return 0;
+}

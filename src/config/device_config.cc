@@ -1,0 +1,123 @@
+#include "config/device_config.h"
+
+#include <algorithm>
+
+namespace hoyan {
+
+bool PrefixListEntry::matches(const Prefix& candidate) const {
+  if (candidate.family() != prefix.family()) return false;
+  if (!prefix.contains(candidate)) return false;
+  const uint8_t lower = ge ? ge : prefix.length();
+  const uint8_t upper = le ? le : (ge ? candidate.address().width() : prefix.length());
+  return candidate.length() >= lower && candidate.length() <= upper;
+}
+
+bool PrefixList::permits(const Prefix& candidate) const {
+  for (const PrefixListEntry& entry : entries)
+    if (entry.matches(candidate)) return entry.permit;
+  return false;
+}
+
+bool CommunityList::permits(const CommunitySet& communities) const {
+  for (const CommunityListEntry& entry : entries)
+    if (communities.contains(entry.community)) return entry.permit;
+  return false;
+}
+
+PolicyNode* RoutePolicy::findNode(uint32_t sequence) {
+  for (PolicyNode& node : nodes)
+    if (node.sequence == sequence) return &node;
+  return nullptr;
+}
+
+void RoutePolicy::upsertNode(PolicyNode node) {
+  if (PolicyNode* existing = findNode(node.sequence)) {
+    *existing = std::move(node);
+    return;
+  }
+  nodes.push_back(std::move(node));
+  std::sort(nodes.begin(), nodes.end(),
+            [](const PolicyNode& a, const PolicyNode& b) { return a.sequence < b.sequence; });
+}
+
+bool RoutePolicy::removeNode(uint32_t sequence) {
+  const auto it = std::find_if(nodes.begin(), nodes.end(),
+                               [sequence](const PolicyNode& n) { return n.sequence == sequence; });
+  if (it == nodes.end()) return false;
+  nodes.erase(it);
+  return true;
+}
+
+BgpNeighbor* BgpConfig::findNeighbor(const IpAddress& peer) {
+  for (BgpNeighbor& neighbor : neighbors)
+    if (neighbor.peerAddress == peer) return &neighbor;
+  return nullptr;
+}
+
+const BgpNeighbor* BgpConfig::findNeighbor(const IpAddress& peer) const {
+  return const_cast<BgpConfig*>(this)->findNeighbor(peer);
+}
+
+const BgpPeerGroup* BgpConfig::findPeerGroup(NameId name) const {
+  for (const BgpPeerGroup& group : peerGroups)
+    if (group.name == name) return &group;
+  return nullptr;
+}
+
+bool AclRule::matches(const IpAddress& src, const IpAddress& dst, uint16_t port,
+                      uint8_t protocol) const {
+  if (srcPrefix && !srcPrefix->contains(src)) return false;
+  if (dstPrefix && !dstPrefix->contains(dst)) return false;
+  if (dstPort && *dstPort != port) return false;
+  if (ipProtocol && *ipProtocol != protocol) return false;
+  return true;
+}
+
+bool AclConfig::permits(const IpAddress& src, const IpAddress& dst, uint16_t port,
+                        uint8_t protocol) const {
+  for (const AclRule& rule : rules)
+    if (rule.matches(src, dst, port, protocol)) return rule.permit;
+  return rules.empty();  // Implicit deny once any rule exists.
+}
+
+const PrefixList* DeviceConfig::findPrefixList(NameId name) const {
+  const auto it = prefixLists.find(name);
+  return it == prefixLists.end() ? nullptr : &it->second;
+}
+
+const CommunityList* DeviceConfig::findCommunityList(NameId name) const {
+  const auto it = communityLists.find(name);
+  return it == communityLists.end() ? nullptr : &it->second;
+}
+
+const AsPathList* DeviceConfig::findAsPathList(NameId name) const {
+  const auto it = asPathLists.find(name);
+  return it == asPathLists.end() ? nullptr : &it->second;
+}
+
+const RoutePolicy* DeviceConfig::findRoutePolicy(NameId name) const {
+  const auto it = routePolicies.find(name);
+  return it == routePolicies.end() ? nullptr : &it->second;
+}
+
+RoutePolicy& DeviceConfig::routePolicy(NameId name) {
+  RoutePolicy& policy = routePolicies[name];
+  policy.name = name;
+  return policy;
+}
+
+BgpNeighbor DeviceConfig::effectiveNeighbor(const BgpNeighbor& neighbor,
+                                            bool inheritPeerGroup) const {
+  BgpNeighbor effective = neighbor;
+  if (!inheritPeerGroup || !neighbor.peerGroup) return effective;
+  const BgpPeerGroup* group = bgp.findPeerGroup(*neighbor.peerGroup);
+  if (!group) return effective;
+  if (!effective.importPolicy) effective.importPolicy = group->importPolicy;
+  if (!effective.exportPolicy) effective.exportPolicy = group->exportPolicy;
+  effective.routeReflectorClient |= group->routeReflectorClient;
+  effective.nextHopSelf |= group->nextHopSelf;
+  effective.addPathSend |= group->addPathSend;
+  return effective;
+}
+
+}  // namespace hoyan

@@ -1,0 +1,283 @@
+// The parsed configuration model of one device (Hoyan's "router model").
+//
+// The network-model building service parses every router's vendor
+// configuration text into this structure once a day (§2.2); change
+// verification then patches a copy incrementally with the change commands.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/as_path.h"
+#include "net/community.h"
+#include "net/ip.h"
+#include "net/names.h"
+#include "topo/topology.h"
+
+namespace hoyan {
+
+// ---------------------------------------------------------------------------
+// Filters referenced by route-policy match clauses.
+// ---------------------------------------------------------------------------
+
+struct PrefixListEntry {
+  bool permit = true;
+  Prefix prefix;
+  // Mask-length bounds: a route matches if its prefix is covered by `prefix`
+  // and its length is within [ge, le]. Defaults collapse to exact match.
+  uint8_t ge = 0;
+  uint8_t le = 0;
+
+  bool matches(const Prefix& candidate) const;
+};
+
+struct PrefixList {
+  NameId name = kInvalidName;
+  IpFamily family = IpFamily::kV4;  // `ip-prefix` vs `ipv6-prefix`.
+  std::vector<PrefixListEntry> entries;
+
+  // First-match semantics; no entry matching means "not matched".
+  bool permits(const Prefix& candidate) const;
+};
+
+struct CommunityListEntry {
+  bool permit = true;
+  Community community;
+};
+
+struct CommunityList {
+  NameId name = kInvalidName;
+  std::vector<CommunityListEntry> entries;
+
+  // A route matches a permit entry if its community set contains the entry's
+  // community (first match wins).
+  bool permits(const CommunitySet& communities) const;
+};
+
+struct AsPathListEntry {
+  bool permit = true;
+  std::string regex;
+};
+
+struct AsPathList {
+  NameId name = kInvalidName;
+  std::vector<AsPathListEntry> entries;
+};
+
+// ---------------------------------------------------------------------------
+// Route policies.
+// ---------------------------------------------------------------------------
+
+// `Protocolish` mirrors net/route.h's Protocol without pulling the header
+// into every config user; values must stay in sync (checked by tests).
+enum class Protocolish : uint8_t { kDirect, kStatic, kIsis, kBgp, kAggregate };
+
+// Match clauses of one policy node; all present clauses must match (AND).
+struct PolicyMatch {
+  std::optional<NameId> prefixList;
+  std::optional<NameId> communityList;
+  std::optional<NameId> asPathList;
+  std::optional<IpAddress> nexthop;
+  std::optional<Protocolish> protocol;
+};
+
+// Attribute rewrites of one policy node.
+struct PolicySets {
+  std::optional<uint32_t> localPref;
+  std::optional<uint32_t> med;
+  std::optional<uint32_t> weight;
+  std::optional<IpAddress> nexthop;
+  std::vector<Community> addCommunities;
+  std::vector<Community> deleteCommunities;
+  bool clearCommunities = false;  // `set community none` (applied first).
+  // AS-path prepend: (asn, count).
+  std::optional<std::pair<Asn, uint32_t>> prepend;
+  // AS-path overwrite — replaces the path; interacts with the
+  // "adding own ASN" VSB.
+  std::optional<std::vector<Asn>> overwriteAsPath;
+
+  bool empty() const {
+    return !localPref && !med && !weight && !nexthop && addCommunities.empty() &&
+           deleteCommunities.empty() && !clearCommunities && !prepend && !overwriteAsPath;
+  }
+};
+
+enum class PolicyAction : uint8_t { kPermit, kDeny, kUnspecified };
+
+struct PolicyNode {
+  uint32_t sequence = 10;
+  PolicyAction action = PolicyAction::kUnspecified;
+  PolicyMatch match;
+  PolicySets sets;
+};
+
+struct RoutePolicy {
+  NameId name = kInvalidName;
+  std::vector<PolicyNode> nodes;  // Kept sorted by sequence.
+
+  PolicyNode* findNode(uint32_t sequence);
+  void upsertNode(PolicyNode node);
+  bool removeNode(uint32_t sequence);
+};
+
+// ---------------------------------------------------------------------------
+// BGP.
+// ---------------------------------------------------------------------------
+
+struct BgpPeerGroup {
+  NameId name = kInvalidName;
+  std::optional<NameId> importPolicy;
+  std::optional<NameId> exportPolicy;
+  bool routeReflectorClient = false;
+  bool nextHopSelf = false;
+  bool addPathSend = false;
+};
+
+struct BgpNeighbor {
+  IpAddress peerAddress;
+  Asn remoteAs = 0;
+  NameId vrf = kInvalidName;  // Session VRF (global if invalid).
+  std::optional<NameId> peerGroup;
+  std::optional<NameId> importPolicy;
+  std::optional<NameId> exportPolicy;
+  bool routeReflectorClient = false;
+  bool nextHopSelf = false;
+  bool addPathSend = false;
+  bool shutdown = false;
+};
+
+struct Redistribution {
+  Protocolish from = Protocolish::kStatic;
+  std::optional<NameId> policy;
+};
+
+struct AggregateConfig {
+  Prefix prefix;
+  NameId vrf = kInvalidName;
+  bool asSet = false;
+  bool summaryOnly = true;  // Suppress more-specific contributors on export.
+};
+
+struct BgpConfig {
+  Asn asn = 0;
+  std::vector<BgpNeighbor> neighbors;
+  std::vector<BgpPeerGroup> peerGroups;
+  std::vector<Redistribution> redistributions;
+  std::vector<AggregateConfig> aggregates;
+
+  BgpNeighbor* findNeighbor(const IpAddress& peer);
+  const BgpNeighbor* findNeighbor(const IpAddress& peer) const;
+  const BgpPeerGroup* findPeerGroup(NameId name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Other subsystems.
+// ---------------------------------------------------------------------------
+
+struct StaticRouteConfig {
+  Prefix prefix;
+  IpAddress nexthop;
+  NameId vrf = kInvalidName;
+  uint8_t preference = 1;
+  bool discard = false;  // Null route.
+};
+
+// An SR(v6) traffic-engineering policy: traffic whose BGP nexthop equals
+// `endpoint` is tunnelled along the explicit segment list.
+struct SrPolicyConfig {
+  NameId name = kInvalidName;
+  IpAddress endpoint;               // Tunnel tail-end (a loopback).
+  std::vector<IpAddress> segments;  // Intermediate segment endpoints, in order.
+  uint32_t color = 0;
+};
+
+struct PbrRule {
+  std::optional<Prefix> srcPrefix;
+  std::optional<Prefix> dstPrefix;
+  std::optional<uint16_t> dstPort;
+  IpAddress setNexthop;
+};
+
+struct PbrPolicy {
+  NameId name = kInvalidName;
+  std::vector<PbrRule> rules;
+  std::vector<NameId> appliedInterfaces;
+};
+
+struct AclRule {
+  bool permit = true;
+  std::optional<Prefix> srcPrefix;
+  std::optional<Prefix> dstPrefix;
+  std::optional<uint16_t> dstPort;
+  std::optional<uint8_t> ipProtocol;
+
+  bool matches(const IpAddress& src, const IpAddress& dst, uint16_t dstPort,
+               uint8_t ipProtocol) const;
+};
+
+struct AclConfig {
+  NameId name = kInvalidName;
+  std::vector<AclRule> rules;
+  std::vector<NameId> appliedInterfaces;  // Ingress application.
+
+  // First-match; default deny if any rule exists, else permit.
+  bool permits(const IpAddress& src, const IpAddress& dst, uint16_t port,
+               uint8_t ipProtocol) const;
+};
+
+struct VrfConfig {
+  NameId name = kInvalidName;
+  std::vector<uint64_t> importRouteTargets;
+  std::vector<uint64_t> exportRouteTargets;
+  std::optional<NameId> exportPolicy;  // Interacts with the VRF-export VSB.
+};
+
+// ---------------------------------------------------------------------------
+// The device model.
+// ---------------------------------------------------------------------------
+
+struct DeviceConfig {
+  NameId hostname = kInvalidName;
+  NameId vendor = kInvalidName;
+  IpAddress routerId;
+  // Maintenance isolation (Table 5 "device isolation" VSB governs semantics).
+  bool isolated = false;
+
+  BgpConfig bgp;
+  std::vector<StaticRouteConfig> staticRoutes;
+  std::vector<SrPolicyConfig> srPolicies;
+  std::map<NameId, PrefixList> prefixLists;
+  std::map<NameId, CommunityList> communityLists;
+  std::map<NameId, AsPathList> asPathLists;
+  std::map<NameId, RoutePolicy> routePolicies;
+  std::map<NameId, PbrPolicy> pbrPolicies;
+  std::map<NameId, AclConfig> acls;
+  std::map<NameId, VrfConfig> vrfs;
+
+  const PrefixList* findPrefixList(NameId name) const;
+  const CommunityList* findCommunityList(NameId name) const;
+  const AsPathList* findAsPathList(NameId name) const;
+  const RoutePolicy* findRoutePolicy(NameId name) const;
+  RoutePolicy& routePolicy(NameId name);
+
+  // Resolves neighbour session options through its peer group, honouring the
+  // "inheriting views" VSB (non-inheriting vendors ignore peer-group values).
+  BgpNeighbor effectiveNeighbor(const BgpNeighbor& neighbor,
+                                bool inheritPeerGroup) const;
+};
+
+// All device configurations of the network — Hoyan's "base network model".
+struct NetworkConfig {
+  std::map<NameId, DeviceConfig> devices;
+
+  DeviceConfig& device(NameId hostname) { return devices[hostname]; }
+  const DeviceConfig* findDevice(NameId hostname) const {
+    const auto it = devices.find(hostname);
+    return it == devices.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace hoyan

@@ -1,0 +1,55 @@
+// Parser for the vendor-style device configuration language.
+//
+// The language is line-oriented with nested blocks (interface, route-policy
+// node, router bgp, vrf). A `no <command>` form removes configuration, which
+// is how change-plan commands express deletions. Parse errors are collected
+// rather than thrown: Hoyan's accuracy framework found that *incomplete or
+// incorrect parsing* is itself a major issue class (Table 4, "flawed config
+// parsing"), so the parser reports everything it could not understand and
+// the diagnosis layer can surface those as model risks.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/device_config.h"
+
+namespace hoyan {
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+  std::string text;  // The offending line.
+
+  std::string str() const {
+    return "line " + std::to_string(line) + ": " + message + " [" + text + "]";
+  }
+};
+
+struct ParseResult {
+  DeviceConfig config;
+  // Interfaces parsed from `interface` blocks (the topology-facing half of
+  // the configuration).
+  Device device;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Parses a full device configuration from scratch.
+ParseResult parseDeviceConfig(std::string_view text);
+
+// Applies configuration command lines to an existing device model
+// (incremental change-plan application, §2.2). Supports the same grammar as
+// parseDeviceConfig plus `no ...` deletions. `interfaces` gives the parser
+// access to the device's topology interfaces so `interface` blocks can edit
+// them; pass nullptr when interfaces are not being changed.
+std::vector<ParseError> applyDeviceCommands(DeviceConfig& config, Device* device,
+                                            std::string_view text);
+
+// Splits a line into whitespace-separated tokens; double-quoted tokens keep
+// embedded spaces (used by as-path regular expressions).
+std::vector<std::string> tokenizeConfigLine(std::string_view line);
+
+}  // namespace hoyan

@@ -1,0 +1,206 @@
+#include "config/printer.h"
+
+namespace hoyan {
+namespace {
+
+void printPolicyNode(std::string& out, const RoutePolicy& policy, const PolicyNode& node) {
+  out += "route-policy " + Names::str(policy.name) + " node " + std::to_string(node.sequence);
+  if (node.action == PolicyAction::kPermit) out += " permit";
+  if (node.action == PolicyAction::kDeny) out += " deny";
+  out += '\n';
+  if (node.match.prefixList)
+    out += " match ip-prefix " + Names::str(*node.match.prefixList) + "\n";
+  if (node.match.communityList)
+    out += " match community-list " + Names::str(*node.match.communityList) + "\n";
+  if (node.match.asPathList)
+    out += " match as-path-list " + Names::str(*node.match.asPathList) + "\n";
+  if (node.match.nexthop) out += " match nexthop " + node.match.nexthop->str() + "\n";
+  if (node.match.protocol) {
+    out += " match protocol ";
+    switch (*node.match.protocol) {
+      case Protocolish::kDirect: out += "direct"; break;
+      case Protocolish::kStatic: out += "static"; break;
+      case Protocolish::kIsis: out += "isis"; break;
+      case Protocolish::kBgp: out += "bgp"; break;
+      case Protocolish::kAggregate: out += "bgp"; break;
+    }
+    out += '\n';
+  }
+  if (node.sets.clearCommunities) out += " apply community none\n";
+  if (node.sets.localPref) out += " apply local-pref " + std::to_string(*node.sets.localPref) + "\n";
+  if (node.sets.med) out += " apply med " + std::to_string(*node.sets.med) + "\n";
+  if (node.sets.weight) out += " apply weight " + std::to_string(*node.sets.weight) + "\n";
+  if (node.sets.nexthop) out += " apply nexthop " + node.sets.nexthop->str() + "\n";
+  for (const Community c : node.sets.addCommunities)
+    out += " apply community add " + c.str() + "\n";
+  for (const Community c : node.sets.deleteCommunities)
+    out += " apply community delete " + c.str() + "\n";
+  if (node.sets.prepend)
+    out += " apply as-path prepend " + std::to_string(node.sets.prepend->first) + " " +
+           std::to_string(node.sets.prepend->second) + "\n";
+  if (node.sets.overwriteAsPath) {
+    out += " apply as-path overwrite";
+    for (const Asn asn : *node.sets.overwriteAsPath) out += " " + std::to_string(asn);
+    out += '\n';
+  }
+  out += "!\n";
+}
+
+std::string routeTargetStr(uint64_t rt) {
+  return std::to_string(rt >> 32) + ":" + std::to_string(rt & 0xffffffffULL);
+}
+
+}  // namespace
+
+std::string printDeviceConfig(const DeviceConfig& config, const Device* device) {
+  std::string out;
+  if (config.vendor != kInvalidName) out += "vendor " + Names::str(config.vendor) + "\n";
+  if (config.hostname != kInvalidName) out += "hostname " + Names::str(config.hostname) + "\n";
+  out += "router-id " + config.routerId.str() + "\n";
+  if (config.isolated) out += "isolate\n";
+
+  for (const auto& [name, vrf] : config.vrfs) {
+    out += "vrf " + Names::str(name) + "\n";
+    for (const uint64_t rt : vrf.importRouteTargets)
+      out += " import-rt " + routeTargetStr(rt) + "\n";
+    for (const uint64_t rt : vrf.exportRouteTargets)
+      out += " export-rt " + routeTargetStr(rt) + "\n";
+    if (vrf.exportPolicy) out += " export-policy " + Names::str(*vrf.exportPolicy) + "\n";
+    out += "!\n";
+  }
+
+  if (device) {
+    for (const Interface& itf : device->interfaces) {
+      out += "interface " + Names::str(itf.name) + "\n";
+      out += " address " + itf.address.str() + "/" + std::to_string(itf.prefixLength) + "\n";
+      if (itf.vrf != kInvalidName) out += " vrf " + Names::str(itf.vrf) + "\n";
+      if (itf.isisEnabled) {
+        out += " isis enable\n";
+        out += " isis cost " + std::to_string(itf.isisCost) + "\n";
+      }
+      out += " bandwidth " + std::to_string(static_cast<uint64_t>(itf.bandwidthBps)) + "\n";
+      if (itf.shutdown) out += " shutdown\n";
+      out += "!\n";
+    }
+  }
+
+  for (const auto& [name, list] : config.prefixLists) {
+    const std::string keyword = list.family == IpFamily::kV6 ? "ipv6-prefix" : "ip-prefix";
+    int index = 10;
+    for (const PrefixListEntry& entry : list.entries) {
+      out += keyword + " " + Names::str(name) + " index " + std::to_string(index) + " " +
+             (entry.permit ? "permit " : "deny ") + entry.prefix.str();
+      if (entry.ge) out += " ge " + std::to_string(entry.ge);
+      if (entry.le) out += " le " + std::to_string(entry.le);
+      out += '\n';
+      index += 10;
+    }
+  }
+  for (const auto& [name, list] : config.communityLists) {
+    int index = 10;
+    for (const CommunityListEntry& entry : list.entries) {
+      out += "community-list " + Names::str(name) + " index " + std::to_string(index) + " " +
+             (entry.permit ? "permit " : "deny ") + entry.community.str() + "\n";
+      index += 10;
+    }
+  }
+  for (const auto& [name, list] : config.asPathLists) {
+    int index = 10;
+    for (const AsPathListEntry& entry : list.entries) {
+      out += "as-path-list " + Names::str(name) + " index " + std::to_string(index) + " " +
+             (entry.permit ? "permit" : "deny") + " \"" + entry.regex + "\"\n";
+      index += 10;
+    }
+  }
+
+  for (const auto& [name, policy] : config.routePolicies)
+    for (const PolicyNode& node : policy.nodes) printPolicyNode(out, policy, node);
+
+  if (config.bgp.asn != 0) {
+    out += "router bgp " + std::to_string(config.bgp.asn) + "\n";
+    for (const BgpPeerGroup& group : config.bgp.peerGroups) {
+      const std::string head = " peer-group " + Names::str(group.name) + " ";
+      if (group.importPolicy) out += head + "import-policy " + Names::str(*group.importPolicy) + "\n";
+      if (group.exportPolicy) out += head + "export-policy " + Names::str(*group.exportPolicy) + "\n";
+      if (group.routeReflectorClient) out += head + "reflect-client\n";
+      if (group.nextHopSelf) out += head + "next-hop-self\n";
+      if (group.addPathSend) out += head + "add-path-send\n";
+    }
+    for (const BgpNeighbor& neighbor : config.bgp.neighbors) {
+      const std::string head = " neighbor " + neighbor.peerAddress.str() + " ";
+      out += head + "remote-as " + std::to_string(neighbor.remoteAs) + "\n";
+      if (neighbor.vrf != kInvalidName) out += head + "vrf " + Names::str(neighbor.vrf) + "\n";
+      if (neighbor.peerGroup) out += head + "peer-group " + Names::str(*neighbor.peerGroup) + "\n";
+      if (neighbor.importPolicy)
+        out += head + "import-policy " + Names::str(*neighbor.importPolicy) + "\n";
+      if (neighbor.exportPolicy)
+        out += head + "export-policy " + Names::str(*neighbor.exportPolicy) + "\n";
+      if (neighbor.routeReflectorClient) out += head + "reflect-client\n";
+      if (neighbor.nextHopSelf) out += head + "next-hop-self\n";
+      if (neighbor.addPathSend) out += head + "add-path-send\n";
+      if (neighbor.shutdown) out += head + "shutdown\n";
+    }
+    for (const Redistribution& redist : config.bgp.redistributions) {
+      out += " redistribute ";
+      switch (redist.from) {
+        case Protocolish::kStatic: out += "static"; break;
+        case Protocolish::kDirect: out += "direct"; break;
+        case Protocolish::kIsis: out += "isis"; break;
+        default: out += "static"; break;
+      }
+      if (redist.policy) out += " policy " + Names::str(*redist.policy);
+      out += '\n';
+    }
+    for (const AggregateConfig& aggregate : config.bgp.aggregates) {
+      out += " aggregate " + aggregate.prefix.str();
+      if (aggregate.asSet) out += " as-set";
+      if (!aggregate.summaryOnly) out += " advertise-all";
+      if (aggregate.vrf != kInvalidName) out += " vrf " + Names::str(aggregate.vrf);
+      out += '\n';
+    }
+    out += "!\n";
+  }
+
+  for (const StaticRouteConfig& route : config.staticRoutes) {
+    out += "static-route " + route.prefix.str();
+    out += route.discard ? " discard" : " nexthop " + route.nexthop.str();
+    if (route.vrf != kInvalidName) out += " vrf " + Names::str(route.vrf);
+    if (route.preference != 1) out += " preference " + std::to_string(route.preference);
+    out += '\n';
+  }
+  for (const SrPolicyConfig& policy : config.srPolicies) {
+    out += "sr-policy " + Names::str(policy.name) + " endpoint " + policy.endpoint.str();
+    if (policy.color) out += " color " + std::to_string(policy.color);
+    if (!policy.segments.empty()) {
+      out += " segments";
+      for (const IpAddress& segment : policy.segments) out += " " + segment.str();
+    }
+    out += '\n';
+  }
+  for (const auto& [name, policy] : config.pbrPolicies) {
+    for (const PbrRule& rule : policy.rules) {
+      out += "pbr-policy " + Names::str(name) + " rule";
+      if (rule.srcPrefix) out += " src " + rule.srcPrefix->str();
+      if (rule.dstPrefix) out += " dst " + rule.dstPrefix->str();
+      if (rule.dstPort) out += " port " + std::to_string(*rule.dstPort);
+      out += " nexthop " + rule.setNexthop.str() + "\n";
+    }
+    for (const NameId itf : policy.appliedInterfaces)
+      out += "apply pbr " + Names::str(name) + " interface " + Names::str(itf) + "\n";
+  }
+  for (const auto& [name, acl] : config.acls) {
+    for (const AclRule& rule : acl.rules) {
+      out += "acl " + Names::str(name) + " rule " + (rule.permit ? "permit" : "deny");
+      if (rule.srcPrefix) out += " src " + rule.srcPrefix->str();
+      if (rule.dstPrefix) out += " dst " + rule.dstPrefix->str();
+      if (rule.dstPort) out += " port " + std::to_string(*rule.dstPort);
+      if (rule.ipProtocol) out += " proto " + std::to_string(*rule.ipProtocol);
+      out += '\n';
+    }
+    for (const NameId itf : acl.appliedInterfaces)
+      out += "apply acl " + Names::str(name) + " interface " + Names::str(itf) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hoyan

@@ -1,0 +1,17 @@
+// Renders a DeviceConfig (plus its topology interfaces) back to configuration
+// text. The synthetic-WAN generator emits configs through this printer and
+// the base-model builder re-parses them, so generation exercises the same
+// parsing path production Hoyan uses — and printer/parser round-trip is a
+// property test.
+#pragma once
+
+#include <string>
+
+#include "config/device_config.h"
+#include "topo/topology.h"
+
+namespace hoyan {
+
+std::string printDeviceConfig(const DeviceConfig& config, const Device* device);
+
+}  // namespace hoyan

@@ -1,0 +1,92 @@
+#include "config/vendor.h"
+
+namespace hoyan {
+
+const VendorProfile& vendorA() {
+  static const VendorProfile profile = [] {
+    VendorProfile p;
+    p.name = Names::id("VendorA");
+    p.acceptWhenNoPolicy = true;
+    p.acceptWhenPolicyUndefined = true;   // Undefined policy == no policy.
+    p.acceptWhenNoNodeMatches = false;    // Implicit deny at policy tail.
+    p.undefinedFilterMatchesAll = true;   // Undefined filter matches all.
+    p.nodeWithoutActionPermits = true;
+    p.ebgpAdminDistance = 20;
+    p.ibgpAdminDistance = 200;
+    p.redistributedWeight = 32768;
+    p.addOwnAsnAfterOverwrite = true;
+    p.keepCommonAsPathOnAggregate = true;
+    p.vrfExportPolicyAppliesToGlobalLeaks = true;
+    p.reLeakLeakedRoutes = false;
+    p.redistributeDirectSlash32 = true;
+    p.sendDirectSlash32ToPeer = false;
+    p.igpCostZeroViaSrTunnel = true;      // The Fig. 9 root cause.
+    p.neighborsInheritPeerGroup = true;
+    p.isolationViaDenyPolicy = true;
+    p.ipv4PrefixListPermitsAllV6 = false;
+    return p;
+  }();
+  return profile;
+}
+
+const VendorProfile& vendorB() {
+  static const VendorProfile profile = [] {
+    VendorProfile p;
+    p.name = Names::id("VendorB");
+    p.acceptWhenNoPolicy = true;
+    p.acceptWhenPolicyUndefined = false;  // Undefined policy rejects all.
+    p.acceptWhenNoNodeMatches = false;
+    p.undefinedFilterMatchesAll = false;  // Undefined filter matches nothing.
+    p.nodeWithoutActionPermits = false;   // No action == deny.
+    p.ebgpAdminDistance = 255;            // "Both 255" style vendor.
+    p.ibgpAdminDistance = 255;
+    p.redistributedWeight = 0;
+    p.addOwnAsnAfterOverwrite = false;
+    p.keepCommonAsPathOnAggregate = false;
+    p.vrfExportPolicyAppliesToGlobalLeaks = false;
+    p.reLeakLeakedRoutes = true;
+    p.redistributeDirectSlash32 = false;
+    p.sendDirectSlash32ToPeer = false;
+    p.igpCostZeroViaSrTunnel = false;
+    p.neighborsInheritPeerGroup = false;
+    p.isolationViaDenyPolicy = false;     // Isolation shuts sessions down.
+    p.ipv4PrefixListPermitsAllV6 = false;
+    return p;
+  }();
+  return profile;
+}
+
+const VendorProfile& vendorC() {
+  static const VendorProfile profile = [] {
+    VendorProfile p;
+    p.name = Names::id("VendorC");
+    p.acceptWhenNoPolicy = false;         // No policy == deny (strict).
+    p.acceptWhenPolicyUndefined = false;
+    p.acceptWhenNoNodeMatches = true;     // Implicit permit at policy tail.
+    p.undefinedFilterMatchesAll = true;
+    p.nodeWithoutActionPermits = true;
+    p.ebgpAdminDistance = 20;
+    p.ibgpAdminDistance = 200;
+    p.redistributedWeight = 32768;
+    p.addOwnAsnAfterOverwrite = true;
+    p.keepCommonAsPathOnAggregate = false;
+    p.vrfExportPolicyAppliesToGlobalLeaks = false;
+    p.reLeakLeakedRoutes = true;
+    p.redistributeDirectSlash32 = true;
+    p.sendDirectSlash32ToPeer = true;
+    p.igpCostZeroViaSrTunnel = false;
+    p.neighborsInheritPeerGroup = true;
+    p.isolationViaDenyPolicy = true;
+    p.ipv4PrefixListPermitsAllV6 = true;  // The §6.1(b) root cause.
+    return p;
+  }();
+  return profile;
+}
+
+const VendorProfile& vendorProfile(NameId name) {
+  if (name == vendorA().name) return vendorA();
+  if (name == vendorC().name) return vendorC();
+  return vendorB();
+}
+
+}  // namespace hoyan

@@ -1,0 +1,98 @@
+// Vendor-specific behaviour (VSB) profiles.
+//
+// Table 5 of the paper catalogues 16 VSBs Hoyan's accuracy-diagnosis
+// framework uncovered. Each knob below corresponds to one row; the protocol
+// simulation consults the profile of the route's device at the exact decision
+// point the row describes. Three synthetic vendors with divergent settings
+// stand in for the WAN's real vendors, so differential simulation exercises
+// every behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/names.h"
+
+namespace hoyan {
+
+struct VendorProfile {
+  NameId name = kInvalidName;
+
+  // --- Route-policy application VSBs -------------------------------------
+  // "missing route policy": accept updates when no policy is configured on
+  // the session direction?
+  bool acceptWhenNoPolicy = true;
+  // "undefined route policy": accept updates when the applied policy name is
+  // not defined on the device?
+  bool acceptWhenPolicyUndefined = false;
+  // "default route policy": accept updates that match no explicit node of
+  // the applied policy (implicit tail behaviour)?
+  bool acceptWhenNoNodeMatches = false;
+  // "undefined policy filter": does a match clause referencing an undefined
+  // filter (prefix-list / community-list / as-path-list) match everything
+  // (true) or nothing (false)?
+  bool undefinedFilterMatchesAll = false;
+  // "no explicit permit/deny": is a matching node without an explicit action
+  // treated as permit?
+  bool nodeWithoutActionPermits = true;
+
+  // --- Preference / attribute VSBs ----------------------------------------
+  // "default BGP preference": admin distance for eBGP/iBGP routes.
+  uint8_t ebgpAdminDistance = 20;
+  uint8_t ibgpAdminDistance = 200;
+  // "weight after redistribution": default weight set on routes
+  // redistributed into BGP (0 or 32768).
+  uint32_t redistributedWeight = 0;
+  // "adding own ASN": is the device's own ASN (re-)added after a policy
+  // overwrites the AS path?
+  bool addOwnAsnAfterOverwrite = true;
+  // "common AS path prefix": when aggregating without as-set, is the common
+  // AS-path prefix of the contributors kept on the aggregate?
+  bool keepCommonAsPathOnAggregate = false;
+
+  // --- VRF / leaking VSBs --------------------------------------------------
+  // "VRF export policy": is a VRF's export policy applied to *global* iBGP
+  // routes leaked into VPNv4 (true), or only to the VRF's own routes (false)?
+  bool vrfExportPolicyAppliesToGlobalLeaks = false;
+  // "re-leaking routes": are routes leaked from a VRF into global VPNv4
+  // re-leaked into other VRFs whose import route-targets match?
+  bool reLeakLeakedRoutes = false;
+
+  // --- Direct /32 VSBs -----------------------------------------------------
+  // "redistributing /32 route": configuring a non-/32 direct route on an
+  // interface also produces a /32 host route; can it be redistributed?
+  bool redistributeDirectSlash32 = false;
+  // "sending /32 route to peer": if redistribution of the /32 is permitted,
+  // can it be advertised to peers?
+  bool sendDirectSlash32ToPeer = false;
+
+  // --- SR / view / isolation VSBs -------------------------------------------
+  // "IGP cost for SR": is a BGP route's IGP cost treated as 0 when its
+  // nexthop is reached via an SR tunnel? (The Fig. 9 root-cause case.)
+  bool igpCostZeroViaSrTunnel = false;
+  // "inheriting views": do BGP neighbours inherit options (policies,
+  // next-hop-self, add-path) from their peer-group sub-view?
+  bool neighborsInheritPeerGroup = true;
+  // "device isolation": is the `isolate` maintenance command implemented by
+  // installing deny-all policies (true) or by shutting sessions (false)?
+  // Both stop advertisement, but deny-all policies still keep sessions up —
+  // visible to monitoring and to add-path counting.
+  bool isolationViaDenyPolicy = true;
+
+  // --- Case-study VSB (§6.1(b)) --------------------------------------------
+  // When an `ip-prefix` (IPv4) list is matched against an IPv6 route, does
+  // the match clause permit all IPv6 routes by default (true) or match
+  // nothing (false)? Root cause of the "changing ISP exits" incident.
+  bool ipv4PrefixListPermitsAllV6 = false;
+};
+
+// The three synthetic vendors used across the repository. Settings diverge on
+// every VSB so differential tests can observe each knob.
+const VendorProfile& vendorA();  // SR-cost-zero vendor (Fig. 9 behaviour).
+const VendorProfile& vendorB();  // Conservative defaults.
+const VendorProfile& vendorC();  // ip-prefix-permits-v6 vendor (§6.1(b)).
+
+// Profile lookup by interned vendor name; unknown names get vendorB defaults.
+const VendorProfile& vendorProfile(NameId name);
+
+}  // namespace hoyan

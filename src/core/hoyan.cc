@@ -1,0 +1,241 @@
+#include "core/hoyan.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace hoyan {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::vector<ParseError> applyChangeCommands(Topology& topology, NetworkConfig& configs,
+                                            const std::string& commands) {
+  std::vector<ParseError> errors;
+  // Split into per-device sections on `device <name>` headers.
+  std::string currentDevice;
+  std::string section;
+  int sectionStartLine = 1;
+  int lineNo = 0;
+  const auto flush = [&] {
+    if (currentDevice.empty() || section.empty()) return;
+    const NameId deviceId = Names::id(currentDevice);
+    if (!configs.devices.contains(deviceId) && !topology.findDevice(deviceId)) {
+      errors.push_back({sectionStartLine,
+                        "change plan targets unknown device '" + currentDevice + "'",
+                        "device " + currentDevice});
+      return;
+    }
+    DeviceConfig& config = configs.device(deviceId);
+    if (config.hostname == kInvalidName) config.hostname = deviceId;
+    Device* device = topology.findDevice(deviceId);
+    auto sectionErrors = applyDeviceCommands(config, device, section);
+    for (ParseError& error : sectionErrors) {
+      error.line += sectionStartLine;
+      errors.push_back(std::move(error));
+    }
+  };
+  size_t pos = 0;
+  while (pos <= commands.size()) {
+    const size_t eol = commands.find('\n', pos);
+    const std::string line = eol == std::string::npos ? commands.substr(pos)
+                                                      : commands.substr(pos, eol - pos);
+    ++lineNo;
+    const auto tokens = tokenizeConfigLine(line);
+    if (tokens.size() == 2 && tokens[0] == "device") {
+      flush();
+      currentDevice = tokens[1];
+      section.clear();
+      sectionStartLine = lineNo;
+    } else if (!tokens.empty() && currentDevice.empty()) {
+      errors.push_back({lineNo, "command outside a 'device <name>' section", line});
+    } else {
+      section += line;
+      section += '\n';
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  flush();
+  return errors;
+}
+
+Hoyan::Hoyan(Topology topology, NetworkConfig configs) {
+  baseModel_ = std::make_unique<NetworkModel>(
+      NetworkModel::build(std::move(topology), std::move(configs)));
+  distOptions_.workers = 4;
+  distOptions_.routeSubtasks = 32;
+  distOptions_.trafficSubtasks = 32;
+}
+
+Hoyan Hoyan::fromConfigTexts(Topology topology,
+                             const std::vector<std::string>& configTexts) {
+  NetworkConfig configs;
+  for (const std::string& text : configTexts) {
+    ParseResult parsed = parseDeviceConfig(text);
+    const NameId hostname = parsed.config.hostname;
+    if (hostname == kInvalidName)
+      throw std::invalid_argument("config text without hostname");
+    // Merge parsed interfaces into the topology device (which carries the
+    // inventory view: loopback, role, links).
+    if (Device* device = topology.findDevice(hostname)) {
+      for (const Interface& itf : parsed.device.interfaces)
+        if (!device->findInterface(itf.name)) device->interfaces.push_back(itf);
+    }
+    configs.devices.emplace(hostname, std::move(parsed.config));
+  }
+  return Hoyan(std::move(topology), std::move(configs));
+}
+
+void Hoyan::setInputRoutes(std::vector<InputRoute> inputs) {
+  inputRoutes_ = std::move(inputs);
+  preprocessed_ = false;
+}
+
+void Hoyan::setInputFlows(std::vector<Flow> flows) {
+  inputFlows_ = std::move(flows);
+  preprocessed_ = false;
+}
+
+void Hoyan::preprocess() {
+  DistributedSimulator simulator(*baseModel_, distOptions_);
+  DistRouteResult routes = simulator.runRouteSimulation(inputRoutes_);
+  if (!routes.succeeded) throw std::runtime_error("base route simulation failed");
+  baseRibs_ = std::move(routes.ribs);
+  baseRibs_.buildForwardingIndex();
+  if (!inputFlows_.empty()) {
+    DistTrafficResult traffic = simulator.runTrafficSimulation(inputFlows_);
+    if (!traffic.succeeded) throw std::runtime_error("base traffic simulation failed");
+    baseLoads_ = std::move(traffic.linkLoads);
+  } else {
+    baseLoads_ = {};
+  }
+  baseGlobal_ = rcl::GlobalRib::fromNetworkRibs(baseRibs_);
+  preprocessed_ = true;
+}
+
+void Hoyan::requirePreprocessed() const {
+  if (!preprocessed_)
+    throw std::logic_error("Hoyan::preprocess() must run before verification");
+}
+
+NetworkModel Hoyan::buildUpdatedModel(const ChangePlan& plan,
+                                      std::vector<ParseError>* errors) const {
+  NetworkModel updated;
+  updated.topology = baseModel_->topology;
+  updated.configs = baseModel_->configs;
+  plan.topologyChange.applyTo(updated.topology);
+  auto commandErrors = applyChangeCommands(updated.topology, updated.configs, plan.commands);
+  if (errors) *errors = std::move(commandErrors);
+  updated.rebuildDerived();
+  return updated;
+}
+
+ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
+                                             const IntentSet& intents) {
+  requirePreprocessed();
+  ChangeVerificationResult result;
+
+  // 1. Updated network model (incremental: base model + parsed commands).
+  NetworkModel updated = buildUpdatedModel(plan, &result.commandErrors);
+
+  // 2. Updated input set.
+  std::vector<InputRoute> updatedInputs = inputRoutes_;
+  for (const Prefix& withdrawn : plan.withdrawnPrefixes)
+    std::erase_if(updatedInputs, [&](const InputRoute& input) {
+      return input.route.prefix == withdrawn;
+    });
+  for (const auto& [device, withdrawn] : plan.withdrawnInputs)
+    std::erase_if(updatedInputs, [&, device = device](const InputRoute& input) {
+      return input.device == device && input.route.prefix == withdrawn;
+    });
+  updatedInputs.insert(updatedInputs.end(), plan.newInputRoutes.begin(),
+                       plan.newInputRoutes.end());
+
+  // 3. Distributed route + traffic simulation on the updated model.
+  const auto routeStart = Clock::now();
+  DistributedSimulator simulator(updated, distOptions_);
+  DistRouteResult routes = simulator.runRouteSimulation(updatedInputs);
+  result.routeStats = routes.stats;
+  result.routeSimSeconds = secondsSince(routeStart);
+  NetworkRibs updatedRibs = std::move(routes.ribs);
+  updatedRibs.buildForwardingIndex();
+
+  LinkLoadMap updatedLoads;
+  if (!inputFlows_.empty() &&
+      (intents.maxLinkUtilization || !intents.pathIntents.empty())) {
+    const auto trafficStart = Clock::now();
+    DistTrafficResult traffic = simulator.runTrafficSimulation(inputFlows_);
+    result.trafficStats = traffic.stats;
+    result.trafficSimSeconds = secondsSince(trafficStart);
+    updatedLoads = std::move(traffic.linkLoads);
+  }
+
+  // 4. Intent verification.
+  const auto verifyStart = Clock::now();
+  const rcl::GlobalRib updatedGlobal = rcl::GlobalRib::fromNetworkRibs(updatedRibs);
+  for (const std::string& specification : intents.rclIntents) {
+    RclOutcome outcome;
+    outcome.specification = specification;
+    outcome.result = rcl::checkIntentText(specification, baseGlobal_, updatedGlobal);
+    result.rclOutcomes.push_back(std::move(outcome));
+  }
+  for (const PathChangeIntent& intent : intents.pathIntents) {
+    auto violations = checkPathChange(*baseModel_, baseRibs_, updated, updatedRibs,
+                                      inputFlows_, intent);
+    result.pathViolations.insert(result.pathViolations.end(), violations.begin(),
+                                 violations.end());
+  }
+  if (intents.maxLinkUtilization) {
+    result.loadViolations =
+        checkLinkLoads(updated.topology, updatedLoads, *intents.maxLinkUtilization);
+  }
+  result.verifySeconds = secondsSince(verifyStart);
+  result.updatedRibs = std::move(updatedRibs);
+  result.updatedLinkLoads = std::move(updatedLoads);
+  return result;
+}
+
+std::vector<RclOutcome> Hoyan::runAuditTasks(const std::vector<std::string>& auditSpecs) {
+  requirePreprocessed();
+  std::vector<RclOutcome> outcomes;
+  for (const std::string& specification : auditSpecs) {
+    RclOutcome outcome;
+    outcome.specification = specification;
+    outcome.result = rcl::checkIntentText(specification, baseGlobal_, baseGlobal_);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+KFailureResult Hoyan::checkFaultTolerance(const NetworkProperty& property,
+                                          const KFailureOptions& options) {
+  return checkKFailures(*baseModel_, inputRoutes_, property, options);
+}
+
+std::string ChangeVerificationResult::report() const {
+  std::string out = satisfied() ? "PASS" : "FAIL";
+  out += " | route-sim " + std::to_string(routeSimSeconds) + "s (" +
+         std::to_string(routeStats.inputRoutes) + " inputs, " +
+         std::to_string(routeStats.installedRoutes) + " routes)";
+  if (trafficStats.inputFlows > 0)
+    out += " | traffic-sim " + std::to_string(trafficSimSeconds) + "s (" +
+           std::to_string(trafficStats.inputFlows) + " flows)";
+  for (const ParseError& error : commandErrors)
+    out += "\ncommand error: " + error.str();
+  for (const RclOutcome& outcome : rclOutcomes) {
+    out += "\nRCL: " + outcome.specification + "\n  -> " + outcome.result.summary();
+  }
+  for (const PathChangeViolation& violation : pathViolations)
+    out += "\npath violation: " + violation.reason + " [" + violation.flow.str() + "]";
+  for (const LoadViolation& violation : loadViolations)
+    out += "\noverloaded: " + violation.str();
+  return out;
+}
+
+}  // namespace hoyan

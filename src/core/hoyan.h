@@ -1,0 +1,152 @@
+// Hoyan's public API: the change-verification pipeline of Fig. 2.
+//
+// Pre-processing (daily): build the base network model from configurations
+// and topology, build inputs, simulate the base RIBs/flow paths/loads.
+// Change verification (per request): parse the change commands, construct
+// the updated model incrementally, run distributed route+traffic simulation,
+// and check the operator's intents (RCL for route change intents, path and
+// load intents for the data plane), producing counter-examples on violation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/parser.h"
+#include "dist/dist_sim.h"
+#include "net/flow.h"
+#include "net/route.h"
+#include "proto/network_model.h"
+#include "rcl/verify.h"
+#include "sim/route_sim.h"
+#include "sim/traffic_sim.h"
+#include "topo/topology.h"
+#include "verify/properties.h"
+
+namespace hoyan {
+
+// A planned network change: topology deltas plus configuration commands.
+// Commands use the device configuration grammar with `device <name>` section
+// headers selecting the target router, e.g.:
+//
+//   device BR-0-0
+//   route-policy ISP-IN node 10 permit
+//    apply local-pref 200
+//   device CORE-0-0
+//   no static-route 10.9.0.0/24 nexthop 1.2.3.4
+struct ChangePlan {
+  std::string name;
+  TopologyChange topologyChange;
+  std::string commands;
+  // Additional input routes injected by the change (new prefix announcement).
+  std::vector<InputRoute> newInputRoutes;
+  // Input routes withdrawn by the change (prefix reclamation): prefixes to
+  // drop from the input set.
+  std::vector<Prefix> withdrawnPrefixes;
+  // Withdrawals scoped to one injection device (e.g. an old-WAN router
+  // stopping a specific announcement while others keep theirs).
+  std::vector<std::pair<NameId, Prefix>> withdrawnInputs;
+};
+
+// The operator's change intents.
+struct IntentSet {
+  std::vector<std::string> rclIntents;       // Route change intents (§4).
+  std::vector<PathChangeIntent> pathIntents; // Flow path change intents.
+  std::optional<double> maxLinkUtilization;  // Traffic load intent.
+};
+
+struct RclOutcome {
+  std::string specification;
+  rcl::CheckResult result;
+};
+
+struct ChangeVerificationResult {
+  std::vector<ParseError> commandErrors;
+  RouteSimStats routeStats;
+  TrafficSimStats trafficStats;
+  double routeSimSeconds = 0;
+  double trafficSimSeconds = 0;
+  double verifySeconds = 0;
+
+  std::vector<RclOutcome> rclOutcomes;
+  std::vector<PathChangeViolation> pathViolations;
+  std::vector<LoadViolation> loadViolations;
+
+  // The simulated post-change state (for probes, diagnosis, and examples).
+  NetworkRibs updatedRibs;
+  LinkLoadMap updatedLinkLoads;
+
+  bool satisfied() const {
+    if (!commandErrors.empty()) return false;
+    for (const RclOutcome& outcome : rclOutcomes)
+      if (!outcome.result.satisfied) return false;
+    return pathViolations.empty() && loadViolations.empty();
+  }
+  std::string report() const;
+};
+
+class Hoyan {
+ public:
+  Hoyan(Topology topology, NetworkConfig configs);
+
+  // Builds device models by parsing configuration text (hostname taken from
+  // the text); interfaces parsed from the text are installed onto the
+  // topology devices.
+  static Hoyan fromConfigTexts(Topology topology,
+                               const std::vector<std::string>& configTexts);
+
+  // Registers the pre-built simulation inputs (from the input route/flow
+  // building services).
+  void setInputRoutes(std::vector<InputRoute> inputs);
+  void setInputFlows(std::vector<Flow> flows);
+
+  // Distributed-simulation knobs used for every simulation run.
+  void setSimulationOptions(DistSimOptions options) { distOptions_ = std::move(options); }
+
+  // Daily pre-processing: base model + base RIBs + base flow paths/loads.
+  void preprocess();
+
+  const NetworkModel& baseModel() const { return *baseModel_; }
+  const NetworkRibs& baseRibs() const { return baseRibs_; }
+  const LinkLoadMap& baseLinkLoads() const { return baseLoads_; }
+  const rcl::GlobalRib& baseGlobalRib() const { return baseGlobal_; }
+  const std::vector<InputRoute>& inputRoutes() const { return inputRoutes_; }
+  const std::vector<Flow>& inputFlows() const { return inputFlows_; }
+
+  // Builds the updated model for a change plan (exposed for scenarios and
+  // diagnosis). Command errors are returned through `errors`.
+  NetworkModel buildUpdatedModel(const ChangePlan& plan,
+                                 std::vector<ParseError>* errors = nullptr) const;
+
+  // Full change verification (Fig. 2 left half).
+  ChangeVerificationResult verifyChange(const ChangePlan& plan, const IntentSet& intents);
+
+  // Daily configuration auditing (§6.2): each audit task is an RCL intent
+  // evaluated with both PRE and POST bound to the *base* global RIB.
+  std::vector<RclOutcome> runAuditTasks(const std::vector<std::string>& auditSpecs);
+
+  // Fault-tolerance checking (§6.2) on the base network.
+  KFailureResult checkFaultTolerance(const NetworkProperty& property,
+                                     const KFailureOptions& options = {});
+
+ private:
+  void requirePreprocessed() const;
+
+  std::unique_ptr<NetworkModel> baseModel_;
+  std::vector<InputRoute> inputRoutes_;
+  std::vector<Flow> inputFlows_;
+  DistSimOptions distOptions_;
+  bool preprocessed_ = false;
+
+  NetworkRibs baseRibs_;
+  LinkLoadMap baseLoads_;
+  rcl::GlobalRib baseGlobal_;
+};
+
+// Applies a change plan's commands to a network (configs + topology
+// interfaces). Exposed for tests; Hoyan::buildUpdatedModel uses it.
+std::vector<ParseError> applyChangeCommands(Topology& topology, NetworkConfig& configs,
+                                            const std::string& commands);
+
+}  // namespace hoyan

@@ -1,0 +1,75 @@
+#include "core/intent_tools.h"
+
+#include "rcl/parser.h"
+
+namespace hoyan {
+namespace {
+
+// Collects the guards of top-level guarded intents (descending through
+// forall groupings, whose scope is part of the change target).
+void collectGuards(const rcl::Intent& intent, std::vector<std::string>& guards) {
+  switch (intent.kind) {
+    case rcl::Intent::Kind::kGuarded:
+      guards.push_back(intent.guard->str());
+      break;
+    case rcl::Intent::Kind::kForall:
+      collectGuards(*intent.left, guards);
+      break;
+    case rcl::Intent::Kind::kAnd:
+    case rcl::Intent::Kind::kOr:
+    case rcl::Intent::Kind::kImply:
+      collectGuards(*intent.left, guards);
+      collectGuards(*intent.right, guards);
+      break;
+    default:
+      break;
+  }
+}
+
+// True when the intent (or a conjunct of it) is already a PRE/POST
+// whole-RIB equality — the operator wrote their own no-change clause.
+bool hasNoChangeClause(const rcl::Intent& intent) {
+  switch (intent.kind) {
+    case rcl::Intent::Kind::kRibCompare:
+      return intent.ribEqual;
+    case rcl::Intent::Kind::kGuarded:
+    case rcl::Intent::Kind::kForall:
+    case rcl::Intent::Kind::kNot:
+      return hasNoChangeClause(*intent.left);
+    case rcl::Intent::Kind::kAnd:
+    case rcl::Intent::Kind::kOr:
+    case rcl::Intent::Kind::kImply:
+      return hasNoChangeClause(*intent.left) || hasNoChangeClause(*intent.right);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> defaultNoChangeSpec(
+    const std::vector<std::string>& rclIntents) {
+  std::vector<std::string> guards;
+  for (const std::string& text : rclIntents) {
+    const rcl::ParseOutcome outcome = rcl::parseIntent(text);
+    if (!outcome.ok()) continue;
+    if (hasNoChangeClause(*outcome.intent)) return std::nullopt;  // Already covered.
+    collectGuards(*outcome.intent, guards);
+  }
+  if (guards.empty()) return std::nullopt;
+  std::string disjunction;
+  for (const std::string& guard : guards) {
+    if (!disjunction.empty()) disjunction += " or ";
+    disjunction += "(" + guard + ")";
+  }
+  return "not (" + disjunction + ") => PRE = POST";
+}
+
+bool augmentWithDefaultNoChange(IntentSet& intents) {
+  const auto derived = defaultNoChangeSpec(intents.rclIntents);
+  if (!derived) return false;
+  intents.rclIntents.push_back(*derived);
+  return true;
+}
+
+}  // namespace hoyan

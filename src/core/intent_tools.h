@@ -1,0 +1,32 @@
+// Intent-authoring aids (§7 "Correct specification of change intents").
+//
+// The paper recounts an incident where an operator specified the intended
+// change effects correctly but omitted the critical "others do not change"
+// intent — verification passed, the change still broke the network. Hoyan
+// now "uses heuristics to aid the writing of specifications, e.g. by adding
+// a default 'others do not change' specification". This module implements
+// that heuristic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hoyan.h"
+
+namespace hoyan {
+
+// Derives the complement "others do not change" specification from the
+// guards of the operator's guarded intents: if the intents scope the change
+// to predicates p1..pn, returns `not ((p1) or ... or (pn)) => PRE = POST`.
+// Returns nullopt when no guarded intent exists to complement (a blanket
+// `PRE = POST` would then contradict any intended change) or when such a
+// no-change intent is already present.
+std::optional<std::string> defaultNoChangeSpec(
+    const std::vector<std::string>& rclIntents);
+
+// Appends the derived default to the intent set (no-op when not derivable).
+// Returns true if an intent was added.
+bool augmentWithDefaultNoChange(IntentSet& intents);
+
+}  // namespace hoyan

@@ -1,0 +1,203 @@
+#include "core/localize.h"
+
+namespace hoyan {
+namespace {
+
+// A decomposed plan: atomic pieces that can be toggled independently.
+struct PlanPieces {
+  // (device, command group) pairs in original order.
+  std::vector<std::pair<std::string, std::string>> groups;
+  bool hasTopologyChange = false;
+  bool hasInputChange = false;
+};
+
+ChangePlan assemble(const ChangePlan& original, const PlanPieces& pieces,
+                    const std::vector<bool>& enabled, bool topologyEnabled,
+                    bool inputsEnabled) {
+  ChangePlan plan;
+  plan.name = original.name + " (subset)";
+  std::string currentDevice;
+  for (size_t i = 0; i < pieces.groups.size(); ++i) {
+    if (!enabled[i]) continue;
+    const auto& [device, group] = pieces.groups[i];
+    if (device != currentDevice) {
+      plan.commands += "device " + device + "\n";
+      currentDevice = device;
+    }
+    plan.commands += group;
+    if (!group.empty() && group.back() != '\n') plan.commands += '\n';
+  }
+  if (topologyEnabled) plan.topologyChange = original.topologyChange;
+  if (inputsEnabled) {
+    plan.newInputRoutes = original.newInputRoutes;
+    plan.withdrawnPrefixes = original.withdrawnPrefixes;
+    plan.withdrawnInputs = original.withdrawnInputs;
+  }
+  return plan;
+}
+
+bool violates(Hoyan& hoyan, const ChangePlan& plan, const IntentSet& intents,
+              size_t& counter) {
+  ++counter;
+  return !hoyan.verifyChange(plan, intents).satisfied();
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> splitPlanSections(
+    const std::string& commands) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  std::string currentDevice;
+  std::string currentText;
+  size_t pos = 0;
+  const auto flush = [&] {
+    if (!currentDevice.empty()) sections.emplace_back(currentDevice, currentText);
+    currentText.clear();
+  };
+  while (pos <= commands.size()) {
+    const size_t eol = commands.find('\n', pos);
+    const std::string line = eol == std::string::npos ? commands.substr(pos)
+                                                      : commands.substr(pos, eol - pos);
+    if (line.rfind("device ", 0) == 0) {
+      flush();
+      currentDevice = line.substr(7);
+    } else if (!line.empty()) {
+      currentText += line;
+      currentText += '\n';
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  flush();
+  return sections;
+}
+
+std::vector<std::string> splitCommandGroups(const std::string& section) {
+  std::vector<std::string> groups;
+  std::string current;
+  size_t pos = 0;
+  while (pos <= section.size()) {
+    const size_t eol = section.find('\n', pos);
+    const std::string line = eol == std::string::npos ? section.substr(pos)
+                                                      : section.substr(pos, eol - pos);
+    if (!line.empty()) {
+      const bool continuation = line[0] == ' ' || line[0] == '\t';
+      if (!continuation && !current.empty()) {
+        groups.push_back(current);
+        current.clear();
+      }
+      current += line;
+      current += '\n';
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  if (!current.empty()) groups.push_back(current);
+  return groups;
+}
+
+std::string LocalizationResult::str() const {
+  if (!planViolates) return "plan verifies clean: nothing to localize";
+  std::string out = "minimal violating command set (" +
+                    std::to_string(verificationsRun) + " verifications):";
+  for (const SuspectCommands& suspect : suspects) {
+    out += "\n  device " + suspect.device + ":";
+    size_t pos = 0;
+    while (pos < suspect.commands.size()) {
+      const size_t eol = suspect.commands.find('\n', pos);
+      const std::string line = eol == std::string::npos
+                                   ? suspect.commands.substr(pos)
+                                   : suspect.commands.substr(pos, eol - pos);
+      if (!line.empty()) out += "\n    " + line;
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+    }
+  }
+  if (topologyChangeSuspect) out += "\n  + the plan's topology delta";
+  if (inputChangeSuspect) out += "\n  + the plan's input-route changes";
+  return out;
+}
+
+LocalizationResult localizeMisconfiguration(Hoyan& hoyan, const ChangePlan& plan,
+                                            const IntentSet& intents) {
+  LocalizationResult result;
+
+  // Decompose the plan into toggleable pieces.
+  PlanPieces pieces;
+  for (const auto& [device, section] : splitPlanSections(plan.commands))
+    for (const std::string& group : splitCommandGroups(section))
+      pieces.groups.emplace_back(device, group);
+  pieces.hasTopologyChange = !plan.topologyChange.empty();
+  pieces.hasInputChange = !plan.newInputRoutes.empty() ||
+                          !plan.withdrawnPrefixes.empty() ||
+                          !plan.withdrawnInputs.empty();
+
+  std::vector<bool> enabled(pieces.groups.size(), true);
+  bool topologyEnabled = pieces.hasTopologyChange;
+  bool inputsEnabled = pieces.hasInputChange;
+
+  // Run the full plan once and minimise against only the *violated* intents:
+  // intended-effect intents (which the empty plan would also violate) must
+  // not steer the search.
+  ++result.verificationsRun;
+  const ChangeVerificationResult full = hoyan.verifyChange(plan, intents);
+  result.planViolates = !full.satisfied();
+  if (!result.planViolates) return result;
+  IntentSet violated;
+  for (const RclOutcome& outcome : full.rclOutcomes)
+    if (!outcome.result.satisfied) violated.rclIntents.push_back(outcome.specification);
+  if (!full.pathViolations.empty()) violated.pathIntents = intents.pathIntents;
+  if (!full.loadViolations.empty()) violated.maxLinkUtilization = intents.maxLinkUtilization;
+  const IntentSet& minimised = violated;
+
+  // Greedy 1-minimisation: drop each piece if the violation persists without
+  // it. (ddmin-style; one pass suffices for 1-minimality on monotone
+  // violations, and a second pass catches interactions.)
+  for (int pass = 0; pass < 2; ++pass) {
+    bool changed = false;
+    for (size_t i = 0; i < pieces.groups.size(); ++i) {
+      if (!enabled[i]) continue;
+      enabled[i] = false;
+      if (violates(hoyan,
+                   assemble(plan, pieces, enabled, topologyEnabled, inputsEnabled),
+                   minimised, result.verificationsRun)) {
+        changed = true;  // Still violates: the piece is not needed.
+      } else {
+        enabled[i] = true;  // Needed to trigger the violation.
+      }
+    }
+    if (topologyEnabled) {
+      topologyEnabled = false;
+      if (!violates(hoyan, assemble(plan, pieces, enabled, false, inputsEnabled),
+                    minimised, result.verificationsRun))
+        topologyEnabled = true;
+      else
+        changed = true;
+    }
+    if (inputsEnabled) {
+      inputsEnabled = false;
+      if (!violates(hoyan, assemble(plan, pieces, enabled, topologyEnabled, false),
+                    minimised, result.verificationsRun))
+        inputsEnabled = true;
+      else
+        changed = true;
+    }
+    if (!changed) break;
+  }
+
+  // Collect the surviving pieces, merged per device.
+  for (size_t i = 0; i < pieces.groups.size(); ++i) {
+    if (!enabled[i]) continue;
+    const auto& [device, group] = pieces.groups[i];
+    if (!result.suspects.empty() && result.suspects.back().device == device) {
+      result.suspects.back().commands += group;
+    } else {
+      result.suspects.push_back({device, group});
+    }
+  }
+  result.topologyChangeSuspect = topologyEnabled;
+  result.inputChangeSuspect = inputsEnabled;
+  return result;
+}
+
+}  // namespace hoyan

@@ -1,0 +1,52 @@
+// Misconfiguration localization (§7 "Misconfiguration localization").
+//
+// The paper leaves automatic localization of the misconfiguration behind an
+// intent violation as future work ("still relies on experts' manual
+// analysis... sometimes resulting in delaying a planned change for days").
+// This module implements a delta-debugging-style localizer over the change
+// plan: it re-verifies the plan with subsets of its per-device command
+// sections (and then subsets of command groups within the suspect sections)
+// to find a 1-minimal set of commands that still triggers the violation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hoyan.h"
+
+namespace hoyan {
+
+struct SuspectCommands {
+  std::string device;
+  std::string commands;  // The minimal command group(s) on this device.
+};
+
+struct LocalizationResult {
+  // True when the full plan violates (precondition for localization).
+  bool planViolates = false;
+  // 1-minimal set of suspect command sections.
+  std::vector<SuspectCommands> suspects;
+  // Whether the topology delta / input changes are part of the minimal set.
+  bool topologyChangeSuspect = false;
+  bool inputChangeSuspect = false;
+  size_t verificationsRun = 0;
+
+  std::string str() const;
+};
+
+// Localizes the commands responsible for the intent violation of `plan`.
+// Runs O(sections + command groups) verifications against `hoyan` (which
+// must be preprocessed).
+LocalizationResult localizeMisconfiguration(Hoyan& hoyan, const ChangePlan& plan,
+                                            const IntentSet& intents);
+
+// Splits change-plan commands into (device, section-text) pairs. Exposed for
+// tests.
+std::vector<std::pair<std::string, std::string>> splitPlanSections(
+    const std::string& commands);
+
+// Splits one device section into command groups (a top-level command plus
+// its indented continuation lines). Exposed for tests.
+std::vector<std::string> splitCommandGroups(const std::string& section);
+
+}  // namespace hoyan

@@ -1,0 +1,35 @@
+// Issue-injection experiments for the accuracy-diagnosis framework
+// (Table 4): each experiment plants one real-world issue class into an
+// otherwise-clean network + monitoring setup and asks the framework to
+// detect (and classify) the resulting inaccuracy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diag/root_cause.h"
+
+namespace hoyan {
+
+struct InjectionOutcome {
+  IssueCategory injected = IssueCategory::kOther;
+  bool detected = false;        // The framework reported *some* discrepancy.
+  IssueCategory classifiedAs = IssueCategory::kOther;
+  bool classifiedCorrectly = false;
+  std::string detail;
+};
+
+// Runs one injection experiment. `variant` varies the injection point
+// (device/prefix choice) deterministically.
+InjectionOutcome runInjectionExperiment(IssueCategory category, unsigned variant);
+
+// Runs the full Table-4 campaign: 52 injections with the paper's category
+// mix (route-monitoring 12, traffic-monitoring 10, topology 6, parsing 5,
+// input-building 5, implementation 4, VSB 3, unmodeled 2, nondeterminism 1,
+// other 4).
+std::vector<InjectionOutcome> runTable4Campaign();
+
+// The paper's Table-4 mix as (category, count) pairs summing to 52.
+std::vector<std::pair<IssueCategory, int>> table4Mix();
+
+}  // namespace hoyan

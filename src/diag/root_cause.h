@@ -1,0 +1,86 @@
+// Root-cause analysis workflow for inaccurate traffic simulation (§5.2) and
+// the real-world issue taxonomy it feeds (Table 4).
+//
+// The five-step workflow:
+//   (1) find links whose simulated vs real load differ by > threshold;
+//   (2) pick a large-volume flow traversing such a link;
+//   (3) build the flow's forwarding paths with Hoyan;
+//   (4) compare per-router forwarding behaviour (simulated vs real RIB rules
+//       matching the flow), walking from the router at the bad link;
+//   (5) surface the first divergent router with both rule sets for the
+//       expert — plus an automatic classification hint.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diag/validation.h"
+#include "net/flow.h"
+#include "proto/network_model.h"
+#include "sim/traffic_sim.h"
+
+namespace hoyan {
+
+// Table 4 issue classes.
+enum class IssueCategory : uint8_t {
+  kRouteMonitoringData,    // Monitoring agents failed / incomplete collection.
+  kTrafficMonitoringData,  // NetFlow/SNMP volume bugs.
+  kTopologyData,           // Topology feed inconsistent with live network.
+  kConfigParsingFlaw,      // Incomplete/incorrect vendor config parsing.
+  kInputRouteBuildingFlaw, // Wrong pre-defined filter rules on inputs.
+  kSimImplementationBug,   // e.g. flawed AS-path regex matching.
+  kVendorSpecificBehavior, // Unmodelled VSB (Table 5).
+  kUnmodeledFeature,       // Newly introduced feature not yet simulated.
+  kBgpNondeterminism,      // Multiple BGP convergence states.
+  kOther,
+};
+
+std::string issueCategoryName(IssueCategory category);
+
+// The per-router forwarding comparison of step (4).
+struct ForwardingDivergence {
+  NameId device = kInvalidName;
+  Prefix simMatchedPrefix;
+  Prefix realMatchedPrefix;
+  std::vector<Route> simRoutes;   // Forwarding entries matching the flow (sim).
+  std::vector<Route> realRoutes;  // Forwarding entries matching the flow (real).
+  std::string description;
+};
+
+struct RootCauseFinding {
+  LinkLoadDelta link;
+  std::optional<Flow> suspectFlow;
+  FlowPath simPath;
+  FlowPath realPath;
+  std::optional<ForwardingDivergence> divergence;
+  IssueCategory classification = IssueCategory::kOther;
+  std::string explanation;
+
+  std::string str() const;
+};
+
+// Runs the full §5.2 workflow over a load-accuracy report. `simRibs` are
+// Hoyan's simulated RIBs, `realRibs` the live network's (ground truth in this
+// reproduction); `flows` the monitored flows with their reported volumes.
+std::vector<RootCauseFinding> analyzeLoadInaccuracies(
+    const NetworkModel& model, const NetworkRibs& simRibs, const NetworkRibs& realRibs,
+    std::span<const Flow> flows, const LoadAccuracyReport& report,
+    size_t maxFindings = 8);
+
+// Classification of route-level discrepancies (used by the Table 4 bench):
+// combines the route accuracy report, live cross-validation, parse errors,
+// and monitoring health into category counts.
+struct DiagnosisInputs {
+  const RouteAccuracyReport* routeReport = nullptr;
+  const std::vector<RouteDiscrepancy>* liveCrossValidation = nullptr;
+  const LoadAccuracyReport* loadReport = nullptr;
+  size_t configParseErrors = 0;
+  size_t inputRulesSuspicious = 0;  // Inputs dropped by pre-defined rules.
+  bool topologyFeedMismatch = false;
+  bool simulationDiverged = false;  // Fixpoint hit the round cap.
+};
+
+std::vector<IssueCategory> classifyIssues(const DiagnosisInputs& inputs);
+
+}  // namespace hoyan

@@ -1,0 +1,92 @@
+// Automatic accuracy validation (§5.1).
+//
+// Every day Hoyan simulates the base network and compares the result against
+// the monitoring systems: simulated routes vs the route monitor (with `show`
+// commands against the live network for selected high-priority prefixes that
+// the monitor cannot fully observe), and simulated link loads vs SNMP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/monitoring.h"
+#include "net/route.h"
+#include "sim/traffic_sim.h"
+
+namespace hoyan {
+
+// One route-level discrepancy between simulation and monitoring.
+struct RouteDiscrepancy {
+  enum class Kind : uint8_t {
+    kMissingInSimulation,  // Monitored but not simulated.
+    kExtraInSimulation,    // Simulated but not monitored.
+    kAttributeMismatch,    // Same (device, vrf, prefix) but different content.
+  };
+  Kind kind = Kind::kAttributeMismatch;
+  NameId device = kInvalidName;
+  NameId vrf = kInvalidName;
+  Prefix prefix;
+  std::string detail;
+
+  std::string str() const;
+};
+
+struct RouteAccuracyReport {
+  std::vector<RouteDiscrepancy> discrepancies;
+  size_t routesCompared = 0;
+  size_t devicesMissingEntirely = 0;  // Strong signal of a dead monitor agent.
+  std::vector<NameId> missingDevices;
+
+  bool accurate() const { return discrepancies.empty(); }
+  double accuracyRatio() const {
+    return routesCompared == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(discrepancies.size()) /
+                           static_cast<double>(routesCompared);
+  }
+};
+
+// Compares simulated RIBs against the route monitor's view. Only fields the
+// monitor can observe are compared (best routes; no weight/IGP cost unless
+// the device is BMP-collected).
+RouteAccuracyReport compareRoutes(const NetworkRibs& simulated,
+                                  const NetworkRibs& monitored,
+                                  const RouteMonitorOptions& monitorOptions = {});
+
+// Cross-validates selected (high-priority) prefixes against the live network
+// via `show`, catching what the monitor cannot (ECMP sets, weight, real
+// nexthops). Returns discrepancies only for the selected prefixes.
+std::vector<RouteDiscrepancy> crossValidateWithLive(
+    const NetworkRibs& simulated, const NetworkRibs& live,
+    const std::vector<Prefix>& selectedPrefixes);
+
+// One link whose simulated load disagrees with SNMP by more than the
+// threshold fraction of link bandwidth.
+struct LinkLoadDelta {
+  NameId from = kInvalidName;
+  NameId to = kInvalidName;
+  double simulatedBps = 0;
+  double monitoredBps = 0;
+  double bandwidthBps = 0;
+
+  double deltaFraction() const {
+    return bandwidthBps <= 0 ? 0
+                             : (simulatedBps - monitoredBps) / bandwidthBps;
+  }
+  std::string str() const;
+};
+
+struct LoadAccuracyReport {
+  std::vector<LinkLoadDelta> inaccurateLinks;  // Sorted by |delta| descending.
+  size_t linksCompared = 0;
+};
+
+// Compares simulated vs monitored link loads; links with |delta| greater
+// than `thresholdFraction` of the link bandwidth are reported (§5.2 step 1
+// uses > 10%).
+LoadAccuracyReport compareLinkLoads(const Topology& topology,
+                                    const LinkLoadMap& simulated,
+                                    const std::vector<MonitoredLinkLoad>& monitored,
+                                    double thresholdFraction = 0.10);
+
+}  // namespace hoyan

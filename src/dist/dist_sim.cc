@@ -1,0 +1,364 @@
+#include "dist/dist_sim.h"
+
+#include "sim/local_routes.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+
+namespace hoyan {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Deterministic per-(subtask, attempt) crash decision for fault injection.
+bool injectCrash(const DistSimOptions& options, const std::string& id, int attempt) {
+  if (options.workerFailureProbability <= 0) return false;
+  const size_t h = std::hash<std::string>{}(id) ^ (attempt * 0x9e3779b97f4a7c15ULL) ^
+                   options.failureSeed;
+  std::mt19937_64 rng(h);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(rng) < options.workerFailureProbability;
+}
+
+// A subtask descriptor as pushed onto the MQ: references to the input blob
+// and the network snapshot are implicit (shared model), matching the paper's
+// metadata message.
+struct SubtaskMessage {
+  std::string id;
+  enum class Kind { kRouteInputs, kLocalRoutes, kTrafficInputs } kind;
+  int attempt = 1;
+};
+
+size_t approxRouteBytes(size_t routes) { return routes * 96; }
+size_t approxRibBytes(const NetworkRibs& ribs) { return ribs.routeCount() * 96; }
+size_t approxFlowBytes(size_t flows) { return flows * 48; }
+
+}  // namespace
+
+DistributedSimulator::DistributedSimulator(const NetworkModel& model,
+                                           DistSimOptions options)
+    : model_(model), options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.routeSubtasks == 0) options_.routeSubtasks = 1;
+  if (options_.trafficSubtasks == 0) options_.trafficSubtasks = 1;
+}
+
+DistRouteResult DistributedSimulator::runRouteSimulation(
+    std::span<const InputRoute> inputs) {
+  const auto start = Clock::now();
+  DistRouteResult result;
+  routeResultKeys_.clear();
+
+  // --- master: prepare subtasks -------------------------------------------
+  std::vector<InputRoute> ordered(inputs.begin(), inputs.end());
+  if (options_.strategy == SplitStrategy::kOrdering) {
+    // Order by the last IP address of the prefix; keep same-prefix routes
+    // adjacent (§3.2 — done offline by the input-route building service).
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const InputRoute& a, const InputRoute& b) {
+                       const IpAddress lastA = a.route.prefix.lastAddress();
+                       const IpAddress lastB = b.route.prefix.lastAddress();
+                       if (!(lastA == lastB)) return lastA < lastB;
+                       return a.route.prefix < b.route.prefix;
+                     });
+  } else {
+    std::mt19937_64 rng(options_.failureSeed * 7919 + 13);
+    std::shuffle(ordered.begin(), ordered.end(), rng);
+  }
+
+  const size_t subtaskCount = std::min(options_.routeSubtasks,
+                                       std::max<size_t>(ordered.size(), 1));
+  MessageQueue<SubtaskMessage> queue;
+  std::vector<std::string> subtaskIds;
+  size_t cursor = 0;
+  for (size_t i = 0; i < subtaskCount; ++i) {
+    const size_t begin = cursor;
+    size_t end = std::max(begin, ordered.size() * (i + 1) / subtaskCount);
+    if (i + 1 == subtaskCount) end = ordered.size();
+    // Keep routes with the same prefix in the same subtask.
+    while (end > begin && end < ordered.size() &&
+           ordered[end].route.prefix == ordered[end - 1].route.prefix)
+      ++end;
+    cursor = end;
+    if (begin >= end) continue;
+    std::vector<InputRoute> chunk(ordered.begin() + begin, ordered.begin() + end);
+    SubtaskRecord record;
+    record.id = "route-" + std::to_string(subtaskIds.size());
+    record.inputKey = record.id + "/input";
+    record.resultKey = record.id + "/result";
+    // Record the address range the subtask's routes cover (§3.2).
+    if (!chunk.empty()) {
+      IpRange range{chunk.front().route.prefix.firstAddress(),
+                    chunk.front().route.prefix.lastAddress()};
+      for (const InputRoute& input : chunk) range.extend(input.route.prefix);
+      record.coverage = range;
+    }
+    store_.put(record.inputKey, std::move(chunk), approxRouteBytes(end - begin));
+    db_.upsert(record);
+    queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kRouteInputs, 1});
+    subtaskIds.push_back(record.id);
+  }
+  // The dedicated local-routes subtask (direct/static/IS-IS).
+  {
+    SubtaskRecord record;
+    record.id = "route-local";
+    record.resultKey = record.id + "/result";
+    db_.upsert(record);
+    queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kLocalRoutes, 1});
+    subtaskIds.push_back(record.id);
+  }
+  result.splitSeconds = secondsSince(start);
+
+  // --- workers --------------------------------------------------------------
+  std::atomic<size_t> remaining{subtaskIds.size()};
+  std::atomic<size_t> retries{0};
+  std::atomic<bool> failed{false};
+  std::mutex statsMutex;
+  const auto workerLoop = [&] {
+    while (auto message = queue.pop()) {
+      const auto subtaskStart = Clock::now();
+      db_.update(message->id, [&](SubtaskRecord& r) {
+        r.status = SubtaskStatus::kRunning;
+        r.attempts = message->attempt;
+      });
+      if (injectCrash(options_, message->id, message->attempt)) {
+        // The working server dies mid-subtask; the master re-queues (§3.2).
+        db_.update(message->id,
+                   [](SubtaskRecord& r) { r.status = SubtaskStatus::kFailed; });
+        if (message->attempt >= options_.maxAttempts) {
+          failed = true;
+          if (remaining.fetch_sub(1) == 1) queue.close();
+        } else {
+          retries.fetch_add(1);
+          queue.push(SubtaskMessage{message->id, message->kind, message->attempt + 1});
+        }
+        continue;
+      }
+      NetworkRibs ribs;
+      RouteSimStats stats;
+      if (message->kind == SubtaskMessage::Kind::kLocalRoutes) {
+        installLocalRoutes(model_, ribs);
+      } else {
+        const auto record = db_.get(message->id);
+        const auto chunk = store_.get<std::vector<InputRoute>>(record->inputKey);
+        RouteSimOptions subOptions = options_.routeOptions;
+        subOptions.includeLocalRoutes = false;
+        RouteSimResult subResult = simulateRoutes(model_, *chunk, subOptions);
+        ribs = std::move(subResult.ribs);
+        stats = subResult.stats;
+      }
+      const auto record = db_.get(message->id);
+      const size_t resultBytes = approxRibBytes(ribs);
+      store_.put(record->resultKey, std::move(ribs), resultBytes);
+      db_.update(message->id, [&](SubtaskRecord& r) {
+        r.status = SubtaskStatus::kSucceeded;
+        r.runtimeSeconds = secondsSince(subtaskStart);
+      });
+      {
+        std::lock_guard lock(statsMutex);
+        result.stats.simulatedInputs += stats.simulatedInputs;
+        result.stats.messagesProcessed += stats.messagesProcessed;
+        result.stats.rounds = std::max(result.stats.rounds, stats.rounds);
+        result.stats.converged = result.stats.converged && stats.converged;
+        result.stats.ec.inputRoutes += stats.ec.inputRoutes;
+        result.stats.ec.classes += stats.ec.classes;
+        result.stats.ec.prefixClasses += stats.ec.prefixClasses;
+      }
+      if (remaining.fetch_sub(1) == 1) queue.close();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) workers.emplace_back(workerLoop);
+  for (std::thread& worker : workers) worker.join();
+
+  result.retries = retries.load();
+  result.succeeded = !failed.load();
+
+  // --- master: collect results ----------------------------------------------
+  const auto mergeStart = Clock::now();
+  for (const std::string& id : subtaskIds) {
+    const auto record = db_.get(id);
+    if (!record || record->status != SubtaskStatus::kSucceeded) continue;
+    const auto ribs = store_.get<NetworkRibs>(record->resultKey);
+    result.ribs.merge(*ribs);
+    result.subtasks.push_back(
+        SubtaskMetric{id, record->runtimeSeconds, record->attempts, 0, 0});
+    routeResultKeys_.push_back(record->resultKey);
+  }
+  dedupeRoutes(result.ribs);
+  reselectAll(result.ribs);
+  result.ribs.buildForwardingIndex();
+  result.mergeSeconds = secondsSince(mergeStart);
+  result.stats.installedRoutes = result.ribs.routeCount();
+  result.stats.inputRoutes = inputs.size();
+  result.elapsedSeconds = secondsSince(start);
+  return result;
+}
+
+DistTrafficResult DistributedSimulator::runTrafficSimulation(
+    std::span<const Flow> flows) {
+  const auto start = Clock::now();
+  DistTrafficResult result;
+  const size_t storeReadsBefore = store_.bytesRead();
+
+  // --- master: prepare subtasks ----------------------------------------------
+  std::vector<Flow> ordered(flows.begin(), flows.end());
+  if (options_.strategy == SplitStrategy::kOrdering) {
+    // Order by destination address (§3.2 — done offline by the input-flow
+    // building service).
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Flow& a, const Flow& b) { return a.dst < b.dst; });
+  } else {
+    std::mt19937_64 rng(options_.failureSeed * 104729 + 41);
+    std::shuffle(ordered.begin(), ordered.end(), rng);
+  }
+
+  const size_t subtaskCount =
+      std::min(options_.trafficSubtasks, std::max<size_t>(ordered.size(), 1));
+  MessageQueue<SubtaskMessage> queue;
+  std::vector<std::string> subtaskIds;
+  for (size_t i = 0; i < subtaskCount; ++i) {
+    const size_t begin = ordered.size() * i / subtaskCount;
+    const size_t end = ordered.size() * (i + 1) / subtaskCount;
+    if (begin >= end) continue;
+    std::vector<Flow> chunk(ordered.begin() + begin, ordered.begin() + end);
+    SubtaskRecord record;
+    record.id = "traffic-" + std::to_string(subtaskIds.size());
+    record.inputKey = record.id + "/input";
+    record.resultKey = record.id + "/result";
+    store_.put(record.inputKey, std::move(chunk), approxFlowBytes(end - begin));
+    db_.upsert(record);
+    queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kTrafficInputs, 1});
+    subtaskIds.push_back(record.id);
+  }
+
+  result.splitSeconds = secondsSince(start);
+
+  // Snapshot route-subtask coverage for the dependency check.
+  struct RouteFile {
+    std::string resultKey;
+    std::optional<IpRange> coverage;
+    bool isLocal = false;
+  };
+  std::vector<RouteFile> routeFiles;
+  for (const SubtaskRecord& record : db_.all()) {
+    if (record.id.rfind("route-", 0) != 0 || record.status != SubtaskStatus::kSucceeded)
+      continue;
+    routeFiles.push_back(
+        RouteFile{record.resultKey, record.coverage, record.id == "route-local"});
+  }
+
+  // --- workers -----------------------------------------------------------------
+  struct TrafficOutput {
+    LinkLoadMap loads;
+    TrafficSimStats stats;
+  };
+  std::atomic<size_t> remaining{subtaskIds.size()};
+  std::atomic<size_t> retries{0};
+  std::atomic<bool> failed{false};
+  std::mutex outputMutex;
+  TrafficOutput merged;
+
+  const auto workerLoop = [&] {
+    while (auto message = queue.pop()) {
+      const auto subtaskStart = Clock::now();
+      db_.update(message->id, [&](SubtaskRecord& r) {
+        r.status = SubtaskStatus::kRunning;
+        r.attempts = message->attempt;
+      });
+      if (injectCrash(options_, message->id, message->attempt)) {
+        db_.update(message->id,
+                   [](SubtaskRecord& r) { r.status = SubtaskStatus::kFailed; });
+        if (message->attempt >= options_.maxAttempts) {
+          failed = true;
+          if (remaining.fetch_sub(1) == 1) queue.close();
+        } else {
+          retries.fetch_add(1);
+          queue.push(SubtaskMessage{message->id, message->kind, message->attempt + 1});
+        }
+        continue;
+      }
+      const auto record = db_.get(message->id);
+      const auto chunk = store_.get<std::vector<Flow>>(record->inputKey);
+      // Destination range of this subtask's flows.
+      std::optional<IpRange> dstRange;
+      for (const Flow& flow : *chunk) {
+        if (!dstRange)
+          dstRange = IpRange{flow.dst, flow.dst};
+        else
+          dstRange->extend(flow.dst);
+      }
+      // Dependency pruning (§3.2): load only route result files whose
+      // recorded coverage overlaps our destination range. The local-routes
+      // file is always needed (nexthop/loopback routes).
+      NetworkRibs ribs;
+      size_t loaded = 0;
+      for (const RouteFile& file : routeFiles) {
+        const bool needed = options_.loadAllRibs || file.isLocal || !file.coverage ||
+                            !dstRange || dstRange->overlaps(*file.coverage);
+        if (!needed) continue;
+        const auto part = store_.get<NetworkRibs>(file.resultKey);
+        ribs.merge(*part);
+        ++loaded;
+      }
+      dedupeRoutes(ribs);
+      reselectAll(ribs);
+      ribs.buildForwardingIndex();
+      const TrafficSimResult subResult =
+          simulateTraffic(model_, ribs, *chunk, options_.trafficOptions);
+      {
+        std::lock_guard lock(outputMutex);
+        merged.loads.merge(subResult.linkLoads);
+        merged.stats.inputFlows += subResult.stats.inputFlows;
+        merged.stats.simulatedFlows += subResult.stats.simulatedFlows;
+        merged.stats.delivered += subResult.stats.delivered;
+        merged.stats.exited += subResult.stats.exited;
+        merged.stats.blackholed += subResult.stats.blackholed;
+        merged.stats.looped += subResult.stats.looped;
+        merged.stats.deniedAcl += subResult.stats.deniedAcl;
+        merged.stats.ec.inputFlows += subResult.stats.ec.inputFlows;
+        merged.stats.ec.classes += subResult.stats.ec.classes;
+      }
+      store_.put(record->resultKey, subResult.linkLoads,
+                 subResult.linkLoads.size() * 24);
+      db_.update(message->id, [&](SubtaskRecord& r) {
+        r.status = SubtaskStatus::kSucceeded;
+        r.runtimeSeconds = secondsSince(subtaskStart);
+        r.ribFilesLoaded = loaded;
+        r.ribFilesTotal = routeFiles.size();
+      });
+      if (remaining.fetch_sub(1) == 1) queue.close();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) workers.emplace_back(workerLoop);
+  for (std::thread& worker : workers) worker.join();
+
+  result.retries = retries.load();
+  result.succeeded = !failed.load();
+  result.linkLoads = std::move(merged.loads);
+  result.stats = merged.stats;
+  for (const std::string& id : subtaskIds) {
+    const auto record = db_.get(id);
+    if (!record) continue;
+    result.subtasks.push_back(SubtaskMetric{id, record->runtimeSeconds, record->attempts,
+                                            record->ribFilesLoaded,
+                                            record->ribFilesTotal});
+  }
+  result.storeBytesRead = store_.bytesRead() - storeReadsBefore;
+  result.elapsedSeconds = secondsSince(start);
+  return result;
+}
+
+}  // namespace hoyan

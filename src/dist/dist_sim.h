@@ -1,0 +1,110 @@
+// Hoyan's distributed simulation framework (§3.2).
+//
+// A simulation task is split by the master into subtasks over disjoint input
+// subsets; subtask descriptors travel through a message queue to working
+// servers (threads here), inputs/results through the object store, status
+// through the subtask database. The master monitors, retries failures, and
+// merges results.
+//
+// The *ordering heuristic*: input routes are pre-sorted by the last address
+// of their prefix and split contiguously, each route subtask recording the
+// address range its results cover; input flows are pre-sorted by destination
+// and split contiguously, so a traffic subtask only loads the route result
+// files whose recorded range overlaps its own destination range. A random
+// split (for comparison, Fig. 5(d)) makes every traffic subtask depend on
+// nearly every route subtask; `loadAllRibs` is the paper's "baseline" that
+// skips dependency pruning entirely (Fig. 5(b)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/message_queue.h"
+#include "dist/object_store.h"
+#include "dist/subtask_db.h"
+#include "net/flow.h"
+#include "net/route.h"
+#include "proto/network_model.h"
+#include "sim/route_sim.h"
+#include "sim/traffic_sim.h"
+
+namespace hoyan {
+
+enum class SplitStrategy : uint8_t {
+  kOrdering,  // Sort by last-address / destination, split contiguously.
+  kRandom,    // Shuffle, split contiguously (comparison strategy).
+};
+
+struct DistSimOptions {
+  size_t workers = 4;
+  size_t routeSubtasks = 100;    // Matches the paper's WAN runs.
+  size_t trafficSubtasks = 128;  // Chosen to evenly split the flows.
+  SplitStrategy strategy = SplitStrategy::kOrdering;
+  bool loadAllRibs = false;  // Baseline: ignore recorded ranges, load all.
+  // Fault injection: probability that a worker crashes mid-subtask, and the
+  // retry cap the master enforces when re-queueing.
+  double workerFailureProbability = 0;
+  uint64_t failureSeed = 1;
+  int maxAttempts = 3;
+  RouteSimOptions routeOptions;
+  TrafficSimOptions trafficOptions;
+};
+
+struct SubtaskMetric {
+  std::string id;
+  double seconds = 0;
+  int attempts = 1;
+  size_t ribFilesLoaded = 0;
+  size_t ribFilesTotal = 0;
+};
+
+struct DistRouteResult {
+  NetworkRibs ribs;  // Merged, re-selected, forwarding index built.
+  RouteSimStats stats;
+  std::vector<SubtaskMetric> subtasks;
+  double elapsedSeconds = 0;
+  double splitSeconds = 0;  // Master: ordering + splitting + uploading inputs.
+  double mergeSeconds = 0;  // Master: merging results + re-selection + index.
+  size_t retries = 0;
+  bool succeeded = true;
+};
+
+struct DistTrafficResult {
+  LinkLoadMap linkLoads;
+  TrafficSimStats stats;
+  std::vector<SubtaskMetric> subtasks;
+  double elapsedSeconds = 0;
+  double splitSeconds = 0;  // Master: ordering + splitting + uploading inputs.
+  size_t retries = 0;
+  bool succeeded = true;
+  size_t storeBytesRead = 0;  // Object-store traffic (dependency-pruning win).
+};
+
+// Runs one simulation task (route, then optionally traffic) on an in-process
+// worker pool. Route results stay in the object store between the phases, so
+// the traffic phase can exercise the dependency-pruning path exactly as the
+// paper describes.
+class DistributedSimulator {
+ public:
+  DistributedSimulator(const NetworkModel& model, DistSimOptions options);
+
+  DistRouteResult runRouteSimulation(std::span<const InputRoute> inputs);
+
+  // Requires a prior successful runRouteSimulation (its per-subtask results
+  // are still in the store).
+  DistTrafficResult runTrafficSimulation(std::span<const Flow> flows);
+
+  const SubtaskDb& db() const { return db_; }
+  const ObjectStore& store() const { return store_; }
+
+ private:
+  const NetworkModel& model_;
+  DistSimOptions options_;
+  ObjectStore store_;
+  SubtaskDb db_;
+  std::vector<std::string> routeResultKeys_;  // Ordered; last is local-routes.
+};
+
+}  // namespace hoyan

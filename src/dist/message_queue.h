@@ -1,0 +1,64 @@
+// Thread-safe message queue — the MQ of the distributed framework (§3.2).
+// The master pushes one message per subtask; each working server pops,
+// executes, and (on failure) the master re-pushes for retry.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace hoyan {
+
+template <typename T>
+class MessageQueue {
+ public:
+  void push(T message) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(message));
+    }
+    available_.notify_one();
+  }
+
+  // Blocks until a message is available or the queue is closed. Returns
+  // nullopt when closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    available_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  std::optional<T> tryPop() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  // Wakes all blocked consumers; subsequent pops drain then return nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    available_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hoyan

@@ -1,0 +1,83 @@
+// In-process stand-in for the cloud object storage (OSS) that Hoyan uses to
+// pass subtask inputs and results between servers (§3.2).
+//
+// Blobs are typed shared pointers; the store is thread-safe and accounts the
+// approximate bytes written/read so benchmarks can report the network-I/O
+// saving of the ordering heuristic (Fig. 5(d)) without real sockets.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace hoyan {
+
+class ObjectStore {
+ public:
+  template <typename T>
+  void put(const std::string& key, T value, size_t approxBytes) {
+    auto blob = std::make_shared<Entry>();
+    blob->object = std::make_shared<T>(std::move(value));
+    blob->bytes = approxBytes;
+    std::lock_guard lock(mutex_);
+    bytesWritten_ += approxBytes;
+    objects_[key] = std::move(blob);
+  }
+
+  // Returns the blob stored under `key`; throws if absent or of the wrong
+  // type. Reading accounts the blob's size as transferred bytes.
+  template <typename T>
+  std::shared_ptr<const T> get(const std::string& key) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = objects_.find(key);
+      if (it == objects_.end())
+        throw std::out_of_range("ObjectStore: no object '" + key + "'");
+      entry = it->second;
+      bytesRead_ += entry->bytes;
+      ++reads_;
+    }
+    auto typed = std::static_pointer_cast<const T>(
+        std::shared_ptr<const void>(entry->object));
+    return typed;
+  }
+
+  bool contains(const std::string& key) const {
+    std::lock_guard lock(mutex_);
+    return objects_.contains(key);
+  }
+  void erase(const std::string& key) {
+    std::lock_guard lock(mutex_);
+    objects_.erase(key);
+  }
+
+  size_t bytesWritten() const {
+    std::lock_guard lock(mutex_);
+    return bytesWritten_;
+  }
+  size_t bytesRead() const {
+    std::lock_guard lock(mutex_);
+    return bytesRead_;
+  }
+  size_t readCount() const {
+    std::lock_guard lock(mutex_);
+    return reads_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<void> object;
+    size_t bytes = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> objects_;
+  size_t bytesWritten_ = 0;
+  size_t bytesRead_ = 0;
+  size_t reads_ = 0;
+};
+
+}  // namespace hoyan

@@ -1,0 +1,85 @@
+// Subtask status database (§3.2): working servers update each subtask's
+// running status here; the master monitors it and re-queues failures. Route
+// subtasks also record the IP range their results cover, which traffic
+// subtasks consult to prune dependencies (the ordering heuristic).
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace hoyan {
+
+enum class SubtaskStatus { kPending, kRunning, kSucceeded, kFailed };
+
+inline std::string subtaskStatusName(SubtaskStatus status) {
+  switch (status) {
+    case SubtaskStatus::kPending: return "pending";
+    case SubtaskStatus::kRunning: return "running";
+    case SubtaskStatus::kSucceeded: return "succeeded";
+    case SubtaskStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+struct SubtaskRecord {
+  std::string id;
+  std::string inputKey;
+  std::string resultKey;
+  SubtaskStatus status = SubtaskStatus::kPending;
+  int attempts = 0;
+  double runtimeSeconds = 0;
+  // Coverage of a route subtask's results, recorded so traffic subtasks can
+  // skip non-overlapping result files.
+  std::optional<IpRange> coverage;
+  size_t ribFilesLoaded = 0;  // For traffic subtasks (Fig. 5(d)).
+  size_t ribFilesTotal = 0;
+};
+
+class SubtaskDb {
+ public:
+  void upsert(SubtaskRecord record) {
+    std::lock_guard lock(mutex_);
+    records_[record.id] = std::move(record);
+  }
+
+  template <typename Mutator>
+  void update(const std::string& id, Mutator&& mutate) {
+    std::lock_guard lock(mutex_);
+    const auto it = records_.find(id);
+    if (it != records_.end()) mutate(it->second);
+  }
+
+  std::optional<SubtaskRecord> get(const std::string& id) const {
+    std::lock_guard lock(mutex_);
+    const auto it = records_.find(id);
+    if (it == records_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::vector<SubtaskRecord> all() const {
+    std::lock_guard lock(mutex_);
+    std::vector<SubtaskRecord> out;
+    out.reserve(records_.size());
+    for (const auto& [id, record] : records_) out.push_back(record);
+    return out;
+  }
+
+  size_t countWithStatus(SubtaskStatus status) const {
+    std::lock_guard lock(mutex_);
+    size_t n = 0;
+    for (const auto& [id, record] : records_)
+      if (record.status == status) ++n;
+    return n;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, SubtaskRecord> records_;
+};
+
+}  // namespace hoyan

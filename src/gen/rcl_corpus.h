@@ -1,0 +1,18 @@
+// Synthetic corpus of RCL specifications standing in for the paper's 50
+// operator-written specs (Fig. 8): instantiated from the §4.1/§4.3 use-case
+// templates over a generated WAN's devices and prefixes, with the same size
+// profile (> 90% below 15 internal AST nodes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/wan_gen.h"
+
+namespace hoyan {
+
+// Generates `count` specifications (default 50, matching the evaluation).
+std::vector<std::string> generateRclCorpus(const GeneratedWan& wan, size_t count = 50,
+                                           unsigned seed = 11);
+
+}  // namespace hoyan

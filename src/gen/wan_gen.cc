@@ -1,0 +1,389 @@
+#include "gen/wan_gen.h"
+
+#include <random>
+
+#include "config/printer.h"
+#include "config/vendor.h"
+
+namespace hoyan {
+namespace {
+
+// Sequential address allocators.
+class AddressPool {
+ public:
+  explicit AddressPool(uint32_t base) : next_(base) {}
+  IpAddress nextLoopback() { return IpAddress::v4(next_++); }
+  // Allocates a /30: returns the two usable host addresses.
+  std::pair<IpAddress, IpAddress> nextLinkPair() {
+    const uint32_t base = linkNext_;
+    linkNext_ += 4;
+    return {IpAddress::v4(base + 1), IpAddress::v4(base + 2)};
+  }
+
+ private:
+  uint32_t next_;
+  uint32_t linkNext_ = (172u << 24) | (16u << 16);  // 172.16.0.0/12 pool.
+};
+
+struct Builder {
+  GeneratedWan wan;
+  AddressPool pool{(10u << 24) | (64u << 16) | 1};  // Loopbacks from 10.64.0.1.
+  NameId wanDomain = Names::id("igp-wan");
+
+  NameId addDevice(const std::string& name, DeviceRole role, NameId domain,
+                   NameId vendor, Asn asn) {
+    Device device;
+    device.name = Names::id(name);
+    device.role = role;
+    device.loopback = pool.nextLoopback();
+    device.igpDomain = domain;
+    wan.topology.addDevice(device);
+
+    DeviceConfig config;
+    config.hostname = device.name;
+    config.vendor = vendor;
+    config.routerId = device.loopback;
+    config.bgp.asn = asn;
+    wan.configs.devices.emplace(device.name, std::move(config));
+    return device.name;
+  }
+
+  // Creates a /30 link with interfaces on both ends (IS-IS enabled when both
+  // endpoints share an IGP domain).
+  void link(NameId a, NameId b, uint32_t isisCost = 10) {
+    Device* deviceA = wan.topology.findDevice(a);
+    Device* deviceB = wan.topology.findDevice(b);
+    const auto [addrA, addrB] = pool.nextLinkPair();
+    const bool sameDomain = deviceA->igpDomain != kInvalidName &&
+                            deviceA->igpDomain == deviceB->igpDomain;
+    Interface itfA;
+    itfA.name = Names::id(Names::str(a) + ":eth" +
+                          std::to_string(deviceA->interfaces.size()));
+    itfA.address = addrA;
+    itfA.prefixLength = 30;
+    itfA.isisEnabled = sameDomain;
+    itfA.isisCost = isisCost;
+    deviceA->interfaces.push_back(itfA);
+    Interface itfB;
+    itfB.name = Names::id(Names::str(b) + ":eth" +
+                          std::to_string(deviceB->interfaces.size()));
+    itfB.address = addrB;
+    itfB.prefixLength = 30;
+    itfB.isisEnabled = sameDomain;
+    itfB.isisCost = isisCost;
+    deviceB->interfaces.push_back(itfB);
+    wan.topology.addLink(a, itfA.name, b, itfB.name);
+  }
+
+  DeviceConfig& config(NameId device) { return wan.configs.device(device); }
+
+  // Adds a permit-all policy (strict vendors reject sessions without one).
+  NameId passPolicy(NameId device) {
+    const NameId name = Names::id("PASS");
+    RoutePolicy& policy = config(device).routePolicy(name);
+    if (policy.nodes.empty()) {
+      PolicyNode node;
+      node.sequence = 10;
+      node.action = PolicyAction::kPermit;
+      policy.upsertNode(node);
+    }
+    return name;
+  }
+
+  // iBGP session pair over loopbacks, permit-all both ways.
+  void ibgpPair(NameId a, NameId b, bool bIsClientOfA) {
+    const Device* deviceA = wan.topology.findDevice(a);
+    const Device* deviceB = wan.topology.findDevice(b);
+    BgpNeighbor toB;
+    toB.peerAddress = deviceB->loopback;
+    toB.remoteAs = wan.wanAsn;
+    toB.importPolicy = passPolicy(a);
+    toB.exportPolicy = passPolicy(a);
+    toB.routeReflectorClient = bIsClientOfA;
+    config(a).bgp.neighbors.push_back(toB);
+    BgpNeighbor toA;
+    toA.peerAddress = deviceA->loopback;
+    toA.remoteAs = wan.wanAsn;
+    toA.importPolicy = passPolicy(b);
+    toA.exportPolicy = passPolicy(b);
+    config(b).bgp.neighbors.push_back(toA);
+  }
+};
+
+}  // namespace
+
+std::vector<NameId> GeneratedWan::internalDevices() const {
+  std::vector<NameId> out;
+  out.insert(out.end(), routeReflectors.begin(), routeReflectors.end());
+  out.insert(out.end(), cores.begin(), cores.end());
+  out.insert(out.end(), borders.begin(), borders.end());
+  out.insert(out.end(), dcGateways.begin(), dcGateways.end());
+  out.insert(out.end(), dcnCores.begin(), dcnCores.end());
+  return out;
+}
+
+GeneratedWan generateWan(const WanSpec& spec) {
+  Builder builder;
+  builder.wan.spec = spec;
+  GeneratedWan& wan = builder.wan;
+  const NameId vendorAName = vendorA().name;
+  const NameId vendorBName = vendorB().name;
+  const NameId vendorCName = vendorC().name;
+
+  // --- devices -----------------------------------------------------------
+  std::vector<std::vector<NameId>> regionCores(spec.regions);
+  std::vector<std::vector<NameId>> regionBorders(spec.regions);
+  std::vector<std::vector<NameId>> regionDcgws(spec.regions);
+  for (size_t r = 0; r < spec.regions; ++r) {
+    const std::string rs = std::to_string(r);
+    wan.routeReflectors.push_back(builder.addDevice(
+        "RR-" + rs, DeviceRole::kRouteReflector, builder.wanDomain, vendorBName,
+        wan.wanAsn));
+    for (size_t i = 0; i < spec.coresPerRegion; ++i) {
+      const NameId core =
+          builder.addDevice("CORE-" + rs + "-" + std::to_string(i), DeviceRole::kCore,
+                            builder.wanDomain, vendorAName, wan.wanAsn);
+      wan.cores.push_back(core);
+      regionCores[r].push_back(core);
+    }
+    for (size_t b = 0; b < spec.bordersPerRegion; ++b) {
+      const NameId border =
+          builder.addDevice("BR-" + rs + "-" + std::to_string(b), DeviceRole::kBorder,
+                            builder.wanDomain, vendorCName, wan.wanAsn);
+      wan.borders.push_back(border);
+      regionBorders[r].push_back(border);
+    }
+    for (size_t d = 0; d < spec.dcsPerRegion; ++d) {
+      const NameId dcgw = builder.addDevice("DCGW-" + rs + "-" + std::to_string(d),
+                                            DeviceRole::kDcGateway, builder.wanDomain,
+                                            vendorBName, wan.wanAsn);
+      wan.dcGateways.push_back(dcgw);
+      regionDcgws[r].push_back(dcgw);
+    }
+  }
+
+  // --- intra-region links ---------------------------------------------------
+  for (size_t r = 0; r < spec.regions; ++r) {
+    const NameId rr = wan.routeReflectors[r];
+    // Core full mesh + core-RR.
+    for (size_t i = 0; i < regionCores[r].size(); ++i) {
+      builder.link(regionCores[r][i], rr);
+      for (size_t j = i + 1; j < regionCores[r].size(); ++j)
+        builder.link(regionCores[r][i], regionCores[r][j]);
+    }
+    // Borders and DC gateways dual-home to the first two cores.
+    for (const NameId border : regionBorders[r]) {
+      builder.link(border, regionCores[r][0]);
+      if (regionCores[r].size() > 1) builder.link(border, regionCores[r][1]);
+    }
+    for (const NameId dcgw : regionDcgws[r]) {
+      builder.link(dcgw, regionCores[r][0]);
+      if (regionCores[r].size() > 1) builder.link(dcgw, regionCores[r][1]);
+    }
+  }
+  // --- inter-region backbone: ring over same-index cores + one chord --------
+  for (size_t r = 0; r < spec.regions; ++r) {
+    const size_t next = (r + 1) % spec.regions;
+    if (next == r) continue;
+    for (size_t i = 0; i < spec.coresPerRegion; ++i)
+      builder.link(regionCores[r][i], regionCores[next][i], 20);
+  }
+  if (spec.regions > 3) {
+    for (size_t r = 0; r + 2 < spec.regions; r += 2)
+      builder.link(regionCores[r][0], regionCores[r + 2][0], 30);
+  }
+
+  // --- iBGP: clients to region RR, RR full mesh ------------------------------
+  for (size_t r = 0; r < spec.regions; ++r) {
+    const NameId rr = wan.routeReflectors[r];
+    for (const NameId client : regionCores[r]) builder.ibgpPair(rr, client, true);
+    for (const NameId client : regionBorders[r]) builder.ibgpPair(rr, client, true);
+    for (const NameId client : regionDcgws[r]) builder.ibgpPair(rr, client, true);
+  }
+  for (size_t r = 0; r < spec.regions; ++r)
+    for (size_t s = r + 1; s < spec.regions; ++s)
+      builder.ibgpPair(wan.routeReflectors[r], wan.routeReflectors[s], false);
+
+  // --- external ISP peers -----------------------------------------------------
+  std::mt19937 rng(spec.seed);
+  size_t ispIndex = 0;
+  for (size_t r = 0; r < spec.regions; ++r) {
+    for (size_t b = 0; b < regionBorders[r].size(); ++b) {
+      const NameId border = regionBorders[r][b];
+      for (size_t e = 0; e < spec.ispsPerBorder; ++e) {
+        const Asn ispAsn = static_cast<Asn>(65000 + ispIndex);
+        const NameId isp = builder.addDevice(
+            "ISP-" + std::to_string(r) + "-" + std::to_string(b) + "-" +
+                std::to_string(e),
+            DeviceRole::kExternalPeer, kInvalidName, vendorBName, ispAsn);
+        wan.externals.push_back(isp);
+        wan.externalAsns.push_back(ispAsn);
+        builder.link(border, isp);
+        ++ispIndex;
+
+        // Session addresses: the /30 just allocated (last interface on each).
+        const Device* borderDevice = wan.topology.findDevice(border);
+        const Device* ispDevice = wan.topology.findDevice(isp);
+        const IpAddress borderAddr = borderDevice->interfaces.back().address;
+        const IpAddress ispAddr = ispDevice->interfaces.back().address;
+
+        // Border-side policies: filter bogons + tag region community in;
+        // advertise only DC aggregates out (explicit tail deny).
+        DeviceConfig& borderConfig = builder.config(border);
+        const NameId bogons = Names::id("BOGONS");
+        if (!borderConfig.prefixLists.contains(bogons)) {
+          PrefixList list;
+          list.name = bogons;
+          list.family = IpFamily::kV4;
+          list.entries.push_back({true, *Prefix::parse("0.0.0.0/8"), 8, 32});
+          list.entries.push_back({true, *Prefix::parse("127.0.0.0/8"), 8, 32});
+          list.entries.push_back({true, *Prefix::parse("192.168.0.0/16"), 16, 32});
+          borderConfig.prefixLists.emplace(bogons, std::move(list));
+        }
+        const NameId dcAgg = Names::id("DC-AGGREGATES");
+        if (!borderConfig.prefixLists.contains(dcAgg)) {
+          PrefixList list;
+          list.name = dcAgg;
+          list.family = IpFamily::kV4;
+          list.entries.push_back({true, *Prefix::parse("20.0.0.0/8"), 8, 24});
+          borderConfig.prefixLists.emplace(dcAgg, std::move(list));
+        }
+        const NameId ispIn = Names::id("ISP-IN-" + std::to_string(r));
+        if (!borderConfig.routePolicies.contains(ispIn)) {
+          RoutePolicy& policy = borderConfig.routePolicy(ispIn);
+          PolicyNode deny;
+          deny.sequence = 5;
+          deny.action = PolicyAction::kDeny;
+          deny.match.prefixList = bogons;
+          policy.upsertNode(deny);
+          PolicyNode permit;
+          permit.sequence = 10;
+          permit.action = PolicyAction::kPermit;
+          permit.sets.addCommunities.push_back(
+              Community(100, static_cast<uint16_t>(r)));
+          policy.upsertNode(permit);
+        }
+        const NameId ispOut = Names::id("ISP-OUT");
+        if (!borderConfig.routePolicies.contains(ispOut)) {
+          RoutePolicy& policy = borderConfig.routePolicy(ispOut);
+          PolicyNode permit;
+          permit.sequence = 10;
+          permit.action = PolicyAction::kPermit;
+          permit.match.prefixList = dcAgg;
+          policy.upsertNode(permit);
+          PolicyNode deny;  // Explicit tail deny (VSB-safe).
+          deny.sequence = 90;
+          deny.action = PolicyAction::kDeny;
+          policy.upsertNode(deny);
+        }
+        BgpNeighbor toIsp;
+        toIsp.peerAddress = ispAddr;
+        toIsp.remoteAs = ispAsn;
+        toIsp.importPolicy = ispIn;
+        toIsp.exportPolicy = ispOut;
+        borderConfig.bgp.neighbors.push_back(toIsp);
+        // Borders next-hop-self toward their RR is already implied by eBGP
+        // nexthop rewriting at the border; set NHS on the border's iBGP
+        // sessions so reflected routes stay resolvable.
+        for (BgpNeighbor& neighbor : borderConfig.bgp.neighbors)
+          if (neighbor.remoteAs == wan.wanAsn) neighbor.nextHopSelf = true;
+
+        DeviceConfig& ispConfig = builder.config(isp);
+        BgpNeighbor toBorder;
+        toBorder.peerAddress = borderAddr;
+        toBorder.remoteAs = wan.wanAsn;
+        ispConfig.bgp.neighbors.push_back(toBorder);
+      }
+    }
+  }
+
+  // --- DC gateways: aggregates + mgmt VRF + DCN cores -------------------------
+  size_t dcIndex = 0;
+  for (size_t r = 0; r < spec.regions; ++r) {
+    for (size_t d = 0; d < regionDcgws[r].size(); ++d) {
+      const NameId dcgw = regionDcgws[r][d];
+      DeviceConfig& dcgwConfig = builder.config(dcgw);
+      // Gateways set next-hop-self toward the WAN so DCN-learned (eBGP)
+      // routes stay resolvable after reflection.
+      for (BgpNeighbor& neighbor : dcgwConfig.bgp.neighbors)
+        if (neighbor.remoteAs == wan.wanAsn) neighbor.nextHopSelf = true;
+      // DC pool 20.<dcIndex>.0.0/16, aggregated summary-only.
+      AggregateConfig aggregate;
+      aggregate.prefix = Prefix(IpAddress::v4((20u << 24) |
+                                              (static_cast<uint32_t>(dcIndex) << 16)),
+                                16);
+      aggregate.summaryOnly = true;
+      dcgwConfig.bgp.aggregates.push_back(aggregate);
+      // A management VRF exercising the VRF/leaking machinery.
+      const NameId mgmt = Names::id("mgmt");
+      VrfConfig vrf;
+      vrf.name = mgmt;
+      vrf.importRouteTargets.push_back((100ULL << 32) | 1);
+      vrf.exportRouteTargets.push_back((100ULL << 32) | 1);
+      dcgwConfig.vrfs.emplace(mgmt, std::move(vrf));
+
+      // DCN core-layer routers (WAN+DCN runs): eBGP to the gateway. The
+      // gateway exports only the DC aggregate space downstream — DCN core
+      // layers do not carry the full WAN table.
+      const NameId dcnOut = Names::id("DCN-OUT");
+      if (spec.dcnCoresPerDc > 0 && !dcgwConfig.routePolicies.contains(dcnOut)) {
+        const NameId dcSpace = Names::id("DC-SPACE");
+        PrefixList list;
+        list.name = dcSpace;
+        list.family = IpFamily::kV4;
+        list.entries.push_back({true, *Prefix::parse("20.0.0.0/8"), 8, 32});
+        list.entries.push_back({true, *Prefix::parse("30.0.0.0/8"), 8, 32});
+        dcgwConfig.prefixLists.emplace(dcSpace, std::move(list));
+        RoutePolicy& policy = dcgwConfig.routePolicy(dcnOut);
+        PolicyNode permit;
+        permit.sequence = 10;
+        permit.action = PolicyAction::kPermit;
+        permit.match.prefixList = dcSpace;
+        policy.upsertNode(permit);
+        PolicyNode deny;
+        deny.sequence = 90;
+        deny.action = PolicyAction::kDeny;
+        policy.upsertNode(deny);
+      }
+      for (size_t k = 0; k < spec.dcnCoresPerDc; ++k) {
+        const Asn dcnAsn = static_cast<Asn>(64600 + dcIndex);
+        const NameId dcn = builder.addDevice(
+            "DCN-" + std::to_string(r) + "-" + std::to_string(d) + "-" +
+                std::to_string(k),
+            DeviceRole::kDcnCore, Names::id("igp-dcn-" + std::to_string(dcIndex)),
+            vendorAName, dcnAsn);
+        wan.dcnCores.push_back(dcn);
+        builder.link(dcgw, dcn);
+        const Device* dcgwDevice = wan.topology.findDevice(dcgw);
+        const Device* dcnDevice = wan.topology.findDevice(dcn);
+        const IpAddress dcgwAddr = dcgwDevice->interfaces.back().address;
+        const IpAddress dcnAddr = dcnDevice->interfaces.back().address;
+        BgpNeighbor toDcn;
+        toDcn.peerAddress = dcnAddr;
+        toDcn.remoteAs = dcnAsn;
+        toDcn.importPolicy = builder.passPolicy(dcgw);
+        toDcn.exportPolicy = dcnOut;
+        dcgwConfig.bgp.neighbors.push_back(toDcn);
+        DeviceConfig& dcnConfig = builder.config(dcn);
+        BgpNeighbor toGw;
+        toGw.peerAddress = dcgwAddr;
+        toGw.remoteAs = wan.wanAsn;
+        dcnConfig.bgp.neighbors.push_back(toGw);
+      }
+      ++dcIndex;
+    }
+  }
+  return wan;
+}
+
+std::string renderConfigs(const GeneratedWan& wan) {
+  std::string out;
+  for (const auto& [name, config] : wan.configs.devices) {
+    out += "### device " + Names::str(name) + "\n";
+    out += printDeviceConfig(config, wan.topology.findDevice(name));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hoyan

@@ -1,0 +1,67 @@
+// Synthetic WAN generator.
+//
+// Stands in for Alibaba's production WAN (see DESIGN.md substitutions): a
+// parameterised multi-region backbone with per-region route reflectors, core
+// routers, ISP-facing borders, and DC gateways; optionally core-layer DCN
+// routers per DC for WAN+DCN scale runs (Fig. 1 / Fig. 5(a)). Configurations
+// are emitted as vendor config *text* and run through the production parsing
+// path, so generation exercises the same code Hoyan's model builder uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/device_config.h"
+#include "proto/network_model.h"
+#include "topo/topology.h"
+
+namespace hoyan {
+
+struct WanSpec {
+  size_t regions = 4;
+  size_t coresPerRegion = 2;
+  size_t bordersPerRegion = 1;
+  size_t dcsPerRegion = 2;      // DC gateways per region.
+  size_t ispsPerBorder = 1;     // External ISP peers per border router.
+  size_t dcnCoresPerDc = 0;     // WAN+DCN: core-layer DCN routers per DC.
+  unsigned seed = 42;
+
+  size_t deviceCount() const {
+    return regions * (1 + coresPerRegion + bordersPerRegion + dcsPerRegion +
+                      bordersPerRegion * ispsPerBorder + dcsPerRegion * dcnCoresPerDc);
+  }
+};
+
+struct GeneratedWan {
+  Topology topology;
+  NetworkConfig configs;
+  WanSpec spec;
+  Asn wanAsn = 64512;
+
+  // Devices by role, in generation order.
+  std::vector<NameId> routeReflectors;
+  std::vector<NameId> cores;
+  std::vector<NameId> borders;
+  std::vector<NameId> dcGateways;
+  std::vector<NameId> externals;  // ISP peers.
+  std::vector<NameId> dcnCores;
+
+  // Per-external-peer ASN (parallel to `externals`).
+  std::vector<Asn> externalAsns;
+
+  // All internal (our-administration) devices.
+  std::vector<NameId> internalDevices() const;
+
+  NetworkModel buildModel() const { return NetworkModel::build(topology, configs); }
+};
+
+// Generates topology + configurations. Configurations are produced as text
+// (printDeviceConfig-compatible) and parsed back; parse errors would indicate
+// a generator/parser bug and are asserted empty in tests.
+GeneratedWan generateWan(const WanSpec& spec);
+
+// Renders every device's configuration text (for round-trip tests and the
+// quickstart example).
+std::string renderConfigs(const GeneratedWan& wan);
+
+}  // namespace hoyan

@@ -1,0 +1,183 @@
+#include "gen/workload_gen.h"
+
+#include <random>
+
+namespace hoyan {
+namespace {
+
+// ISP route pools: v4 from 100.0.0.0/8 onward, v6 from 2400::/16 onward.
+Prefix ispV4Prefix(size_t ispIndex, size_t n) {
+  // 100.<isp>.<n/256 % 256>.<n%256 * ...>/24 — /24s within 100.<isp>.0.0/16.
+  const uint32_t base = (100u << 24) | (static_cast<uint32_t>(ispIndex & 0x7f) << 16) |
+                        (static_cast<uint32_t>(n & 0xff) << 8);
+  // Overflow past 256 prefixes per ISP walks into the next /16 block.
+  const uint32_t overflow = static_cast<uint32_t>(n >> 8) << 16;
+  return Prefix(IpAddress::v4(base + (overflow << 7)), 24);
+}
+
+Prefix ispV6Prefix(size_t ispIndex, size_t n) {
+  // 2400:<isp>:<n>::/48.
+  const uint64_t hi = (0x2400ULL << 48) | ((ispIndex & 0xffff) << 32) |
+                      ((n & 0xffff) << 16);
+  return Prefix(IpAddress::v6(hi, 0), 48);
+}
+
+Prefix dcV4Prefix(size_t dcIndex, size_t n) {
+  // /24s inside 20.<dc>.0.0/16 (the DCGW aggregate pool).
+  const uint32_t base = (20u << 24) | (static_cast<uint32_t>(dcIndex & 0xff) << 16) |
+                        (static_cast<uint32_t>(n & 0xff) << 8);
+  return Prefix(IpAddress::v4(base), 24);
+}
+
+}  // namespace
+
+std::vector<InputRoute> generateInputRoutes(const GeneratedWan& wan,
+                                            const WorkloadSpec& spec) {
+  std::vector<InputRoute> out;
+  std::mt19937 rng(spec.seed);
+  std::uniform_int_distribution<int> pathLength(0, 3);
+  std::uniform_int_distribution<Asn> upstreamAsn(70000, 70031);
+  std::uniform_int_distribution<int> medDist(0, 3);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // --- ISP routes -------------------------------------------------------------
+  for (size_t i = 0; i < wan.externals.size(); ++i) {
+    const NameId isp = wan.externals[i];
+    const Device* ispDevice = wan.topology.findDevice(isp);
+    // Attribute groups: every `attrGroupSize` consecutive prefixes share one
+    // attribute combination (=> one route EC).
+    BgpAttributes groupAttrs;
+    for (size_t n = 0; n < spec.prefixesPerIsp; ++n) {
+      if (n % std::max<size_t>(spec.attrGroupSize, 1) == 0) {
+        groupAttrs = BgpAttributes{};
+        std::vector<Asn> path;
+        const int extra = pathLength(rng);
+        for (int h = 0; h < extra; ++h) path.push_back(upstreamAsn(rng));
+        groupAttrs.asPath = AsPath(path);
+        groupAttrs.origin = BgpOrigin::kIgp;
+        groupAttrs.med = static_cast<uint32_t>(medDist(rng) * 10);
+        groupAttrs.communities.insert(
+            Community(300, static_cast<uint16_t>(rng() % 8)));
+      }
+      InputRoute input;
+      input.device = isp;
+      input.route.prefix =
+          unit(rng) < spec.v6Share ? ispV6Prefix(i, n) : ispV4Prefix(i, n);
+      input.route.vrf = kInvalidName;
+      input.route.protocol = Protocol::kBgp;
+      input.route.attrs = groupAttrs;
+      input.route.nexthop = ispDevice->loopback;
+      input.route.nexthopDevice = isp;
+      out.push_back(std::move(input));
+      // The ISP's own ASN is prepended automatically on eBGP advertisement
+      // toward our border; attrs.asPath here is the upstream path behind it.
+      // Optionally announce the same prefix at another ISP (anycast-style
+      // competing inputs).
+      if (spec.ispPathsPerPrefix > 1 && wan.externals.size() > 1) {
+        for (size_t extra = 1; extra < spec.ispPathsPerPrefix; ++extra) {
+          const size_t other = (i + extra) % wan.externals.size();
+          if (other == i) continue;
+          InputRoute alt = out.back();
+          alt.device = wan.externals[other];
+          alt.route.nexthop = wan.topology.findDevice(alt.device)->loopback;
+          alt.route.nexthopDevice = alt.device;
+          out.push_back(std::move(alt));
+        }
+      }
+    }
+  }
+
+  // --- DC routes ---------------------------------------------------------------
+  for (size_t d = 0; d < wan.dcGateways.size(); ++d) {
+    const NameId dcgw = wan.dcGateways[d];
+    const Device* dcgwDevice = wan.topology.findDevice(dcgw);
+    for (size_t n = 0; n < spec.prefixesPerDc; ++n) {
+      InputRoute input;
+      input.device = dcgw;
+      input.route.prefix = dcV4Prefix(d, n);
+      input.route.vrf = kInvalidName;
+      input.route.protocol = Protocol::kBgp;
+      input.route.attrs.origin = BgpOrigin::kIgp;
+      input.route.attrs.communities.insert(
+          Community(200, static_cast<uint16_t>(d)));
+      input.route.attrs.localPref = 100;
+      input.route.nexthop = dcgwDevice->loopback;
+      input.route.nexthopDevice = dcgw;
+      out.push_back(std::move(input));
+    }
+  }
+
+  // --- DCN core routes (WAN+DCN runs) --------------------------------------------
+  for (size_t k = 0; k < wan.dcnCores.size(); ++k) {
+    const NameId dcn = wan.dcnCores[k];
+    const Device* dcnDevice = wan.topology.findDevice(dcn);
+    for (size_t n = 0; n < spec.prefixesPerDcnCore; ++n) {
+      InputRoute input;
+      input.device = dcn;
+      // Sequential /24 blocks inside 30.0.0.0/8 for DCN prefixes.
+      const uint32_t block =
+          static_cast<uint32_t>(k * spec.prefixesPerDcnCore + n) & 0xffffff;
+      input.route.prefix = Prefix(IpAddress::v4((30u << 24) | (block << 8)), 24);
+      input.route.vrf = kInvalidName;
+      input.route.protocol = Protocol::kBgp;
+      input.route.attrs.origin = BgpOrigin::kIgp;
+      input.route.attrs.communities.insert(
+          Community(210, static_cast<uint16_t>(k & 0xffff)));
+      input.route.nexthop = dcnDevice->loopback;
+      input.route.nexthopDevice = dcn;
+      out.push_back(std::move(input));
+    }
+  }
+  return out;
+}
+
+std::vector<Flow> generateFlows(const GeneratedWan& wan, const WorkloadSpec& spec,
+                                size_t flowCount) {
+  std::vector<Flow> out;
+  out.reserve(flowCount);
+  std::mt19937 rng(spec.seed * 31 + 5);
+
+  // Destination prefixes are the *announced* IPv4 prefixes: regenerate the
+  // deterministic input set (same wan + spec => identical inputs) and take
+  // every v4 prefix. Flows toward the v6 share would need v6 sources; the
+  // load benches focus on the v4 plane.
+  std::vector<Prefix> destinations;
+  for (const InputRoute& input : generateInputRoutes(wan, spec))
+    if (input.route.prefix.family() == IpFamily::kV4)
+      destinations.push_back(input.route.prefix);
+  if (destinations.empty() || wan.dcGateways.empty()) return out;
+
+  // Traffic locality, as in production: each destination is served from a
+  // small set of client sites (ingress devices are destination-affine), and
+  // a hot set of destinations carries most of the volume. This is what makes
+  // flow equivalence classes collapse by ~two orders of magnitude (§3.1).
+  const size_t hotCount = std::max<size_t>(destinations.size() / 32, 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<size_t> hotDst(0, hotCount - 1);
+  std::uniform_int_distribution<size_t> anyDst(0, destinations.size() - 1);
+  std::uniform_int_distribution<uint32_t> hostDist(2, 250);
+  std::uniform_int_distribution<uint16_t> portDist(1024, 65000);
+  for (size_t f = 0; f < flowCount; ++f) {
+    const bool hot = unit(rng) < 0.8;
+    const size_t dstIndex = hot ? hotDst(rng) : anyDst(rng);
+    // Destination-affine ingress: two candidate client sites per dst.
+    const size_t affinity = (dstIndex * 2654435761u + (rng() & 1)) %
+                            wan.dcGateways.size();
+    Flow flow;
+    flow.ingressDevice = wan.dcGateways[affinity];
+    flow.vrf = kInvalidName;
+    flow.src = IpAddress::v4((20u << 24) |
+                             (static_cast<uint32_t>(affinity & 0xff) << 16) |
+                             (hostDist(rng) << 8) | hostDist(rng));
+    flow.dst = IpAddress::v4(destinations[dstIndex].address().v4Value() + hostDist(rng));
+    flow.srcPort = portDist(rng);
+    flow.dstPort = static_cast<uint16_t>(80 + (f % 3) * 363);
+    flow.ipProtocol = 6;
+    // Rank-based power-law volume.
+    flow.volumeBps = 2e6 / static_cast<double>(1 + dstIndex);
+    out.push_back(flow);
+  }
+  return out;
+}
+
+}  // namespace hoyan

@@ -1,0 +1,43 @@
+// Input route/flow workload generation — the synthetic counterpart of
+// Hoyan's input-route/flow building services over monitored data (§2.2).
+#pragma once
+
+#include <vector>
+
+#include "gen/wan_gen.h"
+#include "net/flow.h"
+#include "net/route.h"
+
+namespace hoyan {
+
+struct WorkloadSpec {
+  // Routes: ISP-advertised prefixes injected at external peers, and DC
+  // prefixes originated at DC gateways. `attrGroupSize` prefixes share one
+  // attribute combination, which is what makes route equivalence classes
+  // collapse ~4x in production (§3.1).
+  size_t prefixesPerIsp = 64;
+  size_t prefixesPerDc = 32;
+  size_t attrGroupSize = 4;
+  size_t ispPathsPerPrefix = 1;  // >1 => same prefix from several ISPs.
+  // Flows: `flowsPerPrefix` 5-tuples per destination prefix (varying source
+  // hosts/ports), which is what makes flow ECs collapse ~100x.
+  size_t flowsPerPrefix = 8;
+  // Prefixes originated by each DCN core-layer router (WAN+DCN runs). Kept
+  // small: DCN cores add network *size*, not proportional route volume.
+  size_t prefixesPerDcnCore = 8;
+  // IPv6 share of ISP prefixes (the next-gen WAN is v6/SRv6 based).
+  double v6Share = 0.25;
+  unsigned seed = 7;
+};
+
+// Generates the input routes (at ISPs and DC gateways, plus DCN cores when
+// present). Deterministic for a given (wan, spec).
+std::vector<InputRoute> generateInputRoutes(const GeneratedWan& wan,
+                                            const WorkloadSpec& spec);
+
+// Generates input flows between DC prefixes and toward ISP prefixes, with
+// Zipf-like volumes, ingressing at DC gateways and borders.
+std::vector<Flow> generateFlows(const GeneratedWan& wan, const WorkloadSpec& spec,
+                                size_t flowCount);
+
+}  // namespace hoyan

@@ -1,0 +1,116 @@
+// BGP AS path with AS_SEQUENCE / AS_SET segments.
+//
+// AS_SET segments matter for the aggregation vendor-specific behaviours of
+// Table 5 ("common AS path prefix": when aggregating without as-set, whether
+// the common AS-path prefix of the contributors is kept).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hoyan {
+
+using Asn = uint32_t;
+
+class AsPath {
+ public:
+  enum class SegmentType : uint8_t { kSequence, kSet };
+
+  struct Segment {
+    SegmentType type = SegmentType::kSequence;
+    std::vector<Asn> asns;
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> sequence) {
+    if (!sequence.empty()) segments_.push_back({SegmentType::kSequence, std::move(sequence)});
+  }
+
+  bool empty() const { return segments_.empty(); }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  // Path length per the BGP decision process: an AS_SET counts as one hop.
+  size_t length() const {
+    size_t n = 0;
+    for (const Segment& s : segments_)
+      n += s.type == SegmentType::kSet ? 1 : s.asns.size();
+    return n;
+  }
+
+  // Prepends `asn` at the front of the path (route advertisement over eBGP).
+  void prepend(Asn asn) {
+    if (segments_.empty() || segments_.front().type != SegmentType::kSequence) {
+      segments_.insert(segments_.begin(), {SegmentType::kSequence, {asn}});
+    } else {
+      auto& seq = segments_.front().asns;
+      seq.insert(seq.begin(), asn);
+    }
+  }
+
+  // Appends an AS_SET segment (route aggregation with as-set).
+  void appendSet(std::vector<Asn> asns) {
+    segments_.push_back({SegmentType::kSet, std::move(asns)});
+  }
+
+  // True if `asn` appears anywhere in the path (AS-loop prevention).
+  bool contains(Asn asn) const {
+    for (const Segment& s : segments_)
+      for (const Asn a : s.asns)
+        if (a == asn) return true;
+    return false;
+  }
+
+  // The neighbouring AS the route was learned from (first ASN), or 0.
+  Asn firstAsn() const {
+    for (const Segment& s : segments_)
+      if (!s.asns.empty()) return s.asns.front();
+    return 0;
+  }
+  // The originating AS (last ASN), or 0.
+  Asn originAsn() const {
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it)
+      if (!it->asns.empty()) return it->asns.back();
+    return 0;
+  }
+
+  // Renders as "100 200 {300,400}" — the textual form route-policy AS-path
+  // regular expressions match against.
+  std::string str() const {
+    std::string out;
+    for (const Segment& s : segments_) {
+      if (!out.empty()) out += ' ';
+      if (s.type == SegmentType::kSet) {
+        out += '{';
+        for (size_t i = 0; i < s.asns.size(); ++i) {
+          if (i) out += ',';
+          out += std::to_string(s.asns[i]);
+        }
+        out += '}';
+      } else {
+        for (size_t i = 0; i < s.asns.size(); ++i) {
+          if (i) out += ' ';
+          out += std::to_string(s.asns[i]);
+        }
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+  size_t hashValue() const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Segment& s : segments_) {
+      h = (h ^ static_cast<size_t>(s.type)) * 0x100000001b3ULL;
+      for (const Asn a : s.asns) h = (h ^ a) * 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace hoyan

@@ -1,0 +1,24 @@
+#include "net/community.h"
+
+#include <charconv>
+
+namespace hoyan {
+
+std::optional<Community> Community::parse(std::string_view text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto parsePart = [](std::string_view part) -> std::optional<uint16_t> {
+    if (part.empty()) return std::nullopt;
+    uint32_t value = 0;
+    const auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc() || ptr != part.data() + part.size() || value > 0xffff)
+      return std::nullopt;
+    return static_cast<uint16_t>(value);
+  };
+  const auto asn = parsePart(text.substr(0, colon));
+  const auto value = parsePart(text.substr(colon + 1));
+  if (!asn || !value) return std::nullopt;
+  return Community(*asn, *value);
+}
+
+}  // namespace hoyan

@@ -1,0 +1,85 @@
+// BGP community values ("asn:value" pairs packed into 32 bits).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hoyan {
+
+class Community {
+ public:
+  constexpr Community() = default;
+  constexpr Community(uint16_t asn, uint16_t value)
+      : raw_(static_cast<uint32_t>(asn) << 16 | value) {}
+  constexpr explicit Community(uint32_t raw) : raw_(raw) {}
+
+  // Parses "asn:value".
+  static std::optional<Community> parse(std::string_view text);
+
+  constexpr uint16_t asn() const { return static_cast<uint16_t>(raw_ >> 16); }
+  constexpr uint16_t value() const { return static_cast<uint16_t>(raw_); }
+  constexpr uint32_t raw() const { return raw_; }
+
+  std::string str() const { return std::to_string(asn()) + ":" + std::to_string(value()); }
+
+  friend constexpr auto operator<=>(const Community&, const Community&) = default;
+
+ private:
+  uint32_t raw_ = 0;
+};
+
+// An always-sorted, duplicate-free set of communities. Sorted storage gives
+// cheap equality (needed for input-route equivalence classes, §3.1) and
+// deterministic rendering.
+class CommunitySet {
+ public:
+  CommunitySet() = default;
+  CommunitySet(std::initializer_list<Community> values) {
+    for (const Community c : values) insert(c);
+  }
+
+  void insert(Community c) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), c);
+    if (it == values_.end() || *it != c) values_.insert(it, c);
+  }
+  void erase(Community c) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), c);
+    if (it != values_.end() && *it == c) values_.erase(it);
+  }
+  bool contains(Community c) const {
+    return std::binary_search(values_.begin(), values_.end(), c);
+  }
+  void clear() { values_.clear(); }
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  // Renders as "100:1 200:2" (space separated, sorted).
+  std::string str() const {
+    std::string out;
+    for (const Community c : values_) {
+      if (!out.empty()) out += ' ';
+      out += c.str();
+    }
+    return out;
+  }
+
+  friend bool operator==(const CommunitySet&, const CommunitySet&) = default;
+
+  size_t hashValue() const {
+    size_t h = 0x811c9dc5;
+    for (const Community c : values_) h = (h ^ c.raw()) * 0x01000193;
+    return h;
+  }
+
+ private:
+  std::vector<Community> values_;
+};
+
+}  // namespace hoyan

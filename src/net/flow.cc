@@ -1,0 +1,49 @@
+#include "net/flow.h"
+
+#include <algorithm>
+
+namespace hoyan {
+
+std::string flowOutcomeName(FlowOutcome o) {
+  switch (o) {
+    case FlowOutcome::kDelivered: return "delivered";
+    case FlowOutcome::kExited: return "exited";
+    case FlowOutcome::kBlackholed: return "blackholed";
+    case FlowOutcome::kDeniedAcl: return "denied-acl";
+    case FlowOutcome::kLooped: return "looped";
+  }
+  return "?";
+}
+
+std::vector<NameId> FlowPath::devicesVisited() const {
+  std::vector<NameId> out;
+  const auto addUnique = [&out](NameId d) {
+    if (d != kInvalidName && std::find(out.begin(), out.end(), d) == out.end())
+      out.push_back(d);
+  };
+  for (const FlowHop& hop : hops) {
+    addUnique(hop.device);
+    addUnique(hop.nextDevice);
+  }
+  return out;
+}
+
+bool FlowPath::usesLink(NameId a, NameId b) const {
+  for (const FlowHop& hop : hops)
+    if (hop.device == a && hop.nextDevice == b) return true;
+  return false;
+}
+
+std::string FlowPath::str() const {
+  std::string out = flow.str() + " => " + flowOutcomeName(outcome) + " [";
+  for (size_t i = 0; i < hops.size(); ++i) {
+    if (i) out += ", ";
+    out += Names::str(hops[i].device);
+    out += "->";
+    out += hops[i].nextDevice == kInvalidName ? "(end)" : Names::str(hops[i].nextDevice);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace hoyan

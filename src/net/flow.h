@@ -1,0 +1,67 @@
+// Traffic flows — the unit of data-plane (traffic) simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/names.h"
+
+namespace hoyan {
+
+// A monitored 5-tuple flow with its ingress device and traffic volume, as
+// produced by the input-flow building service from NetFlow/sFlow data (§2.2).
+struct Flow {
+  IpAddress src;
+  IpAddress dst;
+  uint16_t srcPort = 0;
+  uint16_t dstPort = 0;
+  uint8_t ipProtocol = 6;  // TCP by default.
+  NameId ingressDevice = kInvalidName;
+  NameId vrf = kInvalidName;
+  double volumeBps = 0;  // Bits per second averaged over the report window.
+
+  std::string str() const {
+    return src.str() + ":" + std::to_string(srcPort) + " -> " + dst.str() + ":" +
+           std::to_string(dstPort) + " proto=" + std::to_string(ipProtocol) +
+           " @" + (ingressDevice == kInvalidName ? "?" : Names::str(ingressDevice)) +
+           " vol=" + std::to_string(volumeBps);
+  }
+
+  friend bool operator==(const Flow&, const Flow&) = default;
+};
+
+// One hop of a simulated forwarding path.
+struct FlowHop {
+  NameId device = kInvalidName;
+  NameId nextDevice = kInvalidName;
+  Prefix matchedPrefix;       // LPM result at `device` (undefined if dropped).
+  double volumeShareBps = 0;  // Volume carried on this hop after ECMP splits.
+};
+
+enum class FlowOutcome : uint8_t {
+  kDelivered,   // Reached a device originating the destination prefix.
+  kExited,      // Left the network via an external peer.
+  kBlackholed,  // No matching route at some hop.
+  kDeniedAcl,   // Dropped by an ACL.
+  kLooped,      // Forwarding loop detected.
+};
+
+std::string flowOutcomeName(FlowOutcome o);
+
+// The simulated forwarding result of one flow: a DAG of hops (ECMP may fan
+// out) flattened into an edge list, plus the terminal outcome.
+struct FlowPath {
+  Flow flow;
+  std::vector<FlowHop> hops;  // Edge list in BFS order from the ingress.
+  FlowOutcome outcome = FlowOutcome::kDelivered;
+
+  // Devices traversed, in first-visit order.
+  std::vector<NameId> devicesVisited() const;
+  // True if the path uses the directed link a->b.
+  bool usesLink(NameId a, NameId b) const;
+  std::string str() const;
+};
+
+}  // namespace hoyan

@@ -1,0 +1,58 @@
+// Process-wide string interning.
+//
+// Router, VRF, interface, policy, and vendor names appear on millions of
+// routes; interning them to 32-bit ids keeps routes compact and makes
+// equality/hashing O(1). The table is append-only and guarded by a shared
+// mutex so distributed-simulation worker threads can resolve names
+// concurrently.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hoyan {
+
+using NameId = uint32_t;
+inline constexpr NameId kInvalidName = 0xffffffffu;
+
+class Names {
+ public:
+  // Returns the id for `name`, creating one if needed.
+  static NameId id(std::string_view name) {
+    Names& table = instance();
+    {
+      std::shared_lock lock(table.mutex_);
+      const auto it = table.ids_.find(std::string(name));
+      if (it != table.ids_.end()) return it->second;
+    }
+    std::unique_lock lock(table.mutex_);
+    const auto [it, inserted] =
+        table.ids_.emplace(std::string(name), static_cast<NameId>(table.strings_.size()));
+    if (inserted) table.strings_.push_back(it->first);
+    return it->second;
+  }
+
+  // Returns the string for a previously created id.
+  static const std::string& str(NameId id) {
+    Names& table = instance();
+    std::shared_lock lock(table.mutex_);
+    return table.strings_.at(id);
+  }
+
+ private:
+  static Names& instance() {
+    static Names table;
+    return table;
+  }
+
+  std::shared_mutex mutex_;
+  std::unordered_map<std::string, NameId> ids_;
+  std::vector<std::string> strings_;  // Indexed by NameId.
+};
+
+}  // namespace hoyan

@@ -1,0 +1,37 @@
+#include "proto/address_index.h"
+
+namespace hoyan {
+
+AddressIndex AddressIndex::build(const Topology& topology) {
+  AddressIndex index;
+  for (const auto& [name, device] : topology.devices()) {
+    index.exact_.emplace(device.loopback, name);
+    const Prefix loopbackHost(device.loopback,
+                              static_cast<uint8_t>(device.loopback.width()));
+    (loopbackHost.family() == IpFamily::kV4 ? index.subnetsV4_ : index.subnetsV6_)
+        .insert(loopbackHost, name);
+    for (const Interface& itf : device.interfaces) {
+      index.exact_.emplace(itf.address, name);
+      const Prefix subnet = itf.subnet();
+      (subnet.family() == IpFamily::kV4 ? index.subnetsV4_ : index.subnetsV6_)
+          .insert(subnet, name);
+    }
+  }
+  return index;
+}
+
+std::optional<NameId> AddressIndex::exactOwner(const IpAddress& address) const {
+  const auto it = exact_.find(address);
+  if (it == exact_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NameId> AddressIndex::owner(const IpAddress& address) const {
+  if (const auto exact = exactOwner(address)) return exact;
+  const auto& trie = address.isV4() ? subnetsV4_ : subnetsV6_;
+  const auto match = trie.longestMatch(address);
+  if (!match) return std::nullopt;
+  return *match->value;
+}
+
+}  // namespace hoyan

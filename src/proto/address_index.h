@@ -1,0 +1,31 @@
+// Address-to-device ownership index for nexthop and BGP-peer resolution.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/prefix_trie.h"
+#include "topo/topology.h"
+
+namespace hoyan {
+
+// Maps addresses to the devices owning them (loopbacks, interface addresses,
+// interface subnets).
+class AddressIndex {
+ public:
+  AddressIndex() = default;
+  static AddressIndex build(const Topology& topology);
+
+  // The device owning exactly this address (loopback or interface address).
+  std::optional<NameId> exactOwner(const IpAddress& address) const;
+  // The device whose loopback/interface subnet covers the address (exact
+  // address owners win over subnet owners).
+  std::optional<NameId> owner(const IpAddress& address) const;
+
+ private:
+  std::unordered_map<IpAddress, NameId> exact_;
+  PrefixTrie<NameId> subnetsV4_;
+  PrefixTrie<NameId> subnetsV6_;
+};
+
+}  // namespace hoyan

@@ -1,0 +1,61 @@
+// BGP session derivation and the best-path decision process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "config/device_config.h"
+#include "config/vendor.h"
+#include "net/route.h"
+#include "proto/address_index.h"
+#include "proto/isis.h"
+#include "topo/topology.h"
+
+namespace hoyan {
+
+// One direction of an established BGP session, fully resolved: peer device
+// identified, peer-group options folded in (honouring the inheriting-views
+// VSB), session validity checked (remote-as must match the peer's ASN —
+// mismatches are a detectable change risk).
+struct BgpSession {
+  NameId local = kInvalidName;
+  NameId peer = kInvalidName;
+  IpAddress peerAddress;     // As configured on `local`.
+  IpAddress localAddress;    // The address the peer dials (for nexthop-self).
+  NameId vrf = kInvalidName;
+  bool ebgp = false;
+  Asn localAsn = 0;
+  Asn peerAsn = 0;
+  std::optional<NameId> importPolicy;  // Applied on routes received by `local`.
+  std::optional<NameId> exportPolicy;  // Applied on routes sent by `local`.
+  bool routeReflectorClient = false;   // Peer is `local`'s RR client.
+  bool nextHopSelf = false;
+  bool addPathSend = false;
+};
+
+// Derives all established sessions of the network. A session exists when a
+// neighbour statement on one device resolves (via interface subnets or
+// loopbacks) to an active device whose ASN matches the configured remote-as,
+// and neither side is shut down (nor isolated on a session-shutdown-isolation
+// vendor). `problems` (optional) collects human-readable reasons for
+// half-configured or mismatched sessions.
+std::vector<BgpSession> deriveBgpSessions(const Topology& topology,
+                                          const NetworkConfig& configs,
+                                          const AddressIndex& addresses,
+                                          const IgpState& igp,
+                                          std::vector<std::string>* problems = nullptr);
+
+// The BGP decision process. Returns true when `a` is strictly preferred over
+// `b`. `medComparableOnly` keeps the standard rule of comparing MED only for
+// routes from the same neighbouring AS. Ties broken by learnedFrom (stands in
+// for router-id) so selection is deterministic.
+bool bgpPreferred(const Route& a, const Route& b);
+
+// Ranks the BGP (and other-protocol) routes of one prefix: sorts `routes`
+// best-first and assigns RouteType kBest / kEcmp / kAlternate. Routes of
+// lower admin distance win outright; among equal-admin BGP routes the
+// decision process applies, with ECMP for routes equal through IGP cost.
+void selectBestRoutes(std::vector<Route>& routes);
+
+}  // namespace hoyan

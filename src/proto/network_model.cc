@@ -1,0 +1,37 @@
+#include "proto/network_model.h"
+
+namespace hoyan {
+
+NetworkModel NetworkModel::build(Topology topology, NetworkConfig configs) {
+  NetworkModel model;
+  model.topology = std::move(topology);
+  model.configs = std::move(configs);
+  model.rebuildDerived();
+  return model;
+}
+
+void NetworkModel::rebuildDerived() {
+  addresses = AddressIndex::build(topology);
+  igp = IgpState::compute(topology);
+  sessionProblems.clear();
+  sessions = deriveBgpSessions(topology, configs, addresses, igp, &sessionProblems);
+  sessionsByDevice.clear();
+  for (size_t i = 0; i < sessions.size(); ++i)
+    sessionsByDevice[sessions[i].local].push_back(i);
+}
+
+const VendorProfile& NetworkModel::vendorOf(NameId device) const {
+  const DeviceConfig* config = configs.findDevice(device);
+  return vendorProfile(config ? config->vendor : kInvalidName);
+}
+
+const SrPolicyConfig* NetworkModel::srPolicyFor(NameId device,
+                                                const IpAddress& nexthop) const {
+  const DeviceConfig* config = configs.findDevice(device);
+  if (!config) return nullptr;
+  for (const SrPolicyConfig& policy : config->srPolicies)
+    if (policy.endpoint == nexthop) return &policy;
+  return nullptr;
+}
+
+}  // namespace hoyan

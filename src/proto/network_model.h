@@ -1,0 +1,46 @@
+// The built network model: topology + parsed configs + derived state
+// (address ownership index, IS-IS SPF, BGP sessions, SR tunnel resolution).
+//
+// This is what the network-model building service produces in Hoyan's daily
+// pre-processing phase (§2.2); change verification clones it, applies the
+// change plan incrementally, and rebuilds only the derived state.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "config/device_config.h"
+#include "config/vendor.h"
+#include "proto/address_index.h"
+#include "proto/bgp.h"
+#include "proto/isis.h"
+#include "topo/topology.h"
+
+namespace hoyan {
+
+struct NetworkModel {
+  Topology topology;
+  NetworkConfig configs;
+
+  // Derived state (valid after build()/rebuildDerived()).
+  AddressIndex addresses;
+  IgpState igp;
+  std::vector<BgpSession> sessions;
+  std::vector<std::string> sessionProblems;
+  // Indices into `sessions` whose `local` is the key device.
+  std::unordered_map<NameId, std::vector<size_t>> sessionsByDevice;
+
+  static NetworkModel build(Topology topology, NetworkConfig configs);
+
+  // Recomputes the derived state after topology/config mutation.
+  void rebuildDerived();
+
+  const VendorProfile& vendorOf(NameId device) const;
+
+  // Resolves the SR policy (if any) on `device` steering traffic to
+  // `nexthop`; nullptr when no policy endpoint matches.
+  const SrPolicyConfig* srPolicyFor(NameId device, const IpAddress& nexthop) const;
+};
+
+}  // namespace hoyan

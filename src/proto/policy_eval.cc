@@ -1,0 +1,176 @@
+#include "proto/policy_eval.h"
+
+#include <algorithm>
+#include <regex>
+
+namespace hoyan {
+namespace {
+
+Protocolish toProtocolish(Protocol p) {
+  switch (p) {
+    case Protocol::kDirect: return Protocolish::kDirect;
+    case Protocol::kStatic: return Protocolish::kStatic;
+    case Protocol::kIsis: return Protocolish::kIsis;
+    case Protocol::kBgp: return Protocolish::kBgp;
+    case Protocol::kAggregate: return Protocolish::kAggregate;
+  }
+  return Protocolish::kBgp;
+}
+
+bool prefixListMatches(const PolicyContext& context, NameId listName, const Route& route,
+                       std::string& reason) {
+  const PrefixList* list = context.device->findPrefixList(listName);
+  if (!list || list->entries.empty()) {
+    // Table 5 "undefined policy filter".
+    reason = "prefix-list " + Names::str(listName) + " undefined -> " +
+             (context.vendor->undefinedFilterMatchesAll ? "match-all" : "match-none");
+    return context.vendor->undefinedFilterMatchesAll;
+  }
+  // §6.1(b) VSB: an `ip-prefix` (IPv4) list matched against an IPv6 route.
+  if (list->family == IpFamily::kV4 && route.prefix.family() == IpFamily::kV6) {
+    if (context.vendor->ipv4PrefixListPermitsAllV6) {
+      reason = "ip-prefix vs IPv6 route -> vendor permits all IPv6";
+      return true;
+    }
+    reason = "ip-prefix vs IPv6 route -> no match";
+    return false;
+  }
+  const bool matched = list->permits(route.prefix);
+  reason = "prefix-list " + Names::str(listName) + (matched ? " matched" : " not matched");
+  return matched;
+}
+
+bool communityListMatches(const PolicyContext& context, NameId listName, const Route& route,
+                          std::string& reason) {
+  const CommunityList* list = context.device->findCommunityList(listName);
+  if (!list || list->entries.empty()) {
+    reason = "community-list " + Names::str(listName) + " undefined";
+    return context.vendor->undefinedFilterMatchesAll;
+  }
+  const bool matched = list->permits(route.attrs.communities);
+  reason = "community-list " + Names::str(listName) + (matched ? " matched" : " not matched");
+  return matched;
+}
+
+bool asPathListMatches(const PolicyContext& context, NameId listName, const Route& route,
+                       std::string& reason) {
+  const AsPathList* list = context.device->findAsPathList(listName);
+  if (!list || list->entries.empty()) {
+    reason = "as-path-list " + Names::str(listName) + " undefined";
+    return context.vendor->undefinedFilterMatchesAll;
+  }
+  for (const AsPathListEntry& entry : list->entries) {
+    if (asPathMatches(route.attrs.asPath, entry.regex)) {
+      reason = "as-path-list " + Names::str(listName) + " entry \"" + entry.regex + "\"";
+      return entry.permit;
+    }
+  }
+  reason = "as-path-list " + Names::str(listName) + " no entry matched";
+  return false;
+}
+
+}  // namespace
+
+bool asPathMatches(const AsPath& path, const std::string& pattern) {
+  // Translate vendor-style `_` (boundary: start, end, or space) into a
+  // std::regex alternation; everything else passes through as ECMAScript
+  // regex syntax.
+  std::string translated;
+  translated.reserve(pattern.size() + 16);
+  for (const char c : pattern) {
+    if (c == '_')
+      translated += "(^| |$)";
+    else
+      translated += c;
+  }
+  try {
+    const std::regex re(translated);
+    return std::regex_search(path.str(), re);
+  } catch (const std::regex_error&) {
+    return false;  // An invalid pattern matches nothing.
+  }
+}
+
+bool matchesNode(const PolicyContext& context, const PolicyMatch& match, const Route& route) {
+  std::string reason;
+  if (match.prefixList && !prefixListMatches(context, *match.prefixList, route, reason))
+    return false;
+  if (match.communityList &&
+      !communityListMatches(context, *match.communityList, route, reason))
+    return false;
+  if (match.asPathList && !asPathListMatches(context, *match.asPathList, route, reason))
+    return false;
+  if (match.nexthop && !(route.nexthop == *match.nexthop)) return false;
+  if (match.protocol && *match.protocol != toProtocolish(route.protocol)) return false;
+  return true;
+}
+
+void applySets(const PolicyContext& context, const PolicySets& sets, Route& route) {
+  if (sets.clearCommunities) route.attrs.communities.clear();
+  for (const Community c : sets.deleteCommunities) route.attrs.communities.erase(c);
+  for (const Community c : sets.addCommunities) route.attrs.communities.insert(c);
+  if (sets.localPref) route.attrs.localPref = *sets.localPref;
+  if (sets.med) route.attrs.med = *sets.med;
+  if (sets.weight) route.attrs.weight = *sets.weight;
+  if (sets.nexthop) route.nexthop = *sets.nexthop;
+  if (sets.overwriteAsPath) {
+    route.attrs.asPath = AsPath(*sets.overwriteAsPath);
+    // Table 5 "adding own ASN": some vendors re-insert the device's ASN in
+    // front of an overwritten path.
+    if (context.vendor->addOwnAsnAfterOverwrite && context.localAsn != 0)
+      route.attrs.asPath.prepend(context.localAsn);
+  }
+  if (sets.prepend) {
+    for (uint32_t i = 0; i < sets.prepend->second; ++i)
+      route.attrs.asPath.prepend(sets.prepend->first);
+  }
+}
+
+PolicyResult evaluatePolicy(const PolicyContext& context, std::optional<NameId> policyName,
+                            const Route& route) {
+  PolicyResult result;
+  result.route = route;
+  if (!policyName) {
+    // Table 5 "missing route policy".
+    result.permitted = context.vendor->acceptWhenNoPolicy;
+    result.reason = result.permitted ? "no policy -> accept" : "no policy -> reject";
+    return result;
+  }
+  const RoutePolicy* policy = context.device->findRoutePolicy(*policyName);
+  if (!policy || policy->nodes.empty()) {
+    // Table 5 "undefined route policy".
+    result.permitted = context.vendor->acceptWhenPolicyUndefined;
+    result.reason = "policy " + Names::str(*policyName) + " undefined -> " +
+                    (result.permitted ? "accept" : "reject");
+    return result;
+  }
+  for (const PolicyNode& node : policy->nodes) {
+    if (!matchesNode(context, node.match, route)) continue;
+    result.matchedNode = node.sequence;
+    bool permit = false;
+    switch (node.action) {
+      case PolicyAction::kPermit:
+        permit = true;
+        break;
+      case PolicyAction::kDeny:
+        permit = false;
+        break;
+      case PolicyAction::kUnspecified:
+        // Table 5 "no explicit permit/deny".
+        permit = context.vendor->nodeWithoutActionPermits;
+        break;
+    }
+    result.permitted = permit;
+    result.reason = "policy " + Names::str(*policyName) + " node " +
+                    std::to_string(node.sequence) + (permit ? " permit" : " deny");
+    if (permit) applySets(context, node.sets, result.route);
+    return result;
+  }
+  // Table 5 "default route policy": no node matched.
+  result.permitted = context.vendor->acceptWhenNoNodeMatches;
+  result.reason = "policy " + Names::str(*policyName) + " fell through -> " +
+                  (result.permitted ? "accept" : "reject");
+  return result;
+}
+
+}  // namespace hoyan

@@ -1,0 +1,52 @@
+// Route-policy evaluation engine with vendor-specific behaviour semantics.
+//
+// Every decision point the Table-5 VSB catalogue touches goes through here:
+// missing/undefined/defaulted policies, undefined filters, actionless nodes,
+// the ip-prefix-vs-IPv6 mismatch, AS-path overwrite + own-ASN insertion. The
+// evaluator also produces an explanation trace used by RCL counter-examples
+// and the root-cause-analysis workflow.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/device_config.h"
+#include "config/vendor.h"
+#include "net/route.h"
+
+namespace hoyan {
+
+struct PolicyContext {
+  const DeviceConfig* device = nullptr;   // Filters are resolved on this device.
+  const VendorProfile* vendor = nullptr;  // VSB knobs.
+  Asn localAsn = 0;                       // For own-ASN insertion after overwrite.
+};
+
+struct PolicyResult {
+  bool permitted = false;
+  Route route;                    // The (possibly rewritten) route when permitted.
+  std::optional<uint32_t> matchedNode;  // Sequence of the node that decided.
+  std::string reason;             // Human-readable decision trace.
+};
+
+// Evaluates whether `route` passes the policy named `policyName` on the
+// context device and applies its attribute rewrites. `policyName` == nullopt
+// means no policy is configured on this session direction.
+PolicyResult evaluatePolicy(const PolicyContext& context,
+                            std::optional<NameId> policyName, const Route& route);
+
+// Evaluates a single match clause set against a route (exposed for tests and
+// for PBR/redistribution which reuse clause matching).
+bool matchesNode(const PolicyContext& context, const PolicyMatch& match, const Route& route);
+
+// Applies the attribute rewrites of a node to a route (exposed for tests).
+void applySets(const PolicyContext& context, const PolicySets& sets, Route& route);
+
+// AS-path regular-expression matching. The paper notes Hoyan's early AS-path
+// regex implementation was flawed (Table 4, "implementation bugs"); this one
+// translates vendor-style anchors (`_` = boundary) to std::regex and matches
+// against the canonical rendering of the path.
+bool asPathMatches(const AsPath& path, const std::string& pattern);
+
+}  // namespace hoyan

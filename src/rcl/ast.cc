@@ -1,0 +1,183 @@
+#include "rcl/ast.h"
+
+#include <regex>
+
+namespace hoyan::rcl {
+
+std::string compareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+  }
+  return "?";
+}
+
+bool evalCompare(CompareOp op, const Scalar& a, const Scalar& b) {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return !(a == b);
+    case CompareOp::kGt: return b < a;
+    case CompareOp::kGe: return !(a < b);
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return !(b < a);
+  }
+  return false;
+}
+
+bool Predicate::eval(const RibRow& row) const {
+  switch (kind) {
+    case Kind::kFieldCompare:
+      return evalCompare(op, row.fieldValue(field), value);
+    case Kind::kContains:
+      return row.setFieldContains(field, value);
+    case Kind::kInSet:
+      return valueSet.contains(row.fieldValue(field));
+    case Kind::kMatches: {
+      try {
+        const std::regex re(regex);
+        return std::regex_search(row.fieldValue(field).render(), re);
+      } catch (const std::regex_error&) {
+        return false;
+      }
+    }
+    case Kind::kAnd: return left->eval(row) && right->eval(row);
+    case Kind::kOr: return left->eval(row) || right->eval(row);
+    case Kind::kImply: return !left->eval(row) || right->eval(row);
+    case Kind::kNot: return !left->eval(row);
+  }
+  return false;
+}
+
+std::string Predicate::str() const {
+  switch (kind) {
+    case Kind::kFieldCompare:
+      return fieldName(field) + " " + compareOpName(op) + " " + value.render();
+    case Kind::kContains:
+      return fieldName(field) + " contains " + value.render();
+    case Kind::kInSet:
+      return fieldName(field) + " in " + valueSet.render();
+    case Kind::kMatches:
+      return fieldName(field) + " matches \"" + regex + "\"";
+    case Kind::kAnd: return "(" + left->str() + " and " + right->str() + ")";
+    case Kind::kOr: return "(" + left->str() + " or " + right->str() + ")";
+    case Kind::kImply: return "(" + left->str() + " imply " + right->str() + ")";
+    case Kind::kNot: return "not (" + left->str() + ")";
+  }
+  return "?";
+}
+
+size_t Predicate::internalNodes() const {
+  switch (kind) {
+    case Kind::kFieldCompare:
+    case Kind::kContains:
+    case Kind::kInSet:
+    case Kind::kMatches:
+      return 1;  // The predicate operator node itself (leaves are operands).
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kImply:
+      return 1 + left->internalNodes() + right->internalNodes();
+    case Kind::kNot:
+      return 1 + left->internalNodes();
+  }
+  return 1;
+}
+
+std::string Transform::str() const {
+  switch (kind) {
+    case Kind::kPre: return "PRE";
+    case Kind::kPost: return "POST";
+    case Kind::kFilter:
+      return inner->str() + " || (" + predicate->str() + ")";
+    case Kind::kConcat:
+      return "(" + inner->str() + " ++ " + right->str() + ")";
+  }
+  return "?";
+}
+
+size_t Transform::internalNodes() const {
+  switch (kind) {
+    case Kind::kPre:
+    case Kind::kPost:
+      return 0;  // Leaf selectors.
+    case Kind::kFilter:
+      return 1 + inner->internalNodes() + predicate->internalNodes();
+    case Kind::kConcat:
+      return 1 + inner->internalNodes() + right->internalNodes();
+  }
+  return 0;
+}
+
+std::string Evaluation::str() const {
+  switch (kind) {
+    case Kind::kLiteral: return literal.render();
+    case Kind::kAggregate: {
+      std::string funcText;
+      switch (func) {
+        case AggFunc::kCount: funcText = "count()"; break;
+        case AggFunc::kDistCnt: funcText = "distCnt(" + fieldName(field) + ")"; break;
+        case AggFunc::kDistVals: funcText = "distVals(" + fieldName(field) + ")"; break;
+      }
+      return transform->str() + " |> " + funcText;
+    }
+    case Kind::kArithmetic:
+      return "(" + left->str() + " " + arithOp + " " + right->str() + ")";
+  }
+  return "?";
+}
+
+size_t Evaluation::internalNodes() const {
+  switch (kind) {
+    case Kind::kLiteral: return 0;
+    case Kind::kAggregate: return 1 + transform->internalNodes();
+    case Kind::kArithmetic: return 1 + left->internalNodes() + right->internalNodes();
+  }
+  return 0;
+}
+
+std::string Intent::str() const {
+  switch (kind) {
+    case Kind::kRibCompare:
+      return transformLeft->str() + (ribEqual ? " = " : " != ") + transformRight->str();
+    case Kind::kEvalCompare:
+      return evalLeft->str() + " " + compareOpName(op) + " " + evalRight->str();
+    case Kind::kGuarded:
+      return guard->str() + " => " + left->str();
+    case Kind::kForall: {
+      std::string out = "forall " + fieldName(forallField);
+      if (forallValues) out += " in " + forallValues->render();
+      return out + ": " + left->str();
+    }
+    case Kind::kAnd: return "(" + left->str() + " and " + right->str() + ")";
+    case Kind::kOr: return "(" + left->str() + " or " + right->str() + ")";
+    case Kind::kImply: return "(" + left->str() + " imply " + right->str() + ")";
+    case Kind::kNot: return "not (" + left->str() + ")";
+  }
+  return "?";
+}
+
+size_t Intent::internalNodes() const {
+  switch (kind) {
+    case Kind::kRibCompare:
+      return 1 + transformLeft->internalNodes() + transformRight->internalNodes();
+    case Kind::kEvalCompare:
+      return 1 + evalLeft->internalNodes() + evalRight->internalNodes();
+    case Kind::kGuarded:
+      return 1 + guard->internalNodes() + left->internalNodes();
+    case Kind::kForall:
+      return 1 + left->internalNodes();
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kImply:
+      return 1 + left->internalNodes() + right->internalNodes();
+    case Kind::kNot:
+      return 1 + left->internalNodes();
+  }
+  return 1;
+}
+
+}  // namespace hoyan::rcl

@@ -1,0 +1,168 @@
+#include "rcl/global_rib.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hoyan::rcl {
+
+std::optional<Field> fieldByName(const std::string& name) {
+  static const std::map<std::string, Field> kFields = {
+      {"device", Field::kDevice},         {"vrf", Field::kVrf},
+      {"prefix", Field::kPrefix},         {"nexthop", Field::kNexthop},
+      {"localPref", Field::kLocalPref},   {"med", Field::kMed},
+      {"weight", Field::kWeight},         {"igpCost", Field::kIgpCost},
+      {"communities", Field::kCommunities}, {"aspath", Field::kAsPath},
+      {"routeType", Field::kRouteType},   {"protocol", Field::kProtocol},
+      {"origin", Field::kOrigin},
+  };
+  const auto it = kFields.find(name);
+  if (it == kFields.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string fieldName(Field field) {
+  switch (field) {
+    case Field::kDevice: return "device";
+    case Field::kVrf: return "vrf";
+    case Field::kPrefix: return "prefix";
+    case Field::kNexthop: return "nexthop";
+    case Field::kLocalPref: return "localPref";
+    case Field::kMed: return "med";
+    case Field::kWeight: return "weight";
+    case Field::kIgpCost: return "igpCost";
+    case Field::kCommunities: return "communities";
+    case Field::kAsPath: return "aspath";
+    case Field::kRouteType: return "routeType";
+    case Field::kProtocol: return "protocol";
+    case Field::kOrigin: return "origin";
+  }
+  return "?";
+}
+
+Scalar RibRow::fieldValue(Field field) const {
+  switch (field) {
+    case Field::kDevice: return Scalar::str(device);
+    case Field::kVrf: return Scalar::str(vrf);
+    case Field::kPrefix: return Scalar::str(prefix.str());
+    case Field::kNexthop: return Scalar::str(nexthop.str());
+    case Field::kLocalPref: return Scalar::num(localPref);
+    case Field::kMed: return Scalar::num(med);
+    case Field::kWeight: return Scalar::num(weight);
+    case Field::kIgpCost: return Scalar::num(igpCost);
+    case Field::kCommunities: {
+      std::string joined;
+      for (const std::string& community : communities) {
+        if (!joined.empty()) joined += ' ';
+        joined += community;
+      }
+      return Scalar::str(std::move(joined));
+    }
+    case Field::kAsPath: return Scalar::str(asPath);
+    case Field::kRouteType: return Scalar::str(routeTypeName(routeType));
+    case Field::kProtocol: return Scalar::str(protocolName(protocol));
+    case Field::kOrigin:
+      switch (origin) {
+        case BgpOrigin::kIgp: return Scalar::str("igp");
+        case BgpOrigin::kEgp: return Scalar::str("egp");
+        case BgpOrigin::kIncomplete: return Scalar::str("incomplete");
+      }
+      return Scalar::str("?");
+  }
+  return Scalar::str("?");
+}
+
+bool RibRow::setFieldContains(Field field, const Scalar& value) const {
+  if (field == Field::kCommunities) {
+    const std::string needle = value.render();
+    return std::find(communities.begin(), communities.end(), needle) !=
+           communities.end();
+  }
+  // `contains` on a non-set field falls back to substring containment (used
+  // for aspath).
+  const Scalar actual = fieldValue(field);
+  return actual.text.find(value.render()) != std::string::npos;
+}
+
+bool RibRow::rowEquals(const RibRow& other) const {
+  return device == other.device && vrf == other.vrf && prefix == other.prefix &&
+         nexthop == other.nexthop && localPref == other.localPref && med == other.med &&
+         weight == other.weight && igpCost == other.igpCost &&
+         communities == other.communities && asPath == other.asPath &&
+         routeType == other.routeType && protocol == other.protocol &&
+         origin == other.origin;
+}
+
+std::string RibRow::str() const {
+  std::string out = device + "/" + vrf + " " + prefix.str() + " nh=" + nexthop.str() +
+                    " lp=" + std::to_string(localPref) + " med=" + std::to_string(med) +
+                    " w=" + std::to_string(weight) + " igp=" + std::to_string(igpCost) +
+                    " type=" + routeTypeName(routeType) + " proto=" +
+                    protocolName(protocol);
+  if (!communities.empty()) {
+    out += " comm=[";
+    for (size_t i = 0; i < communities.size(); ++i) {
+      if (i) out += ' ';
+      out += communities[i];
+    }
+    out += ']';
+  }
+  if (!asPath.empty()) out += " path=[" + asPath + "]";
+  return out;
+}
+
+GlobalRib GlobalRib::fromNetworkRibs(const NetworkRibs& ribs) {
+  GlobalRib global;
+  // Deterministic row order: devices sorted by name, prefixes by map order.
+  std::vector<std::pair<std::string, NameId>> deviceNames;
+  for (const auto& [deviceId, deviceRib] : ribs.devices())
+    deviceNames.emplace_back(Names::str(deviceId), deviceId);
+  std::sort(deviceNames.begin(), deviceNames.end());
+  for (const auto& [deviceName, deviceId] : deviceNames) {
+    const DeviceRib& deviceRib = *ribs.findDevice(deviceId);
+    std::vector<std::pair<std::string, NameId>> vrfNames;
+    for (const auto& [vrfId, vrfRib] : deviceRib.vrfs())
+      vrfNames.emplace_back(vrfId == kInvalidName ? "global" : Names::str(vrfId), vrfId);
+    std::sort(vrfNames.begin(), vrfNames.end());
+    for (const auto& [vrfName, vrfId] : vrfNames) {
+      const VrfRib* vrfRib = deviceRib.findVrf(vrfId);
+      for (const auto& [prefix, routes] : vrfRib->routes()) {
+        for (const Route& route : routes) {
+          RibRow row;
+          row.device = deviceName;
+          row.vrf = vrfName;
+          row.prefix = prefix;
+          row.nexthop = route.nexthop;
+          row.localPref = route.attrs.localPref;
+          row.med = route.attrs.med;
+          row.weight = route.attrs.weight;
+          row.igpCost = route.igpCost;
+          for (const Community community : route.attrs.communities)
+            row.communities.push_back(community.str());
+          std::sort(row.communities.begin(), row.communities.end());
+          row.asPath = route.attrs.asPath.str();
+          row.routeType = route.type;
+          row.protocol = route.protocol;
+          row.origin = route.attrs.origin;
+          global.add(std::move(row));
+        }
+      }
+    }
+  }
+  return global;
+}
+
+bool ribViewsEqual(const RibView& a, const RibView& b) {
+  if (a.size() != b.size()) return false;
+  // Multiset comparison via sorted render keys (rows are small; views are
+  // typically already filtered down).
+  std::vector<std::string> keysA, keysB;
+  keysA.reserve(a.size());
+  keysB.reserve(b.size());
+  for (size_t i = 0; i < a.size(); ++i) keysA.push_back(a.row(i).str());
+  for (size_t i = 0; i < b.size(); ++i) keysB.push_back(b.row(i).str());
+  std::sort(keysA.begin(), keysA.end());
+  std::sort(keysB.begin(), keysB.end());
+  return keysA == keysB;
+}
+
+}  // namespace hoyan::rcl

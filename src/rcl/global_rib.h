@@ -1,0 +1,92 @@
+// The global RIB abstraction (§4.1): all routes from all routers collected
+// into one table, with `device` and `vrf` columns locating each route.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/route.h"
+#include "rcl/value.h"
+
+namespace hoyan::rcl {
+
+// The fields RCL specifications can reference.
+enum class Field : uint8_t {
+  kDevice,
+  kVrf,
+  kPrefix,
+  kNexthop,
+  kLocalPref,
+  kMed,
+  kWeight,
+  kIgpCost,
+  kCommunities,  // Set-valued.
+  kAsPath,       // String-valued ("100 200 {300}").
+  kRouteType,    // BEST / ECMP / ALT.
+  kProtocol,     // direct / static / isis / bgp / aggregate.
+  kOrigin,       // igp / egp / incomplete.
+};
+
+std::optional<Field> fieldByName(const std::string& name);
+std::string fieldName(Field field);
+
+// One row of the global RIB.
+struct RibRow {
+  std::string device;
+  std::string vrf;  // "global" for the default VRF.
+  Prefix prefix;
+  IpAddress nexthop;
+  uint32_t localPref = 100;
+  uint32_t med = 0;
+  uint32_t weight = 0;
+  uint32_t igpCost = 0;
+  std::vector<std::string> communities;  // Canonical "asn:val", sorted.
+  std::string asPath;
+  RouteType routeType = RouteType::kBest;
+  Protocol protocol = Protocol::kBgp;
+  BgpOrigin origin = BgpOrigin::kIncomplete;
+
+  // Scalar value of a field (communities render as their joined string when
+  // accessed as a scalar; `contains` uses communityContains instead).
+  Scalar fieldValue(Field field) const;
+  bool setFieldContains(Field field, const Scalar& value) const;
+  bool rowEquals(const RibRow& other) const;
+  std::string str() const;
+};
+
+class GlobalRib {
+ public:
+  GlobalRib() = default;
+  static GlobalRib fromNetworkRibs(const NetworkRibs& ribs);
+
+  void add(RibRow row) { rows_.push_back(std::move(row)); }
+  const std::vector<RibRow>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<RibRow> rows_;
+};
+
+// A filtered view over a GlobalRib: row indices, no copies (Algorithm 1's
+// filter returns these).
+struct RibView {
+  const GlobalRib* rib = nullptr;
+  std::vector<uint32_t> rows;
+
+  static RibView all(const GlobalRib& rib) {
+    RibView view;
+    view.rib = &rib;
+    view.rows.resize(rib.size());
+    for (uint32_t i = 0; i < rib.size(); ++i) view.rows[i] = i;
+    return view;
+  }
+  const RibRow& row(size_t i) const { return rib->rows()[rows[i]]; }
+  size_t size() const { return rows.size(); }
+};
+
+// Multiset equality of two views (RIBEQ in Algorithm 1).
+bool ribViewsEqual(const RibView& a, const RibView& b);
+
+}  // namespace hoyan::rcl

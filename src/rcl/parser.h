@@ -1,0 +1,21 @@
+// RCL parser (ASCII concrete syntax; see ast.h for the symbol mapping).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "rcl/ast.h"
+
+namespace hoyan::rcl {
+
+struct ParseOutcome {
+  IntentPtr intent;  // Null on error.
+  std::string error;
+
+  bool ok() const { return intent != nullptr; }
+};
+
+// Parses one RCL intent specification.
+ParseOutcome parseIntent(std::string_view text);
+
+}  // namespace hoyan::rcl

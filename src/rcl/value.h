@@ -1,0 +1,87 @@
+// RCL primitive values: numbers, strings, and sets thereof (Appendix A).
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace hoyan::rcl {
+
+// A scalar: either numeric or string. Values lex/parse canonically (IP
+// addresses, prefixes, and communities are normalised to their canonical
+// textual form at parse time so string equality is semantic equality).
+struct Scalar {
+  bool isNumber = false;
+  double number = 0;
+  std::string text;
+
+  static Scalar num(double v) { return Scalar{true, v, {}}; }
+  static Scalar str(std::string v) { return Scalar{false, 0, std::move(v)}; }
+
+  std::string render() const {
+    if (!isNumber) return text;
+    if (number == static_cast<long long>(number))
+      return std::to_string(static_cast<long long>(number));
+    return std::to_string(number);
+  }
+
+  friend bool operator==(const Scalar& a, const Scalar& b) {
+    if (a.isNumber != b.isNumber) return false;
+    return a.isNumber ? a.number == b.number : a.text == b.text;
+  }
+  friend bool operator<(const Scalar& a, const Scalar& b) {
+    if (a.isNumber != b.isNumber) return a.isNumber;  // Numbers before strings.
+    return a.isNumber ? a.number < b.number : a.text < b.text;
+  }
+};
+
+// An always-sorted set of scalars (the result of distVals, or a {val...}
+// literal).
+class ScalarSet {
+ public:
+  ScalarSet() = default;
+  void insert(Scalar value) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+    if (it == values_.end() || !(*it == value)) values_.insert(it, std::move(value));
+  }
+  bool contains(const Scalar& value) const {
+    return std::binary_search(values_.begin(), values_.end(), value);
+  }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  std::string render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i) out += ", ";
+      out += values_[i].render();
+    }
+    return out + "}";
+  }
+
+  friend bool operator==(const ScalarSet&, const ScalarSet&) = default;
+
+ private:
+  std::vector<Scalar> values_;
+};
+
+// A RIB-evaluation result: scalar or set.
+struct Value {
+  bool isSet = false;
+  Scalar scalar;
+  ScalarSet set;
+
+  static Value fromScalar(Scalar s) { return Value{false, std::move(s), {}}; }
+  static Value fromSet(ScalarSet s) { return Value{true, {}, std::move(s)}; }
+
+  std::string render() const { return isSet ? set.render() : scalar.render(); }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.isSet != b.isSet) return false;
+    return a.isSet ? a.set == b.set : a.scalar == b.scalar;
+  }
+};
+
+}  // namespace hoyan::rcl

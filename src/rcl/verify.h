@@ -1,0 +1,39 @@
+// RCL intent verification (Algorithm 1 & 2) with counter-example generation.
+//
+// Verification loads the entire base and updated global RIBs and evaluates
+// the intent by structural recursion, exactly following the semantics of
+// Fig. 11. When the intent is violated, the verifier pinpoints the violated
+// basic comparisons together with the forall/guard bindings that led there
+// and sample routes involved (§4.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcl/ast.h"
+#include "rcl/global_rib.h"
+
+namespace hoyan::rcl {
+
+struct Violation {
+  std::string context;  // "device=R1, prefix=10.0.0.0/24" binding trail.
+  std::string message;  // The failing basic intent with actual values.
+  std::vector<std::string> exampleRows;  // Up to a handful of related routes.
+};
+
+struct CheckResult {
+  bool satisfied = false;
+  std::vector<Violation> violations;
+  double seconds = 0;
+
+  std::string summary() const;
+};
+
+CheckResult checkIntent(const Intent& intent, const GlobalRib& base,
+                        const GlobalRib& updated);
+
+// Convenience: parse + check; a parse failure reports as a violation.
+CheckResult checkIntentText(const std::string& specification, const GlobalRib& base,
+                            const GlobalRib& updated);
+
+}  // namespace hoyan::rcl

@@ -1,0 +1,97 @@
+#include "scenario/audit_catalog.h"
+
+namespace hoyan {
+
+std::vector<AuditTask> buildAuditCatalog(const GeneratedWan& wan) {
+  std::vector<AuditTask> catalog;
+  const size_t regions = wan.spec.regions;
+
+  // --- network-wide hygiene ---------------------------------------------------
+  catalog.push_back({"no-bogons-rfc1918",
+                     "POST || prefix = 192.168.0.0/16 |> count() = 0"});
+  catalog.push_back({"no-bogons-loopback-space",
+                     "POST || prefix = 127.0.0.0/8 |> count() = 0"});
+  catalog.push_back({"no-default-route-leak",
+                     "POST || prefix = 0.0.0.0/0 |> count() = 0"});
+  catalog.push_back({"every-best-route-unique",
+                     "forall device: forall prefix: "
+                     "POST || routeType = BEST || protocol = bgp |> "
+                     "distCnt(nexthop) >= 0"});
+  catalog.push_back({"bgp-routes-carry-origin-community",
+                     // Every eBGP-learned ISP route carries some 100:x or
+                     // 300:x marking (region tag or upstream tag).
+                     "prefix = 100.0.1.0/24 and routeType = BEST and "
+                     "not device in {ISP-0-0-0} => "
+                     "POST || (communities contains 100:0) |> count() >= 1"});
+
+  // --- per-region group consistency ("prefixes on all routers in a router
+  // group should be the same", §6.2) ------------------------------------------
+  for (size_t r = 0; r + 1 < wan.spec.coresPerRegion; ++r) {
+    // Core groups within region 0: same BGP prefix sets.
+    catalog.push_back(
+        {"core-group-parity-0-" + std::to_string(r),
+         "protocol = bgp => forall prefix: "
+         "(POST || device = CORE-0-" + std::to_string(r) + " |> count() >= 1) imply "
+         "(POST || device = CORE-0-" + std::to_string(r + 1) + " |> count() >= 1)"});
+  }
+  for (size_t r = 0; r < regions; ++r) {
+    const std::string rs = std::to_string(r);
+    // The region RR must know every DC aggregate.
+    catalog.push_back({"rr-" + rs + "-has-dc-aggregates",
+                       "device = RR-" + rs + " => "
+                       "POST || prefix = 20.0.0.0/16 |> count() >= 1"});
+    // Region borders tag ISP routes with the region community.
+    catalog.push_back({"border-" + rs + "-tags-region-community",
+                       "device = BR-" + rs + "-0 and prefix = 100." + rs +
+                       ".1.0/24 => POST || (communities contains 100:" + rs +
+                       ") |> count() >= 1"});
+    // The region's own DC aggregate is visible across all regions.
+    catalog.push_back({"dc-aggregate-" + rs + "-network-wide",
+                       "POST || prefix = 20." + std::to_string(r * wan.spec.dcsPerRegion) +
+                       ".0.0/16 |> distCnt(device) >= " +
+                       std::to_string(regions * 2)});
+    // Every region core holds the region's ISP routes (group reachability).
+    catalog.push_back({"core-" + rs + "-0-knows-region-isp",
+                       "device = CORE-" + rs + "-0 => "
+                       "POST || prefix = 100." + rs + ".1.0/24 |> count() >= 1"});
+    // Borders never install bogons (the BOGONS filter is effective).
+    catalog.push_back({"border-" + rs + "-bogon-free",
+                       "device = BR-" + rs + "-0 => "
+                       "POST || prefix = 192.168.0.0/16 |> count() = 0"});
+  }
+
+  // --- reachability floors ------------------------------------------------------
+  catalog.push_back({"every-router-has-routes",
+                     "forall device: POST |> count() >= 1"});
+  catalog.push_back({"isp-prefix-everywhere",
+                     "POST || prefix = 100.0.1.0/24 |> distCnt(device) >= " +
+                         std::to_string(regions * 3)});
+
+  return catalog;
+}
+
+std::string AuditReport::str() const {
+  if (clean()) return "audit clean (" + std::to_string(tasksRun) + " tasks)";
+  std::string out = "audit found " + std::to_string(findings.size()) +
+                    " violation(s) across " + std::to_string(tasksRun) + " tasks:";
+  for (const auto& [task, result] : findings) {
+    out += "\n  [" + task.name + "] " + task.specification;
+    if (!result.violations.empty()) out += "\n    " + result.violations[0].message;
+  }
+  return out;
+}
+
+AuditReport runAuditCatalog(Hoyan& hoyan, const std::vector<AuditTask>& catalog) {
+  AuditReport report;
+  std::vector<std::string> specifications;
+  specifications.reserve(catalog.size());
+  for (const AuditTask& task : catalog) specifications.push_back(task.specification);
+  const std::vector<RclOutcome> outcomes = hoyan.runAuditTasks(specifications);
+  report.tasksRun = outcomes.size();
+  for (size_t i = 0; i < outcomes.size(); ++i)
+    if (!outcomes[i].result.satisfied)
+      report.findings.emplace_back(catalog[i], outcomes[i].result);
+  return report;
+}
+
+}  // namespace hoyan

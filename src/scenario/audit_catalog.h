@@ -1,0 +1,38 @@
+// The daily configuration-auditing catalogue (§6.2): "each day, Hoyan ...
+// executes dozens of auditing tasks on the simulated RIBs and traffic
+// loads, each defining a high-level invariant that the network should
+// hold". This module derives such a catalogue for a generated WAN — group
+// consistency, policy hygiene, bogon absence, community tagging, aggregate
+// presence, reachability floors — as RCL audit specifications plus a few
+// load/topology checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hoyan.h"
+#include "gen/wan_gen.h"
+
+namespace hoyan {
+
+struct AuditTask {
+  std::string name;
+  std::string specification;  // RCL, evaluated with PRE=POST=base RIBs.
+};
+
+// Builds the RCL audit catalogue for `wan` (two dozen and growing with
+// network size: per-region and per-group instantiations).
+std::vector<AuditTask> buildAuditCatalog(const GeneratedWan& wan);
+
+struct AuditReport {
+  size_t tasksRun = 0;
+  std::vector<std::pair<AuditTask, rcl::CheckResult>> findings;  // Violations only.
+
+  bool clean() const { return findings.empty(); }
+  std::string str() const;
+};
+
+// Runs the catalogue against a preprocessed Hoyan instance.
+AuditReport runAuditCatalog(Hoyan& hoyan, const std::vector<AuditTask>& catalog);
+
+}  // namespace hoyan

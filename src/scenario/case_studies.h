@@ -1,0 +1,33 @@
+// The paper's real-world case studies as executable reproductions:
+//   * §6.1 Fig. 10(a) — shifting traffic to the new WAN, where a
+//     pre-existing policy gap on M1 black-holes the shift and overloads A-M2;
+//   * §6.1 Fig. 10(b) — changing ISP exits, where the ip-prefix/ipv6-prefix
+//     vendor behaviour steers *all* IPv6 prefixes to the new exit;
+//   * §5.2 Fig. 9   — the accuracy-diagnosis workflow localising the
+//     "IGP cost for SR" vendor-specific behaviour.
+#pragma once
+
+#include <string>
+
+namespace hoyan {
+
+struct CaseStudyResult {
+  bool riskDetected = false;  // Did Hoyan flag the planted problem?
+  std::string narrative;      // Human-readable walk-through of what happened.
+};
+
+// Fig. 10(a): the traffic shift to new-WAN router B. Expected detections:
+// route R missing on M1, and the M1-A-M2-B detour overloading link A-M2.
+CaseStudyResult runNewWanTrafficShiftCase();
+
+// Fig. 10(b): the ISP exit change. Expected detections: the
+// "others do not change" intent fails (every IPv6 prefix moved to C) and the
+// C->ISP2 links overload.
+CaseStudyResult runIspExitChangeCase();
+
+// Fig. 9: daily accuracy validation reports link A-B under-simulated; the
+// root-cause workflow walks the suspect flow and localises the divergence to
+// router A's BGP/IGP/SR interaction (a vendor-specific behaviour).
+CaseStudyResult runSrIgpCostDiagnosisCase();
+
+}  // namespace hoyan

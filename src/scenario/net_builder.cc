@@ -1,0 +1,125 @@
+#include "scenario/net_builder.h"
+
+namespace hoyan {
+
+NameId NetBuilder::device(const std::string& name, Asn asn, const VendorProfile& vendor,
+                          DeviceRole role, bool inIgp) {
+  if (igpDomain_ == kInvalidName) igpDomain_ = Names::id("nb-igp");
+  Device d;
+  d.name = Names::id(name);
+  d.role = role;
+  d.loopback = IpAddress::v4(nextLoopback_++);
+  d.igpDomain = inIgp ? igpDomain_ : kInvalidName;
+  topology_.addDevice(d);
+  DeviceConfig config;
+  config.hostname = d.name;
+  config.vendor = vendor.name;
+  config.routerId = d.loopback;
+  config.bgp.asn = asn;
+  configs_.devices.emplace(d.name, std::move(config));
+  return d.name;
+}
+
+std::pair<IpAddress, IpAddress> NetBuilder::link(NameId a, NameId b, uint32_t isisCost,
+                                                 double bandwidthBps) {
+  Device* deviceA = topology_.findDevice(a);
+  Device* deviceB = topology_.findDevice(b);
+  const uint32_t base = nextLink_;
+  nextLink_ += 4;
+  const bool isis = deviceA->igpDomain != kInvalidName &&
+                    deviceA->igpDomain == deviceB->igpDomain;
+  Interface itfA;
+  itfA.name = Names::id(Names::str(a) + ":p" + std::to_string(deviceA->interfaces.size()));
+  itfA.address = IpAddress::v4(base + 1);
+  itfA.prefixLength = 30;
+  itfA.isisEnabled = isis;
+  itfA.isisCost = isisCost;
+  itfA.bandwidthBps = bandwidthBps;
+  deviceA->interfaces.push_back(itfA);
+  Interface itfB;
+  itfB.name = Names::id(Names::str(b) + ":p" + std::to_string(deviceB->interfaces.size()));
+  itfB.address = IpAddress::v4(base + 2);
+  itfB.prefixLength = 30;
+  itfB.isisEnabled = isis;
+  itfB.isisCost = isisCost;
+  itfB.bandwidthBps = bandwidthBps;
+  deviceB->interfaces.push_back(itfB);
+  topology_.addLink(a, itfA.name, b, itfB.name);
+  return {itfA.address, itfB.address};
+}
+
+NameId NetBuilder::passPolicy(NameId deviceName) {
+  const NameId name = Names::id("PASS");
+  RoutePolicy& policy = configs_.device(deviceName).routePolicy(name);
+  if (policy.nodes.empty()) {
+    PolicyNode node;
+    node.sequence = 10;
+    node.action = PolicyAction::kPermit;
+    policy.upsertNode(node);
+  }
+  return name;
+}
+
+void NetBuilder::ibgp(NameId a, NameId b, bool bIsClientOfA) {
+  BgpNeighbor toB;
+  toB.peerAddress = loopback(b);
+  toB.remoteAs = configs_.device(b).bgp.asn;
+  toB.importPolicy = passPolicy(a);
+  toB.exportPolicy = passPolicy(a);
+  toB.routeReflectorClient = bIsClientOfA;
+  configs_.device(a).bgp.neighbors.push_back(toB);
+  BgpNeighbor toA;
+  toA.peerAddress = loopback(a);
+  toA.remoteAs = configs_.device(a).bgp.asn;
+  toA.importPolicy = passPolicy(b);
+  toA.exportPolicy = passPolicy(b);
+  configs_.device(b).bgp.neighbors.push_back(toA);
+}
+
+void NetBuilder::ebgp(NameId a, NameId b, std::optional<NameId> aImport,
+                      std::optional<NameId> aExport) {
+  const auto [aAddr, bAddr] = lastLinkAddresses(a, b);
+  BgpNeighbor toB;
+  toB.peerAddress = bAddr;
+  toB.remoteAs = configs_.device(b).bgp.asn;
+  toB.importPolicy = aImport;
+  toB.exportPolicy = aExport;
+  configs_.device(a).bgp.neighbors.push_back(toB);
+  BgpNeighbor toA;
+  toA.peerAddress = aAddr;
+  toA.remoteAs = configs_.device(a).bgp.asn;
+  configs_.device(b).bgp.neighbors.push_back(toA);
+}
+
+IpAddress NetBuilder::loopback(NameId deviceName) const {
+  const Device* found = topology_.findDevice(deviceName);
+  return found ? found->loopback : IpAddress{};
+}
+
+InputRoute NetBuilder::originate(NameId deviceName, const std::string& prefix) const {
+  InputRoute input;
+  input.device = deviceName;
+  input.route.prefix = *Prefix::parse(prefix);
+  input.route.protocol = Protocol::kBgp;
+  input.route.attrs.origin = BgpOrigin::kIgp;
+  input.route.nexthop = loopback(deviceName);
+  input.route.nexthopDevice = deviceName;
+  return input;
+}
+
+std::pair<IpAddress, IpAddress> NetBuilder::lastLinkAddresses(NameId a, NameId b) const {
+  const Device* deviceA = topology_.findDevice(a);
+  const Device* deviceB = topology_.findDevice(b);
+  for (auto linkIt = topology_.links().rbegin(); linkIt != topology_.links().rend();
+       ++linkIt) {
+    if (!((linkIt->deviceA == a && linkIt->deviceB == b) ||
+          (linkIt->deviceA == b && linkIt->deviceB == a)))
+      continue;
+    const NameId aItf = linkIt->deviceA == a ? linkIt->interfaceA : linkIt->interfaceB;
+    const NameId bItf = linkIt->deviceA == a ? linkIt->interfaceB : linkIt->interfaceA;
+    return {deviceA->findInterface(aItf)->address, deviceB->findInterface(bItf)->address};
+  }
+  return {};
+}
+
+}  // namespace hoyan

@@ -1,0 +1,64 @@
+// A small fluent builder for hand-crafted topologies+configs (case studies,
+// examples, tests). Complements the statistical generator in src/gen.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "config/device_config.h"
+#include "config/vendor.h"
+#include "proto/network_model.h"
+#include "topo/topology.h"
+
+namespace hoyan {
+
+class NetBuilder {
+ public:
+  NetBuilder() = default;
+
+  // Adds a device with an auto-allocated loopback (10.90.0.x). Returns its
+  // interned name.
+  NameId device(const std::string& name, Asn asn,
+                const VendorProfile& vendor = vendorB(),
+                DeviceRole role = DeviceRole::kCore, bool inIgp = true);
+
+  // Connects two devices with a /30; IS-IS enabled when both are in the IGP.
+  // Returns (address on a, address on b).
+  std::pair<IpAddress, IpAddress> link(NameId a, NameId b, uint32_t isisCost = 10,
+                                       double bandwidthBps = 100e9);
+
+  // iBGP over loopbacks, permit-all policies; `bIsClientOfA` marks b as a's
+  // route-reflector client.
+  void ibgp(NameId a, NameId b, bool bIsClientOfA = false);
+
+  // eBGP over the (last) link between a and b; optional policies on a's side.
+  void ebgp(NameId a, NameId b, std::optional<NameId> aImport = std::nullopt,
+            std::optional<NameId> aExport = std::nullopt);
+
+  // A permit-all policy named PASS on `device` (created on demand).
+  NameId passPolicy(NameId device);
+
+  DeviceConfig& config(NameId device) { return configs_.device(device); }
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+  IpAddress loopback(NameId device) const;
+
+  // An input route locally originated at `device`.
+  InputRoute originate(NameId device, const std::string& prefix) const;
+
+  NetworkModel build() const { return NetworkModel::build(topology_, configs_); }
+  Topology topologyCopy() const { return topology_; }
+  NetworkConfig configsCopy() const { return configs_; }
+
+ private:
+  // The /30 link addresses between a and b (last link), needed for eBGP.
+  std::pair<IpAddress, IpAddress> lastLinkAddresses(NameId a, NameId b) const;
+
+  Topology topology_;
+  NetworkConfig configs_;
+  uint32_t nextLoopback_ = (10u << 24) | (90u << 16) | 1;  // 10.90.0.1...
+  uint32_t nextLink_ = (172u << 24) | (28u << 16);         // 172.28.0.0/30s.
+  NameId igpDomain_ = kInvalidName;
+};
+
+}  // namespace hoyan

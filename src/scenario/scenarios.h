@@ -1,0 +1,79 @@
+// Executable change scenarios: the 12 change types of Table 2 (safe
+// versions whose intents must verify) and the Table-6 risk suite (changes
+// carrying a planted risk that Hoyan must flag, with the paper's root-cause
+// mix).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hoyan.h"
+#include "gen/wan_gen.h"
+#include "gen/workload_gen.h"
+
+namespace hoyan {
+
+// Root-cause labels of Table 6.
+enum class RiskRootCause : uint8_t {
+  kNone,  // Safe change.
+  kIncorrectCommands,
+  kDesignFlaw,
+  kExistingMisconfiguration,
+  kTopologyIssue,
+  kOther,
+};
+
+std::string riskRootCauseName(RiskRootCause cause);
+
+struct Scenario {
+  std::string name;
+  std::string changeType;  // Table 2 change type.
+  std::string description;
+  ChangePlan plan;
+  IntentSet intents;
+  RiskRootCause risk = RiskRootCause::kNone;
+  // Extra data-plane probes: flows that must be blocked after the change
+  // (ACL modification intent: "all matching flows should be blocked").
+  std::vector<Flow> mustBeBlocked;
+  // Flows that must remain deliverable after the change.
+  std::vector<Flow> mustRemainReachable;
+
+  bool expectViolation() const { return risk != RiskRootCause::kNone; }
+};
+
+// The shared environment scenarios run against.
+struct ScenarioEnvironment {
+  GeneratedWan wan;
+  std::vector<InputRoute> inputs;
+  std::vector<Flow> flows;
+};
+
+ScenarioEnvironment makeStandardEnvironment(unsigned seed = 1);
+
+// Creates a preprocessed Hoyan instance over the environment.
+Hoyan makeHoyan(const ScenarioEnvironment& environment);
+
+// The 12 Table-2 change types, safe versions (all intents must hold).
+std::vector<Scenario> table2ChangeScenarios(const ScenarioEnvironment& environment);
+
+// 32 risky changes mixing root causes per Table 6 (12 incorrect commands,
+// 11 design flaws, 5 existing misconfigurations, 2 topology issues, 2
+// others). Every scenario's risk must be flagged by verification.
+std::vector<Scenario> table6RiskScenarios(const ScenarioEnvironment& environment);
+
+struct ScenarioOutcome {
+  std::string name;
+  RiskRootCause risk = RiskRootCause::kNone;
+  ChangeVerificationResult verification;
+  bool probeViolations = false;  // mustBeBlocked / mustRemainReachable failed.
+  bool flagged = false;          // Verification reported a violation.
+  bool asExpected = false;       // flagged == scenario.expectViolation().
+
+  std::string str() const;
+};
+
+// Runs one scenario end to end against a preprocessed Hoyan instance.
+ScenarioOutcome runScenario(Hoyan& hoyan, const Scenario& scenario);
+
+}  // namespace hoyan

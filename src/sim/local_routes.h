@@ -1,0 +1,33 @@
+// Local (non-BGP-propagated) route installation and redistribution inputs.
+//
+// Direct, static, and IS-IS routes exist on a device regardless of which
+// input routes a simulation subtask covers, so they are computed separately:
+// the distributed master schedules them as one dedicated subtask (§3.2)
+// rather than replicating them into every subtask's result.
+#pragma once
+
+#include <vector>
+
+#include "net/route.h"
+#include "proto/network_model.h"
+
+namespace hoyan {
+
+// Admin distances for non-BGP protocols (BGP distances are per-vendor VSBs).
+inline constexpr uint8_t kDirectAdminDistance = 0;
+inline constexpr uint8_t kIsisAdminDistance = 15;
+inline constexpr uint8_t kAggregateAdminDistance = 130;
+
+// Installs direct (interface subnets + /32 host routes + loopbacks), static,
+// and IS-IS (domain loopbacks with SPF costs, ECMP expanded) routes for every
+// active device into `ribs`.
+void installLocalRoutes(const NetworkModel& model, NetworkRibs& ribs);
+
+// Derives the BGP routes each device originates by redistribution
+// (redistribute static/direct/isis, with per-redistribution policies and the
+// redistributed-weight & /32 VSBs applied). The result is expressed as input
+// routes so the distributed route simulation treats them uniformly with
+// monitored external inputs.
+std::vector<InputRoute> computeRedistributedInputs(const NetworkModel& model);
+
+}  // namespace hoyan

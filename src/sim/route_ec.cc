@@ -1,0 +1,139 @@
+#include "sim/route_ec.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace hoyan {
+namespace {
+
+// Content hash of a prefix list, used to deduplicate the (many) generated
+// lists that are identical across devices before computing match signatures.
+size_t prefixListContentHash(const PrefixList& list) {
+  size_t h = static_cast<size_t>(list.family);
+  for (const PrefixListEntry& entry : list.entries) {
+    h = h * 1099511628211ULL ^ entry.prefix.hashValue();
+    h = h * 1099511628211ULL ^
+        ((entry.permit ? 1u : 0u) | (unsigned{entry.ge} << 1) | (unsigned{entry.le} << 9));
+  }
+  return h;
+}
+
+// Descriptor of one input route ignoring its prefix — the unit compared
+// element-wise between two prefixes' bundles.
+size_t inputDescriptorHash(const InputRoute& input) {
+  size_t h = input.device;
+  h = h * 0x9e3779b97f4a7c15ULL ^ input.route.vrf;
+  h = h * 0x9e3779b97f4a7c15ULL ^ static_cast<size_t>(input.route.protocol);
+  h = h * 0x9e3779b97f4a7c15ULL ^ input.route.attrs.hashValue();
+  h = h * 0x9e3779b97f4a7c15ULL ^ input.route.nexthop.hashValue();
+  return h;
+}
+
+}  // namespace
+
+EcPlan buildRouteEcs(const NetworkModel& model, std::span<const InputRoute> inputs,
+                     EcStats* stats) {
+  // Deduplicate prefix lists and aggregate prefixes across the network.
+  std::vector<const PrefixList*> lists;
+  {
+    std::unordered_map<size_t, const PrefixList*> seen;
+    for (const auto& [name, config] : model.configs.devices)
+      for (const auto& [listName, list] : config.prefixLists)
+        seen.try_emplace(prefixListContentHash(list), &list);
+    lists.reserve(seen.size());
+    for (const auto& [hash, list] : seen) lists.push_back(list);
+  }
+  std::vector<Prefix> aggregates;
+  for (const auto& [name, config] : model.configs.devices)
+    for (const AggregateConfig& aggregate : config.bgp.aggregates)
+      if (std::find(aggregates.begin(), aggregates.end(), aggregate.prefix) ==
+          aggregates.end())
+        aggregates.push_back(aggregate.prefix);
+
+  // Filter/aggregate signature per prefix (§3.1 condition 2).
+  const auto filterSignature = [&](const Prefix& prefix) {
+    size_t h = prefix.length();
+    for (const PrefixList* list : lists) {
+      unsigned verdict = 0;  // 0 = no entry matched, 1 = deny, 2 = permit.
+      for (const PrefixListEntry& entry : list->entries) {
+        if (entry.matches(prefix)) {
+          verdict = entry.permit ? 2u : 1u;
+          break;
+        }
+      }
+      h = h * 31 + verdict;
+    }
+    for (const Prefix& aggregate : aggregates)
+      h = h * 31 + (aggregate.contains(prefix) && !(aggregate == prefix) ? 1u : 0u);
+    return h;
+  };
+
+  // Bundle inputs by prefix.
+  std::map<Prefix, std::vector<const InputRoute*>> byPrefix;
+  for (const InputRoute& input : inputs) byPrefix[input.route.prefix].push_back(&input);
+
+  // Class key per prefix: filter signature + sorted bundle descriptor hashes.
+  std::unordered_map<size_t, size_t> classIndex;  // key hash -> class index
+  EcPlan plan;
+  size_t simulatedInputs = 0;
+  for (const auto& [prefix, bundle] : byPrefix) {
+    std::vector<size_t> descriptors;
+    descriptors.reserve(bundle.size());
+    for (const InputRoute* input : bundle) descriptors.push_back(inputDescriptorHash(*input));
+    std::sort(descriptors.begin(), descriptors.end());
+    size_t key = filterSignature(prefix);
+    for (const size_t d : descriptors) key = key * 0x100000001b3ULL ^ d;
+    const auto [it, inserted] = classIndex.try_emplace(key, plan.classes.size());
+    if (inserted) {
+      PrefixClass cls;
+      cls.representative = prefix;
+      cls.members.push_back(prefix);
+      plan.classes.push_back(std::move(cls));
+      // Deduplicate identical inputs within the representative bundle.
+      std::vector<size_t> seen;
+      for (const InputRoute* input : bundle) {
+        const size_t d = inputDescriptorHash(*input);
+        if (std::find(seen.begin(), seen.end(), d) != seen.end()) continue;
+        seen.push_back(d);
+        plan.toSimulate.push_back(*input);
+        ++simulatedInputs;
+      }
+    } else {
+      plan.classes[it->second].members.push_back(prefix);
+    }
+  }
+  if (stats) {
+    stats->inputRoutes = inputs.size();
+    stats->classes = simulatedInputs;
+    stats->prefixClasses = plan.classes.size();
+    stats->distinctPrefixLists = lists.size();
+    stats->distinctAggregates = aggregates.size();
+  }
+  return plan;
+}
+
+void expandEcResults(const std::vector<PrefixClass>& classes, NetworkRibs& ribs) {
+  for (const PrefixClass& cls : classes) {
+    if (cls.members.size() <= 1) continue;
+    for (auto& [deviceId, deviceRib] : ribs.devices()) {
+      for (auto& [vrfId, vrfRib] : deviceRib.vrfs()) {
+        const std::vector<Route>* repRoutes = vrfRib.find(cls.representative);
+        if (!repRoutes || repRoutes->empty()) continue;
+        // std::map is node-based so inserting members keeps `repRoutes`
+        // valid, but copy anyway to make the loop obviously safe.
+        const std::vector<Route> snapshot = *repRoutes;
+        for (const Prefix& member : cls.members) {
+          if (member == cls.representative) continue;
+          std::vector<Route>& target = vrfRib.routesFor(member);
+          for (Route route : snapshot) {
+            route.prefix = member;
+            target.push_back(std::move(route));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hoyan

@@ -1,0 +1,63 @@
+// Input-route equivalence classes (§3.1).
+//
+// Two input routes are equivalent when (1) they are injected at the same
+// device and VRF, (2) their prefixes have the same matching results across
+// all prefix sets in the network and trigger the same aggregates on all
+// devices, and (3) all BGP attributes are equal. In production this cuts
+// input routes ~4x.
+//
+// Implementation note: routes for the same prefix compete during best-path
+// selection, so a prefix can only borrow another prefix's simulation result
+// if their *entire* input bundles are isomorphic. We therefore group
+// prefixes into classes — same filter/aggregate signature and
+// element-wise-equal input bundles — simulate every input of one
+// representative prefix per class, and clone that prefix's RIB entries to
+// the other member prefixes. This is the EC count the paper reports (one
+// simulated route per equivalent input), with soundness under anycast-style
+// competing inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/route.h"
+#include "proto/network_model.h"
+
+namespace hoyan {
+
+// A class of prefixes whose input routes are pairwise equivalent.
+struct PrefixClass {
+  Prefix representative;
+  std::vector<Prefix> members;  // Includes the representative.
+};
+
+struct EcPlan {
+  // The reduced input set: all inputs whose prefix is a class representative.
+  std::vector<InputRoute> toSimulate;
+  std::vector<PrefixClass> classes;
+};
+
+struct EcStats {
+  size_t inputRoutes = 0;
+  size_t classes = 0;  // == number of simulated (representative) inputs.
+  size_t prefixClasses = 0;
+  size_t distinctPrefixLists = 0;
+  size_t distinctAggregates = 0;
+
+  double reductionFactor() const {
+    return classes == 0 ? 1.0 : static_cast<double>(inputRoutes) / classes;
+  }
+};
+
+// Partitions `inputs` into equivalence classes against the filters and
+// aggregates configured anywhere in `model`.
+EcPlan buildRouteEcs(const NetworkModel& model, std::span<const InputRoute> inputs,
+                     EcStats* stats = nullptr);
+
+// Expands simulated RIBs: for every entry whose prefix is a class
+// representative, clones it once per other member prefix. Entries for
+// unrelated prefixes (e.g. aggregates) are untouched.
+void expandEcResults(const std::vector<PrefixClass>& classes, NetworkRibs& ribs);
+
+}  // namespace hoyan

@@ -1,0 +1,66 @@
+// BGP fixpoint route simulation (§3.1).
+//
+// Simulates the message-passing propagation of input routes: each round a
+// device processes incoming advertisements (ingress policy, loop prevention,
+// nexthop/IGP resolution with SR VSBs), installs them, selects best/ECMP
+// routes, and advertises the updated BGP best paths to its neighbours after
+// egress policy (multiple paths on add-path sessions). The fixpoint
+// terminates when no new advertisements are produced (within ~20 rounds on
+// the production WAN).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/route.h"
+#include "proto/network_model.h"
+#include "sim/route_ec.h"
+
+namespace hoyan {
+
+struct RouteSimOptions {
+  int maxRounds = 20;
+  bool useEquivalenceClasses = true;
+  // Emulated memory budget in installed-route count; exceeded => the task
+  // aborts with outOfMemory (how centralized WAN+DCN runs failed, Fig. 1).
+  size_t memoryBudgetRoutes = 0;  // 0 = unlimited.
+  // Install direct/static/IS-IS routes into the result RIBs. The distributed
+  // master runs exactly one local-routes subtask; centralized runs set this.
+  bool includeLocalRoutes = false;
+};
+
+struct RouteSimStats {
+  size_t inputRoutes = 0;
+  size_t simulatedInputs = 0;  // After EC reduction.
+  size_t rounds = 0;
+  size_t messagesProcessed = 0;
+  size_t installedRoutes = 0;
+  bool converged = true;
+  bool outOfMemory = false;
+  EcStats ec;
+};
+
+struct RouteSimResult {
+  NetworkRibs ribs;
+  RouteSimStats stats;
+};
+
+// Simulates the propagation of `inputs` over the network model. Input routes
+// at external-peer devices propagate over their eBGP sessions into our
+// border routers (ingress policies apply there); inputs at our own devices
+// are locally originated (DC aggregates, redistribution).
+RouteSimResult simulateRoutes(const NetworkModel& model,
+                              std::span<const InputRoute> inputs,
+                              const RouteSimOptions& options = {});
+
+// Re-runs best-path selection over every (device, vrf, prefix) cell. The
+// distributed master calls this after merging subtask results so routes from
+// different subtasks (and the local-routes subtask) are ranked together.
+void reselectAll(NetworkRibs& ribs);
+
+// Removes exact-duplicate routes within each (device, vrf, prefix) cell.
+// Needed after merging subtask results: an aggregate whose contributors span
+// several route subtasks is originated once per subtask.
+void dedupeRoutes(NetworkRibs& ribs);
+
+}  // namespace hoyan

@@ -1,0 +1,90 @@
+// Traffic (data-plane) simulation: forwards input flows hop-by-hop over the
+// simulated RIBs to produce per-flow forwarding paths and per-link traffic
+// loads (§3.1, the Jingubang subsystem).
+//
+// Forwarding of one flow builds a small DAG of (device, SR-tunnel-state)
+// nodes: at each node the flow is PBR-checked, ACL-checked, LPM-looked-up,
+// split across ECMP next hops (route-level ECMP times IGP-level ECMP), or
+// walked along an SR segment list. Volumes propagate through the DAG in
+// topological order; a cycle marks the flow as looped.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/route.h"
+#include "proto/network_model.h"
+#include "sim/flow_ec.h"
+
+namespace hoyan {
+
+// Directed per-link traffic volumes (bits per second).
+class LinkLoadMap {
+ public:
+  void add(NameId from, NameId to, double bps) {
+    if (bps != 0) loads_[pack(from, to)] += bps;
+  }
+  double get(NameId from, NameId to) const {
+    const auto it = loads_.find(pack(from, to));
+    return it == loads_.end() ? 0.0 : it->second;
+  }
+  void merge(const LinkLoadMap& other) {
+    for (const auto& [key, bps] : other.loads_) loads_[key] += bps;
+  }
+  size_t size() const { return loads_.size(); }
+
+  struct Entry {
+    NameId from, to;
+    double bps;
+  };
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    out.reserve(loads_.size());
+    for (const auto& [key, bps] : loads_)
+      out.push_back({static_cast<NameId>(key >> 32), static_cast<NameId>(key), bps});
+    return out;
+  }
+
+ private:
+  static uint64_t pack(NameId from, NameId to) { return (uint64_t{from} << 32) | to; }
+  std::unordered_map<uint64_t, double> loads_;
+};
+
+struct TrafficSimOptions {
+  bool useEquivalenceClasses = true;
+};
+
+struct TrafficSimStats {
+  size_t inputFlows = 0;
+  size_t simulatedFlows = 0;  // After EC reduction.
+  FlowEcStats ec;
+  size_t delivered = 0;
+  size_t exited = 0;
+  size_t blackholed = 0;
+  size_t looped = 0;
+  size_t deniedAcl = 0;
+};
+
+struct TrafficSimResult {
+  // One path per simulated (representative) flow, volume = class total.
+  std::vector<FlowPath> paths;
+  // Input flow index -> index into `paths` (identity when ECs disabled).
+  std::vector<size_t> flowToPath;
+  LinkLoadMap linkLoads;
+  TrafficSimStats stats;
+};
+
+// Simulates all flows. `ribs` must have its forwarding index built.
+TrafficSimResult simulateTraffic(const NetworkModel& model, const NetworkRibs& ribs,
+                                 std::span<const Flow> flows,
+                                 const TrafficSimOptions& options = {});
+
+// Simulates a single flow exactly (no EC), e.g. for intent counter-examples
+// and root-cause analysis.
+FlowPath simulateSingleFlow(const NetworkModel& model, const NetworkRibs& ribs,
+                            const Flow& flow);
+
+}  // namespace hoyan

@@ -1,0 +1,111 @@
+#include "topo/topology.h"
+
+#include <stdexcept>
+
+namespace hoyan {
+
+std::string deviceRoleName(DeviceRole role) {
+  switch (role) {
+    case DeviceRole::kCore: return "core";
+    case DeviceRole::kBorder: return "border";
+    case DeviceRole::kDcGateway: return "dc-gateway";
+    case DeviceRole::kDcnCore: return "dcn-core";
+    case DeviceRole::kRouteReflector: return "route-reflector";
+    case DeviceRole::kExternalPeer: return "external-peer";
+  }
+  return "?";
+}
+
+std::string Link::str() const {
+  return Names::str(deviceA) + ":" + Names::str(interfaceA) + " <-> " + Names::str(deviceB) +
+         ":" + Names::str(interfaceB) + (up ? "" : " (down)");
+}
+
+Device& Topology::addDevice(Device device) {
+  const NameId name = device.name;
+  return devices_.insert_or_assign(name, std::move(device)).first->second;
+}
+
+size_t Topology::addLink(NameId deviceA, NameId interfaceA, NameId deviceB,
+                         NameId interfaceB) {
+  if (!devices_.contains(deviceA) || !devices_.contains(deviceB))
+    throw std::invalid_argument("addLink: unknown device");
+  links_.push_back(Link{deviceA, interfaceA, deviceB, interfaceB, /*up=*/true});
+  return links_.size() - 1;
+}
+
+std::vector<Adjacency> Topology::adjacenciesOf(NameId device) const {
+  std::vector<Adjacency> out;
+  if (!deviceActive(device)) return out;
+  for (size_t i = 0; i < links_.size(); ++i) {
+    const Link& link = links_[i];
+    if (!link.up || !link.connects(device)) continue;
+    const NameId peer = link.peerOf(device);
+    if (!deviceActive(peer)) continue;
+    const NameId localIf = link.deviceA == device ? link.interfaceA : link.interfaceB;
+    const NameId peerIf = link.deviceA == device ? link.interfaceB : link.interfaceA;
+    const Device* self = findDevice(device);
+    const Device* other = findDevice(peer);
+    const Interface* selfItf = self ? self->findInterface(localIf) : nullptr;
+    const Interface* otherItf = other ? other->findInterface(peerIf) : nullptr;
+    if (!selfItf || selfItf->shutdown || !otherItf || otherItf->shutdown) continue;
+    out.push_back(Adjacency{localIf, peer, peerIf, i});
+  }
+  return out;
+}
+
+std::optional<Adjacency> Topology::resolveNexthop(NameId from,
+                                                  const IpAddress& nexthop) const {
+  for (const Adjacency& adj : adjacenciesOf(from)) {
+    const Device* peer = findDevice(adj.neighbor);
+    if (!peer) continue;
+    const Interface* peerItf = peer->findInterface(adj.neighborInterface);
+    if (peerItf && (peerItf->address == nexthop || peerItf->subnet().contains(nexthop)))
+      return adj;
+    if (peer->loopback == nexthop) return adj;
+  }
+  return std::nullopt;
+}
+
+std::optional<NameId> Topology::deviceByLoopback(const IpAddress& addr) const {
+  for (const auto& [name, device] : devices_)
+    if (device.loopback == addr) return name;
+  return std::nullopt;
+}
+
+void Topology::setLinkState(NameId deviceA, NameId deviceB, bool up) {
+  for (Link& link : links_)
+    if ((link.deviceA == deviceA && link.deviceB == deviceB) ||
+        (link.deviceA == deviceB && link.deviceB == deviceA))
+      link.up = up;
+}
+
+bool Topology::removeLink(NameId deviceA, NameId deviceB) {
+  bool removed = false;
+  for (auto it = links_.begin(); it != links_.end();) {
+    if ((it->deviceA == deviceA && it->deviceB == deviceB) ||
+        (it->deviceA == deviceB && it->deviceB == deviceA)) {
+      it = links_.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void Topology::removeDevice(NameId device) {
+  devices_.erase(device);
+  for (auto it = links_.begin(); it != links_.end();)
+    it = it->connects(device) ? links_.erase(it) : ++it;
+}
+
+void TopologyChange::applyTo(Topology& topology) const {
+  for (const Device& device : addDevices) topology.addDevice(device);
+  for (const NewLink& link : addLinks)
+    topology.addLink(link.deviceA, link.interfaceA, link.deviceB, link.interfaceB);
+  for (const auto& [a, b] : removeLinks) topology.removeLink(a, b);
+  for (const NameId device : removeDevices) topology.removeDevice(device);
+}
+
+}  // namespace hoyan

@@ -1,0 +1,152 @@
+// Network topology: devices, interfaces, links, and change/failure overlays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/names.h"
+
+namespace hoyan {
+
+// A (point-to-point) interface on a device. Interface subnets produce the
+// direct routes that seed IS-IS and BGP nexthop resolution.
+struct Interface {
+  NameId name = kInvalidName;
+  IpAddress address;
+  uint8_t prefixLength = 30;
+  NameId vrf = kInvalidName;  // kInvalidName means the global/default VRF.
+  bool isisEnabled = false;
+  uint32_t isisCost = 10;
+  double bandwidthBps = 100e9;
+  bool shutdown = false;
+
+  Prefix subnet() const { return Prefix(address, prefixLength); }
+};
+
+// The role of a device in the synthetic WAN; used by generators and by
+// verification properties (e.g. "all routers in a group").
+enum class DeviceRole : uint8_t {
+  kCore,       // WAN backbone router.
+  kBorder,     // Connects to ISP peers.
+  kDcGateway,  // Connects a datacenter network.
+  kDcnCore,    // Core-layer router of an attached DCN (WAN+DCN runs).
+  kRouteReflector,
+  kExternalPeer,  // ISP router outside our administration.
+};
+
+std::string deviceRoleName(DeviceRole role);
+
+// Physical device description (configuration lives in config::DeviceConfig;
+// this is the inventory/topology view).
+struct Device {
+  NameId name = kInvalidName;
+  DeviceRole role = DeviceRole::kCore;
+  IpAddress loopback;  // Also the router-id and the iBGP session endpoint.
+  // IS-IS level/area: SPF runs per domain so WAN+DCN scales (the WAN is one
+  // domain, each attached DCN its own). kInvalidName = no IGP participation.
+  NameId igpDomain = kInvalidName;
+  std::vector<Interface> interfaces;
+
+  const Interface* findInterface(NameId ifName) const {
+    for (const Interface& itf : interfaces)
+      if (itf.name == ifName) return &itf;
+    return nullptr;
+  }
+  Interface* findInterface(NameId ifName) {
+    return const_cast<Interface*>(static_cast<const Device*>(this)->findInterface(ifName));
+  }
+};
+
+// An undirected physical link between two device interfaces.
+struct Link {
+  NameId deviceA = kInvalidName;
+  NameId interfaceA = kInvalidName;
+  NameId deviceB = kInvalidName;
+  NameId interfaceB = kInvalidName;
+  bool up = true;
+
+  bool connects(NameId device) const { return deviceA == device || deviceB == device; }
+  NameId peerOf(NameId device) const { return deviceA == device ? deviceB : deviceA; }
+  std::string str() const;
+};
+
+// The directed view of a link from one endpoint.
+struct Adjacency {
+  NameId localInterface = kInvalidName;
+  NameId neighbor = kInvalidName;
+  NameId neighborInterface = kInvalidName;
+  size_t linkIndex = 0;
+};
+
+class Topology {
+ public:
+  Device& addDevice(Device device);
+  // Adds a link; both endpoints must exist. Returns the link index.
+  size_t addLink(NameId deviceA, NameId interfaceA, NameId deviceB, NameId interfaceB);
+
+  const Device* findDevice(NameId name) const {
+    const auto it = devices_.find(name);
+    return it == devices_.end() ? nullptr : &it->second;
+  }
+  Device* findDevice(NameId name) {
+    return const_cast<Device*>(static_cast<const Topology*>(this)->findDevice(name));
+  }
+
+  const std::map<NameId, Device>& devices() const { return devices_; }
+  const std::vector<Link>& links() const { return links_; }
+  std::vector<Link>& links() { return links_; }
+
+  size_t deviceCount() const { return devices_.size(); }
+
+  // Active (link up, neither interface shut down) adjacencies of a device.
+  std::vector<Adjacency> adjacenciesOf(NameId device) const;
+
+  // The device owning an interface whose subnet contains `addr` and that is
+  // directly adjacent to `from` — resolves a nexthop IP to the forwarding
+  // neighbour.
+  std::optional<Adjacency> resolveNexthop(NameId from, const IpAddress& nexthop) const;
+
+  // The device whose loopback equals `addr`, if any.
+  std::optional<NameId> deviceByLoopback(const IpAddress& addr) const;
+
+  void setLinkState(NameId deviceA, NameId deviceB, bool up);
+  bool removeLink(NameId deviceA, NameId deviceB);
+  void removeDevice(NameId device);
+
+  // True when the device exists and is not administratively failed.
+  bool deviceActive(NameId device) const {
+    return devices_.contains(device) && !failedDevices_.contains(device);
+  }
+  void failDevice(NameId device) { failedDevices_[device] = true; }
+  void restoreDevice(NameId device) { failedDevices_.erase(device); }
+
+ private:
+  std::map<NameId, Device> devices_;
+  std::vector<Link> links_;
+  std::unordered_map<NameId, bool> failedDevices_;
+};
+
+// A topology delta, the topology half of a change plan (§2.2): links/devices
+// to add or remove before re-simulation.
+struct TopologyChange {
+  std::vector<Device> addDevices;
+  struct NewLink {
+    NameId deviceA, interfaceA, deviceB, interfaceB;
+  };
+  std::vector<NewLink> addLinks;
+  std::vector<std::pair<NameId, NameId>> removeLinks;  // (deviceA, deviceB)
+  std::vector<NameId> removeDevices;
+
+  bool empty() const {
+    return addDevices.empty() && addLinks.empty() && removeLinks.empty() &&
+           removeDevices.empty();
+  }
+  void applyTo(Topology& topology) const;
+};
+
+}  // namespace hoyan

@@ -1,0 +1,25 @@
+// Integration tests reproducing the paper's case studies end to end.
+#include <gtest/gtest.h>
+
+#include "scenario/case_studies.h"
+
+namespace hoyan {
+namespace {
+
+TEST(CaseStudyTest, Fig10aNewWanTrafficShiftDetected) {
+  const CaseStudyResult result = runNewWanTrafficShiftCase();
+  EXPECT_TRUE(result.riskDetected) << result.narrative;
+}
+
+TEST(CaseStudyTest, Fig10bIspExitChangeDetected) {
+  const CaseStudyResult result = runIspExitChangeCase();
+  EXPECT_TRUE(result.riskDetected) << result.narrative;
+}
+
+TEST(CaseStudyTest, Fig9SrIgpCostVsbLocalised) {
+  const CaseStudyResult result = runSrIgpCostDiagnosisCase();
+  EXPECT_TRUE(result.riskDetected) << result.narrative;
+}
+
+}  // namespace
+}  // namespace hoyan

@@ -1,0 +1,230 @@
+// Config-language property tests: randomized DeviceConfig -> print -> parse
+// round trips, a malformed-line sweep, and `no`-form coverage for every
+// subsystem.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "config/parser.h"
+#include "config/printer.h"
+#include "config/vendor.h"
+
+namespace hoyan {
+namespace {
+
+// Builds a pseudo-random but structurally valid device configuration.
+DeviceConfig randomConfig(unsigned seed) {
+  std::mt19937 rng(seed);
+  const auto number = [&rng](uint32_t bound) { return rng() % bound; };
+  DeviceConfig config;
+  config.hostname = Names::id("rand-R" + std::to_string(seed));
+  config.vendor = (seed % 3 == 0 ? vendorA() : seed % 3 == 1 ? vendorB() : vendorC()).name;
+  config.routerId = IpAddress::v4((1u << 24) | seed);
+  config.bgp.asn = 64500 + seed;
+
+  for (int i = 0; i < 3; ++i) {
+    PrefixList list;
+    list.name = Names::id("rand-PL" + std::to_string(seed) + "-" + std::to_string(i));
+    list.family = i == 2 ? IpFamily::kV6 : IpFamily::kV4;
+    for (int e = 0; e < 2; ++e) {
+      PrefixListEntry entry;
+      entry.permit = number(2) == 0;
+      entry.prefix = list.family == IpFamily::kV4
+                         ? Prefix(IpAddress::v4(number(1u << 30) << 2), 16 + number(9))
+                         : *Prefix::parse("2400:" + std::to_string(number(9000)) + "::/32");
+      if (number(2)) {
+        entry.ge = static_cast<uint8_t>(entry.prefix.length());
+        entry.le = static_cast<uint8_t>(entry.prefix.length() + number(8));
+      }
+      list.entries.push_back(entry);
+    }
+    config.prefixLists.emplace(list.name, std::move(list));
+  }
+  {
+    CommunityList list;
+    list.name = Names::id("rand-CL" + std::to_string(seed));
+    list.entries.push_back({true, Community(static_cast<uint16_t>(100 + number(100)),
+                                            static_cast<uint16_t>(number(16)))});
+    config.communityLists.emplace(list.name, std::move(list));
+  }
+  {
+    AsPathList list;
+    list.name = Names::id("rand-AP" + std::to_string(seed));
+    list.entries.push_back({number(2) == 0, "_" + std::to_string(65000 + number(100)) + "_"});
+    config.asPathLists.emplace(list.name, std::move(list));
+  }
+  {
+    RoutePolicy& policy = config.routePolicy(Names::id("rand-RP" + std::to_string(seed)));
+    for (uint32_t sequence : {10u, 20u, 30u}) {
+      PolicyNode node;
+      node.sequence = sequence;
+      node.action = number(3) == 0   ? PolicyAction::kDeny
+                    : number(2) == 0 ? PolicyAction::kPermit
+                                     : PolicyAction::kUnspecified;
+      if (number(2)) node.match.prefixList = config.prefixLists.begin()->first;
+      if (number(2)) node.match.communityList = config.communityLists.begin()->first;
+      if (number(2)) node.sets.localPref = 100 + number(300);
+      if (number(2)) node.sets.med = number(1000);
+      if (number(2))
+        node.sets.addCommunities.push_back(
+            Community(static_cast<uint16_t>(number(500)), 1));
+      if (number(3) == 0) node.sets.prepend = {static_cast<Asn>(65000 + number(10)),
+                                               1 + number(3)};
+      policy.upsertNode(node);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    BgpNeighbor neighbor;
+    neighbor.peerAddress = IpAddress::v4((172u << 24) | (number(1 << 16) << 2) | 1);
+    neighbor.remoteAs = 65000 + number(100);
+    if (number(2)) neighbor.importPolicy = config.routePolicies.begin()->first;
+    neighbor.routeReflectorClient = number(2);
+    neighbor.nextHopSelf = number(2);
+    neighbor.addPathSend = number(2);
+    config.bgp.neighbors.push_back(neighbor);
+  }
+  {
+    StaticRouteConfig route;
+    route.prefix = Prefix(IpAddress::v4(number(1u << 30) << 2), 24);
+    route.nexthop = IpAddress::v4((10u << 24) | number(1 << 16));
+    route.preference = static_cast<uint8_t>(1 + number(200));
+    config.staticRoutes.push_back(route);
+  }
+  {
+    AggregateConfig aggregate;
+    aggregate.prefix = Prefix(IpAddress::v4(number(200) << 24), 8);
+    aggregate.asSet = number(2);
+    aggregate.summaryOnly = number(2);
+    config.bgp.aggregates.push_back(aggregate);
+  }
+  return config;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RoundTripTest, PrintParsePreservesSemantics) {
+  const DeviceConfig original = randomConfig(GetParam());
+  const std::string text = printDeviceConfig(original, nullptr);
+  const ParseResult reparsed = parseDeviceConfig(text);
+  for (const ParseError& error : reparsed.errors) ADD_FAILURE() << error.str();
+  const DeviceConfig& parsed = reparsed.config;
+
+  EXPECT_EQ(parsed.hostname, original.hostname);
+  EXPECT_EQ(parsed.vendor, original.vendor);
+  EXPECT_EQ(parsed.routerId, original.routerId);
+  EXPECT_EQ(parsed.bgp.asn, original.bgp.asn);
+  ASSERT_EQ(parsed.bgp.neighbors.size(), original.bgp.neighbors.size());
+  for (size_t i = 0; i < original.bgp.neighbors.size(); ++i) {
+    const BgpNeighbor& a = original.bgp.neighbors[i];
+    const BgpNeighbor& b = parsed.bgp.neighbors[i];
+    EXPECT_EQ(a.peerAddress, b.peerAddress);
+    EXPECT_EQ(a.remoteAs, b.remoteAs);
+    EXPECT_EQ(a.importPolicy, b.importPolicy);
+    EXPECT_EQ(a.routeReflectorClient, b.routeReflectorClient);
+    EXPECT_EQ(a.nextHopSelf, b.nextHopSelf);
+    EXPECT_EQ(a.addPathSend, b.addPathSend);
+  }
+  ASSERT_EQ(parsed.prefixLists.size(), original.prefixLists.size());
+  for (const auto& [name, list] : original.prefixLists) {
+    const PrefixList* other = parsed.findPrefixList(name);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->family, list.family);
+    ASSERT_EQ(other->entries.size(), list.entries.size());
+    for (size_t i = 0; i < list.entries.size(); ++i) {
+      EXPECT_EQ(other->entries[i].permit, list.entries[i].permit);
+      EXPECT_EQ(other->entries[i].prefix, list.entries[i].prefix);
+      EXPECT_EQ(other->entries[i].ge, list.entries[i].ge);
+      EXPECT_EQ(other->entries[i].le, list.entries[i].le);
+    }
+  }
+  ASSERT_EQ(parsed.routePolicies.size(), original.routePolicies.size());
+  for (const auto& [name, policy] : original.routePolicies) {
+    const RoutePolicy* other = parsed.findRoutePolicy(name);
+    ASSERT_NE(other, nullptr);
+    ASSERT_EQ(other->nodes.size(), policy.nodes.size());
+    for (size_t i = 0; i < policy.nodes.size(); ++i) {
+      EXPECT_EQ(other->nodes[i].sequence, policy.nodes[i].sequence);
+      EXPECT_EQ(other->nodes[i].action, policy.nodes[i].action);
+      EXPECT_EQ(other->nodes[i].match.prefixList, policy.nodes[i].match.prefixList);
+      EXPECT_EQ(other->nodes[i].sets.localPref, policy.nodes[i].sets.localPref);
+      EXPECT_EQ(other->nodes[i].sets.med, policy.nodes[i].sets.med);
+      EXPECT_EQ(other->nodes[i].sets.prepend, policy.nodes[i].sets.prepend);
+    }
+  }
+  ASSERT_EQ(parsed.staticRoutes.size(), original.staticRoutes.size());
+  EXPECT_EQ(parsed.staticRoutes[0].prefix, original.staticRoutes[0].prefix);
+  EXPECT_EQ(parsed.staticRoutes[0].preference, original.staticRoutes[0].preference);
+  ASSERT_EQ(parsed.bgp.aggregates.size(), original.bgp.aggregates.size());
+  EXPECT_EQ(parsed.bgp.aggregates[0].prefix, original.bgp.aggregates[0].prefix);
+  EXPECT_EQ(parsed.bgp.aggregates[0].asSet, original.bgp.aggregates[0].asSet);
+  EXPECT_EQ(parsed.bgp.aggregates[0].summaryOnly, original.bgp.aggregates[0].summaryOnly);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Range(1u, 17u));
+
+// Malformed-line sweep: the parser must report an error (never crash, never
+// silently accept).
+class MalformedLineTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedLineTest, ReportsError) {
+  const ParseResult result = parseDeviceConfig(GetParam());
+  EXPECT_FALSE(result.errors.empty()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lines, MalformedLineTest,
+    ::testing::Values("router-id banana",
+                      "ip-prefix L index x permit 10.0.0.0/8",
+                      "ip-prefix L index 10 permit not-a-prefix",
+                      "community-list C index 10 permit 100",
+                      "as-path-list A index 10 oops \"x\"",
+                      "route-policy P node ten permit",
+                      "router bgp notanumber",
+                      "static-route 10.0.0.0/8",
+                      "static-route banana nexthop 1.1.1.1",
+                      "sr-policy S endpoint banana",
+                      "pbr-policy P rule src 1.2.3.0/24",   // Missing nexthop.
+                      "acl A rule permit port x",
+                      "apply pbr NOPE interface eth0",
+                      "totally-unknown-command",
+                      "no"));
+
+// `no` forms for the subsystems not covered elsewhere.
+TEST(NoFormTest, RemovesListsAclsAndPbr) {
+  DeviceConfig config = parseDeviceConfig(
+      "ip-prefix PL index 10 permit 10.0.0.0/8\n"
+      "community-list CL index 10 permit 1:1\n"
+      "as-path-list AP index 10 permit \"_1_\"\n"
+      "pbr-policy PB rule dst 10.0.0.0/8 nexthop 1.1.1.1\n"
+      "acl AC rule deny dst 10.0.0.0/8\n"
+      "apply acl AC interface eth0\n"
+      "apply pbr PB interface eth0\n").config;
+  const auto errors = applyDeviceCommands(config, nullptr,
+                                          "no apply acl AC interface eth0\n"
+                                          "no apply pbr PB interface eth0\n"
+                                          "no ip-prefix PL\n"
+                                          "no community-list CL\n"
+                                          "no as-path-list AP\n"
+                                          "no pbr-policy PB\n"
+                                          "no acl AC\n");
+  for (const ParseError& error : errors) ADD_FAILURE() << error.str();
+  EXPECT_TRUE(config.prefixLists.empty());
+  EXPECT_TRUE(config.communityLists.empty());
+  EXPECT_TRUE(config.asPathLists.empty());
+  EXPECT_TRUE(config.pbrPolicies.empty());
+  EXPECT_TRUE(config.acls.empty());
+}
+
+TEST(NoFormTest, VrfAndIsolation) {
+  DeviceConfig config = parseDeviceConfig("vrf blue\n import-rt 1:1\n!\nisolate\n").config;
+  EXPECT_TRUE(config.isolated);
+  EXPECT_EQ(config.vrfs.size(), 1u);
+  const auto errors =
+      applyDeviceCommands(config, nullptr, "no isolate\nno vrf blue\n");
+  EXPECT_TRUE(errors.empty());
+  EXPECT_FALSE(config.isolated);
+  EXPECT_TRUE(config.vrfs.empty());
+}
+
+}  // namespace
+}  // namespace hoyan

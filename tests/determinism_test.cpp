@@ -1,0 +1,95 @@
+// Determinism: the whole pipeline must produce byte-identical results across
+// runs and worker counts — the distributed master merges subtask results in
+// a fixed order and every engine stage orders its work deterministically.
+// (The paper's post-change validation use case (§6.2) treats Hoyan's output
+// as ground truth; nondeterminism would poison it.)
+#include <gtest/gtest.h>
+
+#include "dist/dist_sim.h"
+#include "gen/wan_gen.h"
+#include "gen/workload_gen.h"
+#include "rcl/global_rib.h"
+
+namespace hoyan {
+namespace {
+
+std::vector<std::string> renderedRows(const NetworkRibs& ribs) {
+  const rcl::GlobalRib global = rcl::GlobalRib::fromNetworkRibs(ribs);
+  std::vector<std::string> out;
+  out.reserve(global.size());
+  for (const rcl::RibRow& row : global.rows()) out.push_back(row.str());
+  return out;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WanSpec spec;
+    spec.regions = 3;
+    wan_ = generateWan(spec);
+    WorkloadSpec workload;
+    workload.prefixesPerIsp = 24;
+    workload.prefixesPerDc = 8;
+    workload.v6Share = 0.25;
+    inputs_ = generateInputRoutes(wan_, workload);
+    flows_ = generateFlows(wan_, workload, 800);
+  }
+
+  NetworkRibs runDistributed(size_t workers, size_t subtasks) {
+    const NetworkModel model = wan_.buildModel();
+    DistSimOptions options;
+    options.workers = workers;
+    options.routeSubtasks = subtasks;
+    DistributedSimulator simulator(model, options);
+    DistRouteResult result = simulator.runRouteSimulation(inputs_);
+    EXPECT_TRUE(result.succeeded);
+    return std::move(result.ribs);
+  }
+
+  GeneratedWan wan_;
+  std::vector<InputRoute> inputs_;
+  std::vector<Flow> flows_;
+};
+
+TEST_F(DeterminismTest, RepeatedRunsProduceIdenticalGlobalRibs) {
+  const auto first = renderedRows(runDistributed(4, 16));
+  const auto second = renderedRows(runDistributed(4, 16));
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], second[i]) << i;
+}
+
+TEST_F(DeterminismTest, WorkerCountDoesNotChangeResults) {
+  const auto two = renderedRows(runDistributed(2, 16));
+  const auto eight = renderedRows(runDistributed(8, 16));
+  ASSERT_EQ(two.size(), eight.size());
+  for (size_t i = 0; i < two.size(); ++i) EXPECT_EQ(two[i], eight[i]) << i;
+}
+
+TEST_F(DeterminismTest, SubtaskCountDoesNotChangeResults) {
+  const auto few = renderedRows(runDistributed(4, 4));
+  const auto many = renderedRows(runDistributed(4, 64));
+  ASSERT_EQ(few.size(), many.size());
+  for (size_t i = 0; i < few.size(); ++i) EXPECT_EQ(few[i], many[i]) << i;
+}
+
+TEST_F(DeterminismTest, TrafficLoadsAreDeterministicAcrossWorkers) {
+  const NetworkModel model = wan_.buildModel();
+  LinkLoadMap first, second;
+  for (LinkLoadMap* loads : {&first, &second}) {
+    DistSimOptions options;
+    options.workers = loads == &first ? 2 : 7;
+    options.routeSubtasks = 16;
+    options.trafficSubtasks = 12;
+    DistributedSimulator simulator(model, options);
+    ASSERT_TRUE(simulator.runRouteSimulation(inputs_).succeeded);
+    DistTrafficResult result = simulator.runTrafficSimulation(flows_);
+    ASSERT_TRUE(result.succeeded);
+    *loads = std::move(result.linkLoads);
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (const auto& entry : first.entries())
+    EXPECT_NEAR(second.get(entry.from, entry.to), entry.bps, 1e-9) << Names::str(entry.from);
+}
+
+}  // namespace
+}  // namespace hoyan

@@ -1,0 +1,258 @@
+// Tests of the distributed simulation framework: queue/store/db primitives,
+// distributed == centralized result equivalence, failure retry, the ordering
+// heuristic's dependency pruning, and the random-split comparison.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dist/dist_sim.h"
+#include "dist/message_queue.h"
+#include "dist/object_store.h"
+#include "dist/subtask_db.h"
+#include "gen/wan_gen.h"
+#include "gen/workload_gen.h"
+
+namespace hoyan {
+namespace {
+
+TEST(MessageQueueTest, FifoAndClose) {
+  MessageQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  queue.close();
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(MessageQueueTest, BlockingPopWakesOnPush) {
+  MessageQueue<int> queue;
+  std::atomic<int> got{0};
+  std::thread consumer([&] { got = queue.pop().value_or(-1); });
+  queue.push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(MessageQueueTest, CloseWakesAllConsumers) {
+  MessageQueue<int> queue;
+  std::vector<std::thread> consumers;
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 4; ++i)
+    consumers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+      ++finished;
+    });
+  queue.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(finished.load(), 4);
+}
+
+TEST(ObjectStoreTest, TypedPutGetAndAccounting) {
+  ObjectStore store;
+  store.put("k", std::vector<int>{1, 2, 3}, 12);
+  EXPECT_TRUE(store.contains("k"));
+  const auto blob = store.get<std::vector<int>>("k");
+  EXPECT_EQ(blob->size(), 3u);
+  EXPECT_EQ(store.bytesWritten(), 12u);
+  EXPECT_EQ(store.bytesRead(), 12u);
+  EXPECT_EQ(store.readCount(), 1u);
+  EXPECT_THROW(store.get<std::vector<int>>("missing"), std::out_of_range);
+  store.erase("k");
+  EXPECT_FALSE(store.contains("k"));
+}
+
+TEST(SubtaskDbTest, StatusLifecycle) {
+  SubtaskDb db;
+  SubtaskRecord record;
+  record.id = "route-0";
+  db.upsert(record);
+  db.update("route-0", [](SubtaskRecord& r) { r.status = SubtaskStatus::kRunning; });
+  EXPECT_EQ(db.get("route-0")->status, SubtaskStatus::kRunning);
+  EXPECT_EQ(db.countWithStatus(SubtaskStatus::kRunning), 1u);
+  db.update("nonexistent", [](SubtaskRecord&) { FAIL(); });
+  EXPECT_EQ(db.all().size(), 1u);
+}
+
+class DistSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WanSpec spec;
+    spec.regions = 3;
+    wan_ = generateWan(spec);
+    model_ = std::make_unique<NetworkModel>(wan_.buildModel());
+    WorkloadSpec workload;
+    workload.prefixesPerIsp = 24;
+    workload.prefixesPerDc = 12;
+    workload.v6Share = 0;
+    inputs_ = generateInputRoutes(wan_, workload);
+    flows_ = generateFlows(wan_, workload, 600);
+  }
+
+  GeneratedWan wan_;
+  std::unique_ptr<NetworkModel> model_;
+  std::vector<InputRoute> inputs_;
+  std::vector<Flow> flows_;
+};
+
+TEST_F(DistSimTest, DistributedEqualsCentralizedRouteSimulation) {
+  // Centralized reference.
+  RouteSimOptions central;
+  central.includeLocalRoutes = true;
+  RouteSimResult reference = simulateRoutes(*model_, inputs_, central);
+
+  DistSimOptions options;
+  options.workers = 4;
+  options.routeSubtasks = 16;
+  DistributedSimulator sim(*model_, options);
+  DistRouteResult distributed = sim.runRouteSimulation(inputs_);
+  ASSERT_TRUE(distributed.succeeded);
+  EXPECT_EQ(distributed.ribs.routeCount(), reference.ribs.routeCount());
+
+  // Every best route agrees (spot check through all devices/prefixes).
+  reference.ribs.buildForwardingIndex();
+  for (const auto& [deviceId, deviceRib] : reference.ribs.devices()) {
+    const DeviceRib* other = distributed.ribs.findDevice(deviceId);
+    ASSERT_NE(other, nullptr);
+    for (const auto& [vrfId, vrfRib] : deviceRib.vrfs()) {
+      const VrfRib* otherVrf = other->findVrf(vrfId);
+      ASSERT_NE(otherVrf, nullptr) << Names::str(deviceId);
+      ASSERT_EQ(otherVrf->prefixCount(), vrfRib.prefixCount()) << Names::str(deviceId);
+      for (const auto& [prefix, routes] : vrfRib.routes()) {
+        const auto* otherRoutes = otherVrf->find(prefix);
+        ASSERT_NE(otherRoutes, nullptr) << prefix.str();
+        ASSERT_EQ(otherRoutes->size(), routes.size()) << prefix.str();
+        // Best routes must be identical.
+        EXPECT_TRUE(otherRoutes->front() == routes.front())
+            << Names::str(deviceId) << " " << prefix.str() << "\n  ref:  "
+            << routes.front().str() << "\n  dist: " << otherRoutes->front().str();
+      }
+    }
+  }
+}
+
+TEST_F(DistSimTest, DistributedTrafficMatchesCentralized) {
+  RouteSimOptions central;
+  central.includeLocalRoutes = true;
+  RouteSimResult reference = simulateRoutes(*model_, inputs_, central);
+  reference.ribs.buildForwardingIndex();
+  const TrafficSimResult referenceTraffic =
+      simulateTraffic(*model_, reference.ribs, flows_);
+
+  DistSimOptions options;
+  options.workers = 4;
+  options.routeSubtasks = 16;
+  options.trafficSubtasks = 8;
+  DistributedSimulator sim(*model_, options);
+  ASSERT_TRUE(sim.runRouteSimulation(inputs_).succeeded);
+  const DistTrafficResult distributed = sim.runTrafficSimulation(flows_);
+  ASSERT_TRUE(distributed.succeeded);
+  EXPECT_EQ(distributed.stats.inputFlows, flows_.size());
+  // Per-link loads agree with the centralized run.
+  for (const auto& entry : referenceTraffic.linkLoads.entries()) {
+    EXPECT_NEAR(distributed.linkLoads.get(entry.from, entry.to), entry.bps,
+                entry.bps * 1e-6 + 1e-6)
+        << Names::str(entry.from) << "->" << Names::str(entry.to);
+  }
+}
+
+TEST_F(DistSimTest, WorkerCrashesAreRetried) {
+  DistSimOptions options;
+  options.workers = 4;
+  options.routeSubtasks = 12;
+  options.workerFailureProbability = 0.4;
+  options.failureSeed = 3;
+  options.maxAttempts = 10;
+  DistributedSimulator sim(*model_, options);
+  const DistRouteResult result = sim.runRouteSimulation(inputs_);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_GT(result.retries, 0u);
+  // Retried subtasks recorded multiple attempts in the DB.
+  bool sawRetriedRecord = false;
+  for (const SubtaskRecord& record : sim.db().all())
+    if (record.attempts > 1) sawRetriedRecord = true;
+  EXPECT_TRUE(sawRetriedRecord);
+  // And the result still matches the centralized reference count.
+  RouteSimOptions central;
+  central.includeLocalRoutes = true;
+  EXPECT_EQ(result.ribs.routeCount(), simulateRoutes(*model_, inputs_, central).ribs.routeCount());
+}
+
+TEST_F(DistSimTest, ExhaustedRetriesFailTheTask) {
+  DistSimOptions options;
+  options.workers = 2;
+  options.routeSubtasks = 4;
+  options.workerFailureProbability = 1.0;  // Always crash.
+  options.maxAttempts = 2;
+  DistributedSimulator sim(*model_, options);
+  const DistRouteResult result = sim.runRouteSimulation(inputs_);
+  EXPECT_FALSE(result.succeeded);
+}
+
+TEST_F(DistSimTest, OrderingHeuristicPrunesRibFileLoads) {
+  DistSimOptions ordering;
+  ordering.workers = 4;
+  ordering.routeSubtasks = 16;
+  ordering.trafficSubtasks = 8;
+  ordering.strategy = SplitStrategy::kOrdering;
+  DistributedSimulator orderingSim(*model_, ordering);
+  ASSERT_TRUE(orderingSim.runRouteSimulation(inputs_).succeeded);
+  const DistTrafficResult orderingResult = orderingSim.runTrafficSimulation(flows_);
+
+  DistSimOptions random = ordering;
+  random.strategy = SplitStrategy::kRandom;
+  DistributedSimulator randomSim(*model_, random);
+  ASSERT_TRUE(randomSim.runRouteSimulation(inputs_).succeeded);
+  const DistTrafficResult randomResult = randomSim.runTrafficSimulation(flows_);
+
+  const auto averageLoadedFraction = [](const DistTrafficResult& result) {
+    double sum = 0;
+    for (const SubtaskMetric& metric : result.subtasks)
+      sum += static_cast<double>(metric.ribFilesLoaded) /
+             static_cast<double>(metric.ribFilesTotal);
+    return sum / static_cast<double>(result.subtasks.size());
+  };
+  const double orderingFraction = averageLoadedFraction(orderingResult);
+  const double randomFraction = averageLoadedFraction(randomResult);
+  // Ordering loads a strict subset; random needs (nearly) everything.
+  EXPECT_LT(orderingFraction, randomFraction);
+  EXPECT_GT(randomFraction, 0.9);
+  // Both strategies still compute identical loads.
+  for (const auto& entry : orderingResult.linkLoads.entries())
+    EXPECT_NEAR(randomResult.linkLoads.get(entry.from, entry.to), entry.bps,
+                entry.bps * 1e-6 + 1e-6);
+}
+
+TEST_F(DistSimTest, LoadAllBaselineReadsMoreBytes) {
+  DistSimOptions pruned;
+  pruned.workers = 2;
+  pruned.routeSubtasks = 16;
+  pruned.trafficSubtasks = 8;
+  DistributedSimulator prunedSim(*model_, pruned);
+  ASSERT_TRUE(prunedSim.runRouteSimulation(inputs_).succeeded);
+  const DistTrafficResult prunedResult = prunedSim.runTrafficSimulation(flows_);
+
+  DistSimOptions baseline = pruned;
+  baseline.loadAllRibs = true;
+  DistributedSimulator baselineSim(*model_, baseline);
+  ASSERT_TRUE(baselineSim.runRouteSimulation(inputs_).succeeded);
+  const DistTrafficResult baselineResult = baselineSim.runTrafficSimulation(flows_);
+
+  EXPECT_LT(prunedResult.storeBytesRead, baselineResult.storeBytesRead);
+}
+
+TEST_F(DistSimTest, SubtaskRuntimesAreRecorded) {
+  DistSimOptions options;
+  options.workers = 2;
+  options.routeSubtasks = 8;
+  DistributedSimulator sim(*model_, options);
+  const DistRouteResult result = sim.runRouteSimulation(inputs_);
+  ASSERT_TRUE(result.succeeded);
+  EXPECT_GE(result.subtasks.size(), 8u);
+  for (const SubtaskMetric& metric : result.subtasks) EXPECT_GE(metric.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace hoyan

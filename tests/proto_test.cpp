@@ -1,0 +1,358 @@
+// Tests for protocol engines: IS-IS SPF, policy evaluation with VSBs, BGP
+// session derivation, and the decision process.
+#include <gtest/gtest.h>
+
+#include "proto/bgp.h"
+#include "proto/isis.h"
+#include "proto/network_model.h"
+#include "proto/policy_eval.h"
+#include "test_fixtures.h"
+
+namespace hoyan {
+namespace {
+
+using testing::buildSmallWan;
+using testing::SmallWan;
+
+// --- IS-IS ---------------------------------------------------------------
+
+TEST(IsisTest, SpfCostsOnSmallWan) {
+  const SmallWan net = buildSmallWan();
+  const IgpState igp = IgpState::compute(net.topology);
+  EXPECT_EQ(igp.path(net.c1, net.c2).cost, 10u);
+  EXPECT_EQ(igp.path(net.br1, net.c2).cost, 20u);  // BR1 -> C1 -> C2.
+  EXPECT_EQ(igp.path(net.br1, net.rr1).cost, 20u);
+  // The ISP is outside the IGP domain.
+  EXPECT_FALSE(igp.path(net.c1, net.isp1).reachable());
+  EXPECT_FALSE(igp.path(net.isp1, net.c1).reachable());
+}
+
+TEST(IsisTest, EcmpFirstHops) {
+  const SmallWan net = buildSmallWan();
+  const IgpState igp = IgpState::compute(net.topology);
+  // BR1 -> RR1: via C1 (10+10); C1->RR1 direct; single path.
+  const IgpPath& path = igp.path(net.br1, net.rr1);
+  ASSERT_EQ(path.nextHops.size(), 1u);
+  EXPECT_EQ(path.nextHops[0], net.c1);
+  // C1 -> every domain member reachable.
+  const auto members = igp.domainMembers(net.c1);
+  EXPECT_EQ(members.size(), 4u);
+}
+
+TEST(IsisTest, LinkFailureReroutes) {
+  SmallWan net = buildSmallWan();
+  net.topology.setLinkState(net.c1, net.c2, false);
+  const IgpState igp = IgpState::compute(net.topology);
+  // C1 -> C2 must now detour via RR1.
+  EXPECT_EQ(igp.path(net.c1, net.c2).cost, 20u);
+  ASSERT_EQ(igp.path(net.c1, net.c2).nextHops.size(), 1u);
+  EXPECT_EQ(igp.path(net.c1, net.c2).nextHops[0], net.rr1);
+}
+
+TEST(IsisTest, DeviceFailureDisconnects) {
+  SmallWan net = buildSmallWan();
+  net.topology.failDevice(net.c1);
+  const IgpState igp = IgpState::compute(net.topology);
+  EXPECT_FALSE(igp.path(net.br1, net.c2).reachable());
+  net.topology.restoreDevice(net.c1);
+  const IgpState restored = IgpState::compute(net.topology);
+  EXPECT_TRUE(restored.path(net.br1, net.c2).reachable());
+}
+
+// --- AS-path regex -----------------------------------------------------------
+
+TEST(AsPathRegexTest, UnderscoreBoundaries) {
+  AsPath path({100, 123, 300});
+  EXPECT_TRUE(asPathMatches(path, "_123_"));
+  EXPECT_FALSE(asPathMatches(path, "_124_"));
+  EXPECT_TRUE(asPathMatches(path, "^100"));
+  EXPECT_TRUE(asPathMatches(path, "300$"));
+  EXPECT_TRUE(asPathMatches(path, ".*"));
+  // An invalid pattern matches nothing rather than throwing.
+  EXPECT_FALSE(asPathMatches(path, "(unclosed"));
+  // `_23_` must not match inside 123 (boundary semantics).
+  EXPECT_FALSE(asPathMatches(path, "_23_"));
+}
+
+// --- policy evaluation VSBs ------------------------------------------------------
+
+class PolicyVsbTest : public ::testing::Test {
+ protected:
+  Route makeRoute(const std::string& prefix = "10.0.0.0/24") {
+    Route route;
+    route.prefix = *Prefix::parse(prefix);
+    route.protocol = Protocol::kBgp;
+    route.attrs.communities.insert(Community(100, 1));
+    route.attrs.asPath = AsPath({65001, 70000});
+    return route;
+  }
+
+  DeviceConfig config_;
+};
+
+TEST_F(PolicyVsbTest, MissingRoutePolicy) {
+  const PolicyContext acceptContext{&config_, &vendorA(), 64512};
+  EXPECT_TRUE(evaluatePolicy(acceptContext, std::nullopt, makeRoute()).permitted);
+  const PolicyContext strictContext{&config_, &vendorC(), 64512};
+  EXPECT_FALSE(evaluatePolicy(strictContext, std::nullopt, makeRoute()).permitted);
+}
+
+TEST_F(PolicyVsbTest, UndefinedRoutePolicy) {
+  const NameId ghost = Names::id("GHOST-POLICY");
+  const PolicyContext lenient{&config_, &vendorA(), 64512};  // Undefined==missing.
+  EXPECT_TRUE(evaluatePolicy(lenient, ghost, makeRoute()).permitted);
+  const PolicyContext strict{&config_, &vendorB(), 64512};
+  EXPECT_FALSE(evaluatePolicy(strict, ghost, makeRoute()).permitted);
+}
+
+TEST_F(PolicyVsbTest, DefaultRoutePolicyTailBehaviour) {
+  const NameId name = Names::id("NARROW");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.match.nexthop = *IpAddress::parse("99.99.99.99");  // Never matches.
+  policy.upsertNode(node);
+  const PolicyContext tailDeny{&config_, &vendorA(), 64512};
+  EXPECT_FALSE(evaluatePolicy(tailDeny, name, makeRoute()).permitted);
+  const PolicyContext tailPermit{&config_, &vendorC(), 64512};
+  EXPECT_TRUE(evaluatePolicy(tailPermit, name, makeRoute()).permitted);
+}
+
+TEST_F(PolicyVsbTest, UndefinedPolicyFilter) {
+  const NameId name = Names::id("WITH-GHOST-FILTER");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.match.prefixList = Names::id("GHOST-LIST");
+  policy.upsertNode(node);
+  const PolicyContext matchAll{&config_, &vendorA(), 64512};
+  EXPECT_TRUE(evaluatePolicy(matchAll, name, makeRoute()).permitted);
+  // VendorB: undefined filter matches nothing -> node skipped -> tail deny.
+  const PolicyContext matchNone{&config_, &vendorB(), 64512};
+  EXPECT_FALSE(evaluatePolicy(matchNone, name, makeRoute()).permitted);
+}
+
+TEST_F(PolicyVsbTest, NodeWithoutExplicitAction) {
+  const NameId name = Names::id("NO-ACTION");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;  // action stays kUnspecified.
+  policy.upsertNode(node);
+  const PolicyContext permits{&config_, &vendorA(), 64512};
+  EXPECT_TRUE(evaluatePolicy(permits, name, makeRoute()).permitted);
+  const PolicyContext denies{&config_, &vendorB(), 64512};
+  EXPECT_FALSE(evaluatePolicy(denies, name, makeRoute()).permitted);
+}
+
+TEST_F(PolicyVsbTest, IpPrefixListAgainstV6Route) {
+  // The §6.1(b) incident: an ip-prefix list matched against IPv6 routes.
+  const NameId listName = Names::id("TARGETS");
+  PrefixList list;
+  list.name = listName;
+  list.family = IpFamily::kV4;  // Declared with `ip-prefix`.
+  list.entries.push_back({true, *Prefix::parse("2400:db8::/32"), 0, 0});
+  config_.prefixLists.emplace(listName, list);
+  const NameId name = Names::id("STEER");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.match.prefixList = listName;
+  node.sets.localPref = 500;
+  policy.upsertNode(node);
+
+  Route v6route = makeRoute();
+  v6route.prefix = *Prefix::parse("2400:aaaa::/32");  // NOT in the list.
+  // VendorC: all IPv6 routes match the v4 list by default => unintended.
+  const PolicyContext buggy{&config_, &vendorC(), 64512};
+  const PolicyResult buggyResult = evaluatePolicy(buggy, name, v6route);
+  EXPECT_TRUE(buggyResult.permitted);
+  EXPECT_EQ(buggyResult.route.attrs.localPref, 500u);
+  // VendorA: a v4 list never matches a v6 route => tail deny.
+  const PolicyContext sane{&config_, &vendorA(), 64512};
+  EXPECT_FALSE(evaluatePolicy(sane, name, v6route).permitted);
+}
+
+TEST_F(PolicyVsbTest, AsPathOverwriteAddsOwnAsnPerVsb) {
+  const NameId name = Names::id("OVERWRITE");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.sets.overwriteAsPath = std::vector<Asn>{65100};
+  policy.upsertNode(node);
+  const PolicyContext adds{&config_, &vendorA(), 64512};
+  EXPECT_EQ(evaluatePolicy(adds, name, makeRoute()).route.attrs.asPath.str(),
+            "64512 65100");
+  const PolicyContext keeps{&config_, &vendorB(), 64512};
+  EXPECT_EQ(evaluatePolicy(keeps, name, makeRoute()).route.attrs.asPath.str(), "65100");
+}
+
+TEST_F(PolicyVsbTest, SetsApplyInOrder) {
+  PolicySets sets;
+  sets.clearCommunities = true;
+  sets.addCommunities.push_back(Community(300, 3));
+  sets.localPref = 250;
+  sets.med = 77;
+  sets.nexthop = *IpAddress::parse("4.4.4.4");
+  sets.prepend = {64512, 3};
+  Route route = makeRoute();
+  const PolicyContext context{&config_, &vendorB(), 64512};
+  applySets(context, sets, route);
+  EXPECT_EQ(route.attrs.communities.str(), "300:3");
+  EXPECT_EQ(route.attrs.localPref, 250u);
+  EXPECT_EQ(route.attrs.med, 77u);
+  EXPECT_EQ(route.nexthop.str(), "4.4.4.4");
+  EXPECT_EQ(route.attrs.asPath.str(), "64512 64512 64512 65001 70000");
+}
+
+// --- BGP sessions -----------------------------------------------------------------
+
+TEST(BgpSessionTest, DerivesAllSmallWanSessions) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  // 3 iBGP pairs + 1 eBGP pair = 8 directed sessions.
+  EXPECT_EQ(model.sessions.size(), 8u);
+  size_t ebgp = 0;
+  for (const BgpSession& session : model.sessions)
+    if (session.ebgp) ++ebgp;
+  EXPECT_EQ(ebgp, 2u);
+}
+
+TEST(BgpSessionTest, RemoteAsMismatchBreaksSession) {
+  SmallWan net = buildSmallWan();
+  // Typo in the remote-as of BR1 -> ISP1.
+  for (BgpNeighbor& neighbor : net.configs.device(net.br1).bgp.neighbors)
+    if (neighbor.remoteAs == 65001) neighbor.remoteAs = 65002;
+  std::vector<std::string> problems;
+  const AddressIndex index = AddressIndex::build(net.topology);
+  const IgpState igp = IgpState::compute(net.topology);
+  const auto sessions = deriveBgpSessions(net.topology, net.configs, index, igp, &problems);
+  EXPECT_EQ(sessions.size(), 6u);  // Only the iBGP sessions remain.
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(BgpSessionTest, ShutdownNeighborBreaksBothDirections) {
+  SmallWan net = buildSmallWan();
+  for (BgpNeighbor& neighbor : net.configs.device(net.br1).bgp.neighbors)
+    if (neighbor.remoteAs == 65001) neighbor.shutdown = true;
+  const NetworkModel model = net.model();
+  for (const BgpSession& session : model.sessions) EXPECT_FALSE(session.ebgp);
+}
+
+TEST(BgpSessionTest, IsolationSemanticsDependOnVendor) {
+  // Session-shutdown vendor (B): isolation removes all sessions.
+  SmallWan netB = buildSmallWan();
+  netB.configs.device(netB.br1).isolated = true;
+  netB.configs.device(netB.br1).vendor = vendorB().name;
+  // VendorB isolationViaDenyPolicy = false -> sessions drop.
+  const NetworkModel modelB = netB.model();
+  for (const BgpSession& session : modelB.sessions) {
+    EXPECT_NE(session.local, netB.br1);
+    EXPECT_NE(session.peer, netB.br1);
+  }
+  // Deny-policy vendor (A): sessions stay up.
+  SmallWan netA = buildSmallWan();
+  netA.configs.device(netA.br1).isolated = true;
+  netA.configs.device(netA.br1).vendor = vendorA().name;
+  const NetworkModel modelA = netA.model();
+  bool anyBorderSession = false;
+  for (const BgpSession& session : modelA.sessions)
+    if (session.local == netA.br1) anyBorderSession = true;
+  EXPECT_TRUE(anyBorderSession);
+}
+
+// --- decision process ------------------------------------------------------------
+
+class DecisionTest : public ::testing::Test {
+ protected:
+  Route route(uint32_t localPref, size_t pathLength, uint32_t med = 0,
+              bool ebgp = true, uint32_t igpCost = 0, uint32_t weight = 0) {
+    Route r;
+    r.prefix = *Prefix::parse("10.0.0.0/24");
+    r.protocol = Protocol::kBgp;
+    r.adminDistance = 20;
+    r.attrs.weight = weight;
+    r.attrs.localPref = localPref;
+    std::vector<Asn> path;
+    for (size_t i = 0; i < pathLength; ++i) path.push_back(65000);
+    r.attrs.asPath = AsPath(path);
+    r.attrs.med = med;
+    r.ebgpLearned = ebgp;
+    r.igpCost = igpCost;
+    return r;
+  }
+};
+
+TEST_F(DecisionTest, WeightBeatsEverything) {
+  EXPECT_TRUE(bgpPreferred(route(100, 5, 0, false, 99, 1000), route(999, 1)));
+}
+
+TEST_F(DecisionTest, LocalPrefBeatsPathLength) {
+  EXPECT_TRUE(bgpPreferred(route(200, 5), route(100, 1)));
+}
+
+TEST_F(DecisionTest, ShorterPathWins) {
+  EXPECT_TRUE(bgpPreferred(route(100, 1), route(100, 2)));
+}
+
+TEST_F(DecisionTest, MedComparableOnlyWithinSameNeighborAs) {
+  Route a = route(100, 1, 10);
+  Route b = route(100, 1, 20);
+  EXPECT_TRUE(bgpPreferred(a, b));  // Same first ASN (65000).
+  // Different neighbour AS: MED not compared; tie continues to eBGP/IGP.
+  b.attrs.asPath = AsPath({65009});
+  EXPECT_FALSE(bgpPreferred(a, b));
+  EXPECT_FALSE(bgpPreferred(b, a));
+}
+
+TEST_F(DecisionTest, EbgpOverIbgpThenIgpCost) {
+  EXPECT_TRUE(bgpPreferred(route(100, 1, 0, true), route(100, 1, 0, false)));
+  EXPECT_TRUE(bgpPreferred(route(100, 1, 0, false, 5), route(100, 1, 0, false, 10)));
+}
+
+TEST_F(DecisionTest, SelectBestRoutesMarksEcmp) {
+  std::vector<Route> routes;
+  routes.push_back(route(100, 1, 0, false, 10));
+  routes.push_back(route(100, 1, 0, false, 10));  // Equal: ECMP.
+  routes.push_back(route(100, 2, 0, false, 10));  // Longer path: alternate.
+  routes[0].learnedFrom = Names::id("d-a");
+  routes[1].learnedFrom = Names::id("d-b");
+  routes[2].learnedFrom = Names::id("d-c");
+  selectBestRoutes(routes);
+  EXPECT_EQ(routes[0].type, RouteType::kBest);
+  EXPECT_EQ(routes[1].type, RouteType::kEcmp);
+  EXPECT_EQ(routes[2].type, RouteType::kAlternate);
+}
+
+TEST_F(DecisionTest, AdminDistanceSeparatesProtocols) {
+  std::vector<Route> routes;
+  Route bgpRoute = route(100, 1);
+  Route staticRoute;
+  staticRoute.prefix = bgpRoute.prefix;
+  staticRoute.protocol = Protocol::kStatic;
+  staticRoute.adminDistance = 1;
+  routes.push_back(bgpRoute);
+  routes.push_back(staticRoute);
+  selectBestRoutes(routes);
+  EXPECT_EQ(routes[0].protocol, Protocol::kStatic);
+  EXPECT_EQ(routes[0].type, RouteType::kBest);
+  EXPECT_EQ(routes[1].type, RouteType::kAlternate);
+}
+
+// --- address index ---------------------------------------------------------------
+
+TEST(AddressIndexTest, ResolvesLoopbacksInterfacesAndSubnets) {
+  const SmallWan net = buildSmallWan();
+  const AddressIndex index = AddressIndex::build(net.topology);
+  const Device* c1 = net.topology.findDevice(net.c1);
+  EXPECT_EQ(index.exactOwner(c1->loopback), net.c1);
+  EXPECT_EQ(index.exactOwner(c1->interfaces[0].address), net.c1);
+  EXPECT_FALSE(index.exactOwner(*IpAddress::parse("203.0.113.1")).has_value());
+  EXPECT_EQ(index.owner(c1->loopback), net.c1);
+}
+
+}  // namespace
+}  // namespace hoyan

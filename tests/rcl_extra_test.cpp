@@ -1,0 +1,180 @@
+// RCL semantic property tests: evaluator identities checked against direct
+// semantics on randomized global RIBs, parameterized field-accessor sweeps,
+// and grammar corner cases.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rcl/parser.h"
+#include "rcl/verify.h"
+
+namespace hoyan::rcl {
+namespace {
+
+GlobalRib randomRib(unsigned seed, size_t rows) {
+  std::mt19937 rng(seed);
+  GlobalRib rib;
+  const char* devices[] = {"R1", "R2", "R3", "R4"};
+  const char* vrfs[] = {"global", "vrf1"};
+  for (size_t i = 0; i < rows; ++i) {
+    RibRow row;
+    row.device = devices[rng() % 4];
+    row.vrf = vrfs[rng() % 2];
+    row.prefix = Prefix(IpAddress::v4((10u << 24) | ((rng() % 8) << 16)), 16);
+    row.nexthop = *IpAddress::parse("1.1.1." + std::to_string(rng() % 4));
+    row.localPref = 100 * (rng() % 3 + 1);
+    row.med = rng() % 4 * 5;
+    row.weight = rng() % 2 * 100;
+    row.igpCost = rng() % 50;
+    if (rng() % 2) row.communities.push_back("100:" + std::to_string(rng() % 3));
+    std::sort(row.communities.begin(), row.communities.end());
+    row.asPath = std::to_string(65000 + rng() % 3);
+    row.routeType = rng() % 3 == 0 ? RouteType::kEcmp : RouteType::kBest;
+    row.protocol = rng() % 4 == 0 ? Protocol::kStatic : Protocol::kBgp;
+    rib.add(std::move(row));
+  }
+  return rib;
+}
+
+// Property: a guarded intent equals evaluating the body on pre-filtered RIBs.
+TEST(RclPropertyTest, GuardEqualsManualFilter) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    const GlobalRib base = randomRib(seed, 40);
+    const GlobalRib updated = randomRib(seed + 100, 40);
+    const auto filterByDevice = [](const GlobalRib& rib, const std::string& device) {
+      GlobalRib out;
+      for (const RibRow& row : rib.rows())
+        if (row.device == device) out.add(row);
+      return out;
+    };
+    const std::string body = "PRE |> count() = POST |> count()";
+    const CheckResult guarded =
+        checkIntentText("device = R1 => " + body, base, updated);
+    const CheckResult manual = checkIntentText(body, filterByDevice(base, "R1"),
+                                               filterByDevice(updated, "R1"));
+    EXPECT_EQ(guarded.satisfied, manual.satisfied) << "seed " << seed;
+  }
+}
+
+// Property: forall over a field equals the conjunction over its value set.
+TEST(RclPropertyTest, ForallEqualsConjunction) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    const GlobalRib base = randomRib(seed, 40);
+    const GlobalRib updated = randomRib(seed + 100, 40);
+    const std::string body = "PRE |> distCnt(nexthop) >= POST |> distCnt(nexthop)";
+    const CheckResult whole = checkIntentText("forall device: " + body, base, updated);
+    bool conjunction = true;
+    for (const char* device : {"R1", "R2", "R3", "R4"}) {
+      const CheckResult part = checkIntentText(
+          std::string("device = ") + device + " => " + body, base, updated);
+      conjunction = conjunction && part.satisfied;
+    }
+    EXPECT_EQ(whole.satisfied, conjunction) << "seed " << seed;
+  }
+}
+
+// Property: De Morgan over intents — not (a and b) == (not a) or (not b).
+TEST(RclPropertyTest, DeMorganOverIntents) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    const GlobalRib base = randomRib(seed, 30);
+    const GlobalRib updated = randomRib(seed + 100, 30);
+    const std::string a = "PRE |> count() >= 15";
+    const std::string b = "POST |> distCnt(device) >= 3";
+    const CheckResult lhs =
+        checkIntentText("not (" + a + " and " + b + ")", base, updated);
+    const CheckResult rhs =
+        checkIntentText("not (" + a + ") or not (" + b + ")", base, updated);
+    EXPECT_EQ(lhs.satisfied, rhs.satisfied) << "seed " << seed;
+  }
+}
+
+// Property: PRE = POST iff both directions of containment-ish counting hold
+// on identical RIBs; identical inputs always satisfy equality.
+TEST(RclPropertyTest, RibEqualityReflexive) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    const GlobalRib rib = randomRib(seed, 25);
+    EXPECT_TRUE(checkIntentText("PRE = POST", rib, rib).satisfied);
+    EXPECT_FALSE(checkIntentText("PRE != POST", rib, rib).satisfied);
+  }
+}
+
+// Property: filtering never increases count; chained filters compose.
+TEST(RclPropertyTest, FilterMonotonicity) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    const GlobalRib base = randomRib(seed, 40);
+    EXPECT_TRUE(checkIntentText("PRE |> count() >= PRE || device = R1 |> count()",
+                                base, base)
+                    .satisfied);
+    EXPECT_TRUE(checkIntentText(
+                    "PRE || device = R1 |> count() >= "
+                    "PRE || device = R1 || vrf = vrf1 |> count()",
+                    base, base)
+                    .satisfied);
+    // Filter order commutes.
+    EXPECT_TRUE(checkIntentText(
+                    "PRE || device = R1 || vrf = vrf1 |> count() = "
+                    "PRE || vrf = vrf1 || device = R1 |> count()",
+                    base, base)
+                    .satisfied);
+  }
+}
+
+// Parameterized sweep: every field is accessible in predicates and
+// aggregates, and distVals/distCnt agree.
+class FieldSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FieldSweepTest, DistCntMatchesDistValsCardinality) {
+  const GlobalRib base = randomRib(3, 50);
+  const std::string field = GetParam();
+  // |distVals(f)| == distCnt(f): evaluate via a comparison that must hold.
+  const CheckResult result = checkIntentText(
+      "PRE |> distCnt(" + field + ") >= 1 and PRE |> distCnt(" + field + ") <= 50",
+      base, base);
+  EXPECT_TRUE(result.satisfied) << field;
+  // The field also works as a forall grouping and a predicate.
+  EXPECT_TRUE(checkIntentText("forall " + field + ": PRE |> count() >= 1", base, base)
+                  .satisfied)
+      << field;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, FieldSweepTest,
+                         ::testing::Values("device", "vrf", "prefix", "nexthop",
+                                           "localPref", "med", "weight", "igpCost",
+                                           "aspath", "routeType", "protocol",
+                                           "origin"));
+
+// Grammar corners.
+TEST(RclGrammarTest, CornerCases) {
+  // Empty set literal.
+  EXPECT_TRUE(parseIntent("POST |> distVals(nexthop) = {}").ok());
+  // Nested parentheses.
+  EXPECT_TRUE(parseIntent("((PRE |> count() = 0))").ok());
+  // Community values in sets.
+  EXPECT_TRUE(parseIntent("POST || communities contains 100:1 |> count() = 0").ok());
+  // IPv6 values.
+  EXPECT_TRUE(parseIntent("prefix = 2400:db8::/32 => PRE = POST").ok());
+  // Chained arithmetic.
+  EXPECT_TRUE(parseIntent("PRE |> count() + 1 - 1 * 2 / 2 >= 0").ok());
+  // Deeply nested boolean structure.
+  EXPECT_TRUE(parseIntent("not (PRE = POST or (POST |> count() = 0 and "
+                          "PRE |> count() = 0))")
+                  .ok());
+}
+
+TEST(RclGrammarTest, EmptySetSemantics) {
+  GlobalRib empty;
+  GlobalRib one = randomRib(1, 1);
+  EXPECT_TRUE(checkIntentText("PRE |> distVals(nexthop) = {}", empty, one).satisfied);
+  EXPECT_FALSE(checkIntentText("POST |> distVals(nexthop) = {}", empty, one).satisfied);
+}
+
+TEST(RclGrammarTest, SetsCompareOnlyWithEquality) {
+  const GlobalRib rib = randomRib(2, 10);
+  // Ordered comparison of sets evaluates to false rather than crashing.
+  const CheckResult result =
+      checkIntentText("PRE |> distVals(nexthop) >= {1.1.1.1}", rib, rib);
+  EXPECT_FALSE(result.satisfied);
+}
+
+}  // namespace
+}  // namespace hoyan::rcl

@@ -1,0 +1,63 @@
+// Integration tests: all 12 Table-2 change types verify cleanly, and every
+// Table-6 risky change is flagged, via the full Hoyan pipeline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "scenario/scenarios.h"
+
+namespace hoyan {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    environment_ = new ScenarioEnvironment(makeStandardEnvironment());
+    hoyan_ = new Hoyan(makeHoyan(*environment_));
+  }
+  static void TearDownTestSuite() {
+    delete hoyan_;
+    delete environment_;
+    hoyan_ = nullptr;
+    environment_ = nullptr;
+  }
+
+  static ScenarioEnvironment* environment_;
+  static Hoyan* hoyan_;
+};
+
+ScenarioEnvironment* ScenarioTest::environment_ = nullptr;
+Hoyan* ScenarioTest::hoyan_ = nullptr;
+
+TEST_F(ScenarioTest, AllTable2ChangeTypesVerifyClean) {
+  const std::vector<Scenario> scenarios = table2ChangeScenarios(*environment_);
+  ASSERT_EQ(scenarios.size(), 12u);
+  for (const Scenario& scenario : scenarios) {
+    const ScenarioOutcome outcome = runScenario(*hoyan_, scenario);
+    EXPECT_FALSE(outcome.flagged)
+        << scenario.name << " (" << scenario.changeType << ")\n"
+        << outcome.verification.report();
+  }
+}
+
+TEST_F(ScenarioTest, AllTable6RisksAreFlagged) {
+  const std::vector<Scenario> scenarios = table6RiskScenarios(*environment_);
+  ASSERT_EQ(scenarios.size(), 32u);
+  std::map<RiskRootCause, int> counts;
+  for (const Scenario& scenario : scenarios) {
+    const ScenarioOutcome outcome = runScenario(*hoyan_, scenario);
+    EXPECT_TRUE(outcome.flagged) << scenario.name << " (" << scenario.description
+                                 << ")\n"
+                                 << outcome.verification.report();
+    ++counts[scenario.risk];
+  }
+  // The paper's Table 6 root-cause mix.
+  EXPECT_EQ(counts[RiskRootCause::kIncorrectCommands], 12);
+  EXPECT_EQ(counts[RiskRootCause::kDesignFlaw], 11);
+  EXPECT_EQ(counts[RiskRootCause::kExistingMisconfiguration], 5);
+  EXPECT_EQ(counts[RiskRootCause::kTopologyIssue], 2);
+  EXPECT_EQ(counts[RiskRootCause::kOther], 2);
+}
+
+}  // namespace
+}  // namespace hoyan

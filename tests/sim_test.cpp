@@ -1,0 +1,501 @@
+// End-to-end tests of route and traffic simulation on the hand-built small
+// WAN and on generated networks: propagation, policies, RR behaviour,
+// aggregates, equivalence classes, forwarding, ECMP, loops, ACL/PBR/SR.
+#include <gtest/gtest.h>
+
+#include "config/parser.h"
+#include "config/printer.h"
+#include "gen/wan_gen.h"
+#include "gen/workload_gen.h"
+#include "sim/local_routes.h"
+#include "sim/route_sim.h"
+#include "sim/traffic_sim.h"
+#include "test_fixtures.h"
+
+namespace hoyan {
+namespace {
+
+using testing::buildSmallWan;
+using testing::ispRoute;
+using testing::SmallWan;
+
+// Finds the best route for `prefix` on `device` (global VRF), or nullptr.
+const Route* bestRoute(const NetworkRibs& ribs, NameId device,
+                       const std::string& prefix) {
+  const DeviceRib* deviceRib = ribs.findDevice(device);
+  if (!deviceRib) return nullptr;
+  const VrfRib* vrf = deviceRib->findVrf(kInvalidName);
+  if (!vrf) return nullptr;
+  const auto* routes = vrf->find(*Prefix::parse(prefix));
+  if (!routes) return nullptr;
+  for (const Route& route : *routes)
+    if (route.type == RouteType::kBest) return &route;
+  return nullptr;
+}
+
+TEST(RouteSimTest, IspRoutePropagatesToAllInternalRouters) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  const std::vector<InputRoute> inputs = {ispRoute(net, "100.1.0.0/16")};
+  const RouteSimResult result = simulateRoutes(model, inputs);
+  EXPECT_TRUE(result.stats.converged);
+  // Every internal router should have the route.
+  for (const NameId device : {net.br1, net.rr1, net.c1, net.c2}) {
+    const Route* route = bestRoute(result.ribs, device, "100.1.0.0/16");
+    ASSERT_NE(route, nullptr) << Names::str(device);
+    EXPECT_EQ(route->protocol, Protocol::kBgp);
+    // The ISP ASN was prepended on the eBGP hop.
+    EXPECT_EQ(route->attrs.asPath.firstAsn(), 65001u);
+  }
+  // BR1 learned it over eBGP; C1 over iBGP (reflected by RR1).
+  EXPECT_TRUE(bestRoute(result.ribs, net.br1, "100.1.0.0/16")->ebgpLearned);
+  EXPECT_FALSE(bestRoute(result.ribs, net.c1, "100.1.0.0/16")->ebgpLearned);
+}
+
+TEST(RouteSimTest, NextHopSelfRewritesNexthopTowardIbgp) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  const RouteSimResult result =
+      simulateRoutes(model, std::vector<InputRoute>{ispRoute(net, "100.1.0.0/16")});
+  const Route* onCore = bestRoute(result.ribs, net.c1, "100.1.0.0/16");
+  ASSERT_NE(onCore, nullptr);
+  // BR1 set next-hop-self, so C1's nexthop is BR1's loopback.
+  EXPECT_EQ(onCore->nexthop, net.topology.findDevice(net.br1)->loopback);
+  EXPECT_EQ(onCore->nexthopDevice, net.br1);
+  EXPECT_GT(onCore->igpCost, 0u);
+}
+
+TEST(RouteSimTest, AsLoopPreventionDropsOwnAsn) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  InputRoute poisoned = ispRoute(net, "100.2.0.0/16");
+  poisoned.route.attrs.asPath = AsPath({70000, 64512});  // Contains our ASN.
+  const RouteSimResult result = simulateRoutes(model, std::vector<InputRoute>{poisoned});
+  EXPECT_EQ(bestRoute(result.ribs, net.br1, "100.2.0.0/16"), nullptr);
+}
+
+TEST(RouteSimTest, ImportPolicyDenyBlocksRoute) {
+  SmallWan net = buildSmallWan();
+  // BR1 denies routes with community 666:0 from the ISP.
+  DeviceConfig& border = net.configs.device(net.br1);
+  const NameId listName = Names::id("BLOCKLIST");
+  CommunityList list;
+  list.name = listName;
+  list.entries.push_back({true, Community(666, 0)});
+  border.communityLists.emplace(listName, list);
+  const NameId policyName = Names::id("ISP-IN");
+  RoutePolicy& policy = border.routePolicy(policyName);
+  PolicyNode deny;
+  deny.sequence = 10;
+  deny.action = PolicyAction::kDeny;
+  deny.match.communityList = listName;
+  policy.upsertNode(deny);
+  PolicyNode permit;
+  permit.sequence = 20;
+  permit.action = PolicyAction::kPermit;
+  policy.upsertNode(permit);
+  for (BgpNeighbor& neighbor : border.bgp.neighbors)
+    if (neighbor.remoteAs == 65001) neighbor.importPolicy = policyName;
+
+  const NetworkModel model = net.model();
+  InputRoute blocked = ispRoute(net, "100.3.0.0/16");
+  blocked.route.attrs.communities.insert(Community(666, 0));
+  InputRoute allowed = ispRoute(net, "100.4.0.0/16");
+  const RouteSimResult result =
+      simulateRoutes(model, std::vector<InputRoute>{blocked, allowed});
+  EXPECT_EQ(bestRoute(result.ribs, net.br1, "100.3.0.0/16"), nullptr);
+  ASSERT_NE(bestRoute(result.ribs, net.br1, "100.4.0.0/16"), nullptr);
+}
+
+TEST(RouteSimTest, ImportPolicyRewritesAttributes) {
+  SmallWan net = buildSmallWan();
+  DeviceConfig& border = net.configs.device(net.br1);
+  const NameId policyName = Names::id("TAG");
+  RoutePolicy& policy = border.routePolicy(policyName);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.sets.localPref = 300;
+  node.sets.addCommunities.push_back(Community(100, 9));
+  policy.upsertNode(node);
+  for (BgpNeighbor& neighbor : border.bgp.neighbors)
+    if (neighbor.remoteAs == 65001) neighbor.importPolicy = policyName;
+  const NetworkModel model = net.model();
+  const RouteSimResult result =
+      simulateRoutes(model, std::vector<InputRoute>{ispRoute(net, "100.5.0.0/16")});
+  const Route* onBorder = bestRoute(result.ribs, net.br1, "100.5.0.0/16");
+  ASSERT_NE(onBorder, nullptr);
+  EXPECT_EQ(onBorder->attrs.localPref, 300u);
+  EXPECT_TRUE(onBorder->attrs.communities.contains(Community(100, 9)));
+  // localPref propagates over iBGP to the cores.
+  const Route* onCore = bestRoute(result.ribs, net.c2, "100.5.0.0/16");
+  ASSERT_NE(onCore, nullptr);
+  EXPECT_EQ(onCore->attrs.localPref, 300u);
+}
+
+TEST(RouteSimTest, NonClientIbgpRouteIsNotReflectedBack) {
+  // A route originated at C1 (client) reaches BR1 via RR reflection; a route
+  // originated at the RR itself reaches clients directly.
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  InputRoute fromCore;
+  fromCore.device = net.c1;
+  fromCore.route.prefix = *Prefix::parse("20.1.0.0/16");
+  fromCore.route.protocol = Protocol::kBgp;
+  fromCore.route.nexthop = net.topology.findDevice(net.c1)->loopback;
+  fromCore.route.nexthopDevice = net.c1;
+  const RouteSimResult result =
+      simulateRoutes(model, std::vector<InputRoute>{fromCore});
+  EXPECT_NE(bestRoute(result.ribs, net.rr1, "20.1.0.0/16"), nullptr);
+  EXPECT_NE(bestRoute(result.ribs, net.br1, "20.1.0.0/16"), nullptr);
+  EXPECT_NE(bestRoute(result.ribs, net.c2, "20.1.0.0/16"), nullptr);
+}
+
+TEST(RouteSimTest, AggregateOriginatedFromContributor) {
+  SmallWan net = buildSmallWan();
+  DeviceConfig& core = net.configs.device(net.c1);
+  AggregateConfig aggregate;
+  aggregate.prefix = *Prefix::parse("20.0.0.0/8");
+  aggregate.summaryOnly = true;
+  core.bgp.aggregates.push_back(aggregate);
+  const NetworkModel model = net.model();
+  InputRoute contributor;
+  contributor.device = net.c1;
+  contributor.route.prefix = *Prefix::parse("20.5.0.0/16");
+  contributor.route.protocol = Protocol::kBgp;
+  contributor.route.nexthop = net.topology.findDevice(net.c1)->loopback;
+  contributor.route.nexthopDevice = net.c1;
+  const RouteSimResult result =
+      simulateRoutes(model, std::vector<InputRoute>{contributor});
+  // The aggregate exists on C1 and propagates to others.
+  const Route* aggOnC1 = bestRoute(result.ribs, net.c1, "20.0.0.0/8");
+  ASSERT_NE(aggOnC1, nullptr);
+  EXPECT_EQ(aggOnC1->protocol, Protocol::kAggregate);
+  EXPECT_NE(bestRoute(result.ribs, net.c2, "20.0.0.0/8"), nullptr);
+  // Summary-only: the contributor is suppressed on other routers.
+  EXPECT_EQ(bestRoute(result.ribs, net.c2, "20.5.0.0/16"), nullptr);
+  // ...but still present locally on C1.
+  EXPECT_NE(bestRoute(result.ribs, net.c1, "20.5.0.0/16"), nullptr);
+}
+
+TEST(RouteSimTest, EcmpFromTwoIsps) {
+  // Add a second ISP on BR1 announcing the same prefix: BR1 sees two eBGP
+  // paths; with equal attributes both become forwarding entries.
+  SmallWan net = buildSmallWan();
+  // Second external peer.
+  Device isp2;
+  isp2.name = Names::id("t-ISP2");
+  isp2.role = DeviceRole::kExternalPeer;
+  isp2.loopback = *IpAddress::parse("9.0.0.99");
+  net.topology.addDevice(isp2);
+  Device* border = net.topology.findDevice(net.br1);
+  Interface borderItf;
+  borderItf.name = Names::id("t-BR1:e9");
+  borderItf.address = *IpAddress::parse("172.21.0.1");
+  borderItf.prefixLength = 30;
+  border->interfaces.push_back(borderItf);
+  Device* isp2Device = net.topology.findDevice(isp2.name);
+  Interface ispItf;
+  ispItf.name = Names::id("t-ISP2:e0");
+  ispItf.address = *IpAddress::parse("172.21.0.2");
+  ispItf.prefixLength = 30;
+  isp2Device->interfaces.push_back(ispItf);
+  net.topology.addLink(net.br1, borderItf.name, isp2.name, ispItf.name);
+  DeviceConfig isp2Config;
+  isp2Config.hostname = isp2.name;
+  isp2Config.vendor = vendorB().name;
+  isp2Config.routerId = isp2.loopback;
+  isp2Config.bgp.asn = 65001;  // Same AS as ISP1 so MED/ECMP compare applies.
+  BgpNeighbor toBorder;
+  toBorder.peerAddress = borderItf.address;
+  toBorder.remoteAs = 64512;
+  isp2Config.bgp.neighbors.push_back(toBorder);
+  net.configs.devices.emplace(isp2.name, std::move(isp2Config));
+  BgpNeighbor toIsp2;
+  toIsp2.peerAddress = ispItf.address;
+  toIsp2.remoteAs = 65001;
+  net.configs.device(net.br1).bgp.neighbors.push_back(toIsp2);
+
+  const NetworkModel model = net.model();
+  InputRoute fromIsp1 = ispRoute(net, "100.9.0.0/16");
+  InputRoute fromIsp2 = fromIsp1;
+  fromIsp2.device = isp2.name;
+  fromIsp2.route.nexthop = isp2.loopback;
+  fromIsp2.route.nexthopDevice = isp2.name;
+  const RouteSimResult result =
+      simulateRoutes(model, std::vector<InputRoute>{fromIsp1, fromIsp2});
+  const DeviceRib* borderRib = result.ribs.findDevice(net.br1);
+  ASSERT_NE(borderRib, nullptr);
+  const auto* routes = borderRib->findVrf(kInvalidName)->find(*Prefix::parse("100.9.0.0/16"));
+  ASSERT_NE(routes, nullptr);
+  size_t forwarding = 0;
+  for (const Route& route : *routes)
+    if (route.type != RouteType::kAlternate) ++forwarding;
+  EXPECT_EQ(forwarding, 2u);
+}
+
+TEST(RouteSimTest, MemoryBudgetTriggersOutOfMemory) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  std::vector<InputRoute> inputs;
+  for (int i = 0; i < 50; ++i) {
+    InputRoute input = ispRoute(net, "100." + std::to_string(i) + ".0.0/16");
+    input.route.attrs.med = static_cast<uint32_t>(i);  // Distinct ECs.
+    inputs.push_back(input);
+  }
+  RouteSimOptions options;
+  options.memoryBudgetRoutes = 10;
+  const RouteSimResult result = simulateRoutes(model, inputs, options);
+  EXPECT_TRUE(result.stats.outOfMemory);
+  EXPECT_FALSE(result.stats.converged);
+}
+
+TEST(LocalRoutesTest, DirectStaticAndIsisInstalled) {
+  SmallWan net = buildSmallWan();
+  StaticRouteConfig staticRoute;
+  staticRoute.prefix = *Prefix::parse("50.0.0.0/8");
+  staticRoute.nexthop = net.topology.findDevice(net.c2)->loopback;
+  net.configs.device(net.c1).staticRoutes.push_back(staticRoute);
+  const NetworkModel model = net.model();
+  NetworkRibs ribs;
+  installLocalRoutes(model, ribs);
+  // C1 has: loopback direct, interface subnets + /32s, static, IS-IS
+  // loopbacks of RR1/C2/BR1.
+  const Route* isisRoute =
+      bestRoute(ribs, net.c1, net.topology.findDevice(net.c2)->loopback.str() + "/32");
+  ASSERT_NE(isisRoute, nullptr);
+  EXPECT_EQ(isisRoute->protocol, Protocol::kIsis);
+  EXPECT_EQ(isisRoute->igpCost, 10u);
+  const Route* installedStatic = bestRoute(ribs, net.c1, "50.0.0.0/8");
+  ASSERT_NE(installedStatic, nullptr);
+  EXPECT_EQ(installedStatic->protocol, Protocol::kStatic);
+  EXPECT_EQ(installedStatic->nexthopDevice, net.c2);
+}
+
+TEST(RouteEcTest, SameAttrsSamePolicyFateCollapse) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  std::vector<InputRoute> inputs;
+  // Four prefixes with identical attributes (one EC) + one different.
+  for (int i = 0; i < 4; ++i)
+    inputs.push_back(ispRoute(net, "100.10." + std::to_string(i) + ".0/24"));
+  InputRoute different = ispRoute(net, "100.10.9.0/24");
+  different.route.attrs.med = 55;
+  inputs.push_back(different);
+  EcStats stats;
+  const EcPlan plan = buildRouteEcs(model, inputs, &stats);
+  EXPECT_EQ(stats.inputRoutes, 5u);
+  EXPECT_EQ(stats.classes, 2u);
+  EXPECT_DOUBLE_EQ(stats.reductionFactor(), 2.5);
+  // Simulation with ECs must equal simulation without.
+  RouteSimOptions withEc;
+  withEc.useEquivalenceClasses = true;
+  RouteSimOptions withoutEc;
+  withoutEc.useEquivalenceClasses = false;
+  const RouteSimResult fast = simulateRoutes(model, inputs, withEc);
+  const RouteSimResult slow = simulateRoutes(model, inputs, withoutEc);
+  EXPECT_EQ(fast.ribs.routeCount(), slow.ribs.routeCount());
+  for (const NameId device : {net.br1, net.c1, net.c2, net.rr1}) {
+    for (int i = 0; i < 4; ++i) {
+      const std::string prefix = "100.10." + std::to_string(i) + ".0/24";
+      const Route* a = bestRoute(fast.ribs, device, prefix);
+      const Route* b = bestRoute(slow.ribs, device, prefix);
+      ASSERT_NE(a, nullptr) << prefix;
+      ASSERT_NE(b, nullptr) << prefix;
+      EXPECT_TRUE(*a == *b) << prefix << " on " << Names::str(device);
+    }
+  }
+}
+
+// --- traffic simulation -------------------------------------------------------
+
+class TrafficTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = buildSmallWan();
+    model_ = std::make_unique<NetworkModel>(net_.model());
+    RouteSimOptions options;
+    options.includeLocalRoutes = true;
+    result_ = simulateRoutes(*model_, std::vector<InputRoute>{ispRoute(net_, "100.1.0.0/16")},
+                             options);
+    result_.ribs.buildForwardingIndex();
+  }
+
+  Flow makeFlow(NameId ingress, const std::string& dst, double volume = 1000) {
+    Flow flow;
+    flow.ingressDevice = ingress;
+    flow.src = *IpAddress::parse("20.0.0.1");
+    flow.dst = *IpAddress::parse(dst);
+    flow.dstPort = 80;
+    flow.volumeBps = volume;
+    return flow;
+  }
+
+  SmallWan net_;
+  std::unique_ptr<NetworkModel> model_;
+  RouteSimResult result_;
+};
+
+TEST_F(TrafficTest, FlowFollowsBgpRouteAndExits) {
+  const FlowPath path = simulateSingleFlow(*model_, result_.ribs,
+                                           makeFlow(net_.c2, "100.1.2.3"));
+  EXPECT_EQ(path.outcome, FlowOutcome::kExited);
+  // C2 -> (IGP toward BR1 loopback) -> ... -> BR1 -> ISP1.
+  EXPECT_TRUE(path.usesLink(net_.br1, net_.isp1));
+}
+
+TEST_F(TrafficTest, UnroutedDestinationBlackholes) {
+  const FlowPath path = simulateSingleFlow(*model_, result_.ribs,
+                                           makeFlow(net_.c2, "203.0.113.7"));
+  EXPECT_EQ(path.outcome, FlowOutcome::kBlackholed);
+}
+
+TEST_F(TrafficTest, LinkLoadsAccumulateVolume) {
+  std::vector<Flow> flows = {makeFlow(net_.c2, "100.1.2.3", 1000),
+                             makeFlow(net_.c2, "100.1.9.9", 500)};
+  TrafficSimOptions options;
+  options.useEquivalenceClasses = false;
+  const TrafficSimResult result = simulateTraffic(*model_, result_.ribs, flows, options);
+  EXPECT_DOUBLE_EQ(result.linkLoads.get(net_.br1, net_.isp1), 1500.0);
+  EXPECT_EQ(result.stats.exited, 2u);
+}
+
+TEST_F(TrafficTest, FlowEcsCollapseSameDestinationAtom) {
+  std::vector<Flow> flows;
+  for (int i = 0; i < 40; ++i) {
+    Flow flow = makeFlow(net_.c2, "100.1.2." + std::to_string(i + 1), 100);
+    flow.srcPort = static_cast<uint16_t>(1000 + i);
+    flows.push_back(flow);
+  }
+  FlowEcStats stats;
+  const FlowEcPlan plan = buildFlowEcs(*model_, result_.ribs, flows, &stats);
+  EXPECT_EQ(stats.inputFlows, 40u);
+  EXPECT_EQ(stats.classes, 1u);  // All in the /16 atom from the same ingress.
+  EXPECT_DOUBLE_EQ(plan.representatives[0].volumeBps, 4000.0);
+  // Link loads with and without ECs agree.
+  TrafficSimOptions withEc;
+  withEc.useEquivalenceClasses = true;
+  TrafficSimOptions withoutEc;
+  withoutEc.useEquivalenceClasses = false;
+  const TrafficSimResult a = simulateTraffic(*model_, result_.ribs, flows, withEc);
+  const TrafficSimResult b = simulateTraffic(*model_, result_.ribs, flows, withoutEc);
+  EXPECT_NEAR(a.linkLoads.get(net_.br1, net_.isp1),
+              b.linkLoads.get(net_.br1, net_.isp1), 1e-6);
+}
+
+TEST_F(TrafficTest, AclDropsMatchingFlow) {
+  // Deny port-443 traffic arriving at C1 from C2.
+  DeviceConfig& core = model_->configs.device(net_.c1);
+  AclConfig acl;
+  acl.name = Names::id("BLOCK443");
+  acl.rules.push_back({false, {}, {}, uint16_t{443}, {}});
+  acl.rules.push_back({true, {}, {}, {}, {}});
+  // Find C1's interface facing C2.
+  for (const Adjacency& adj : model_->topology.adjacenciesOf(net_.c1))
+    if (adj.neighbor == net_.c2) acl.appliedInterfaces.push_back(adj.localInterface);
+  core.acls.emplace(acl.name, acl);
+  Flow flow = makeFlow(net_.c2, "100.1.2.3");
+  flow.dstPort = 443;
+  const FlowPath denied = simulateSingleFlow(*model_, result_.ribs, flow);
+  EXPECT_EQ(denied.outcome, FlowOutcome::kDeniedAcl);
+  flow.dstPort = 80;
+  const FlowPath allowed = simulateSingleFlow(*model_, result_.ribs, flow);
+  EXPECT_EQ(allowed.outcome, FlowOutcome::kExited);
+}
+
+TEST_F(TrafficTest, PbrOverridesLpm) {
+  // PBR on C1 (in-interface from C2) steers port-8080 traffic to RR1 instead
+  // of toward BR1.
+  DeviceConfig& core = model_->configs.device(net_.c1);
+  PbrPolicy pbr;
+  pbr.name = Names::id("STEER");
+  PbrRule rule;
+  rule.dstPort = 8080;
+  rule.setNexthop = model_->topology.findDevice(net_.rr1)->loopback;
+  pbr.rules.push_back(rule);
+  for (const Adjacency& adj : model_->topology.adjacenciesOf(net_.c1))
+    if (adj.neighbor == net_.c2) pbr.appliedInterfaces.push_back(adj.localInterface);
+  core.pbrPolicies.emplace(pbr.name, pbr);
+  Flow flow = makeFlow(net_.c2, "100.1.2.3");
+  flow.dstPort = 8080;
+  const FlowPath path = simulateSingleFlow(*model_, result_.ribs, flow);
+  EXPECT_TRUE(path.usesLink(net_.c1, net_.rr1));
+}
+
+TEST(TrafficLoopTest, StaticRouteLoopDetected) {
+  SmallWan net = buildSmallWan();
+  // C1 and C2 point a prefix at each other via statics.
+  StaticRouteConfig toC2;
+  toC2.prefix = *Prefix::parse("66.0.0.0/8");
+  toC2.nexthop = net.topology.findDevice(net.c2)->loopback;
+  net.configs.device(net.c1).staticRoutes.push_back(toC2);
+  StaticRouteConfig toC1;
+  toC1.prefix = *Prefix::parse("66.0.0.0/8");
+  toC1.nexthop = net.topology.findDevice(net.c1)->loopback;
+  net.configs.device(net.c2).staticRoutes.push_back(toC1);
+  const NetworkModel model = net.model();
+  NetworkRibs ribs;
+  installLocalRoutes(model, ribs);
+  ribs.buildForwardingIndex();
+  Flow flow;
+  flow.ingressDevice = net.c1;
+  flow.src = *IpAddress::parse("20.0.0.1");
+  flow.dst = *IpAddress::parse("66.1.2.3");
+  flow.volumeBps = 100;
+  const FlowPath path = simulateSingleFlow(model, ribs, flow);
+  EXPECT_EQ(path.outcome, FlowOutcome::kLooped);
+}
+
+// --- generated WAN end-to-end ----------------------------------------------------
+
+TEST(GeneratedWanTest, ModelBuildsAndSimulationConverges) {
+  WanSpec spec;
+  spec.regions = 3;
+  const GeneratedWan wan = generateWan(spec);
+  const NetworkModel model = wan.buildModel();
+  EXPECT_TRUE(model.sessionProblems.empty())
+      << (model.sessionProblems.empty() ? "" : model.sessionProblems.front());
+  EXPECT_GT(model.sessions.size(), 0u);
+
+  WorkloadSpec workload;
+  workload.prefixesPerIsp = 16;
+  workload.prefixesPerDc = 8;
+  workload.v6Share = 0;
+  const std::vector<InputRoute> inputs = generateInputRoutes(wan, workload);
+  ASSERT_FALSE(inputs.empty());
+  RouteSimOptions options;
+  options.includeLocalRoutes = true;
+  RouteSimResult result = simulateRoutes(model, inputs, options);
+  EXPECT_TRUE(result.stats.converged);
+  // ISP routes must reach remote regions' cores.
+  result.ribs.buildForwardingIndex();
+  const Route* remote = bestRoute(result.ribs, wan.cores.back(), "100.0.0.0/24");
+  ASSERT_NE(remote, nullptr);
+
+  // Flows route end to end.
+  const std::vector<Flow> flows = generateFlows(wan, workload, 500);
+  const TrafficSimResult traffic = simulateTraffic(model, result.ribs, flows);
+  EXPECT_EQ(traffic.stats.inputFlows, 500u);
+  EXPECT_GT(traffic.stats.ec.reductionFactor(), 1.5);
+  // The overwhelming majority of generated flows should be deliverable.
+  EXPECT_GT(traffic.stats.delivered + traffic.stats.exited,
+            traffic.stats.simulatedFlows * 8 / 10);
+}
+
+TEST(GeneratedWanTest, ConfigTextRoundTripsThroughParser) {
+  WanSpec spec;
+  spec.regions = 2;
+  const GeneratedWan wan = generateWan(spec);
+  for (const auto& [name, config] : wan.configs.devices) {
+    const std::string text = printDeviceConfig(config, wan.topology.findDevice(name));
+    const ParseResult reparsed = parseDeviceConfig(text);
+    for (const ParseError& error : reparsed.errors)
+      ADD_FAILURE() << Names::str(name) << ": " << error.str();
+    EXPECT_EQ(reparsed.config.bgp.asn, config.bgp.asn);
+    EXPECT_EQ(reparsed.config.bgp.neighbors.size(), config.bgp.neighbors.size());
+    EXPECT_EQ(reparsed.config.routePolicies.size(), config.routePolicies.size());
+  }
+}
+
+}  // namespace
+}  // namespace hoyan

@@ -1,0 +1,234 @@
+// Tests for the §7 tooling: the default "others do not change"
+// specification heuristic, misconfiguration localization, RIB concatenation
+// (the §4.4 future-work RCL extension), and traffic-load fault tolerance.
+#include <gtest/gtest.h>
+
+#include "core/intent_tools.h"
+#include "core/localize.h"
+#include "rcl/parser.h"
+#include "rcl/verify.h"
+#include "sim/route_sim.h"
+#include "test_fixtures.h"
+#include "verify/properties.h"
+
+namespace hoyan {
+namespace {
+
+using testing::buildSmallWan;
+using testing::ispRoute;
+using testing::SmallWan;
+
+// --- default no-change heuristic ------------------------------------------
+
+TEST(IntentToolsTest, DerivesComplementOfGuards) {
+  const auto derived = defaultNoChangeSpec(
+      {"prefix = 10.0.0.0/24 => POST |> distVals(localPref) = {300}"});
+  ASSERT_TRUE(derived.has_value());
+  EXPECT_EQ(*derived, "not ((prefix = 10.0.0.0/24)) => PRE = POST");
+}
+
+TEST(IntentToolsTest, CombinesMultipleGuardsDisjunctively) {
+  const auto derived = defaultNoChangeSpec(
+      {"prefix = 10.0.0.0/24 => POST |> count() >= 1",
+       "device = R1 => POST |> distCnt(nexthop) = 2"});
+  ASSERT_TRUE(derived.has_value());
+  EXPECT_NE(derived->find("(prefix = 10.0.0.0/24) or (device = R1)"),
+            std::string::npos)
+      << *derived;
+}
+
+TEST(IntentToolsTest, NoGuardedIntentsYieldNothing) {
+  EXPECT_FALSE(defaultNoChangeSpec({"POST |> count() >= 1"}).has_value());
+  EXPECT_FALSE(defaultNoChangeSpec({}).has_value());
+}
+
+TEST(IntentToolsTest, ExistingNoChangeClauseSuppressesDefault) {
+  EXPECT_FALSE(defaultNoChangeSpec(
+                   {"prefix = 10.0.0.0/24 => POST |> count() >= 1",
+                    "not prefix = 10.0.0.0/24 => PRE = POST"})
+                   .has_value());
+}
+
+TEST(IntentToolsTest, AugmentedIntentCatchesTheSection7Incident) {
+  // The §7 incident: the operator specifies the change effect but not
+  // "others unchanged"; the change also breaks another prefix.
+  SmallWan net = buildSmallWan();
+  Hoyan hoyan(net.topology, net.configs);
+  hoyan.setInputRoutes({ispRoute(net, "100.1.0.0/16"), ispRoute(net, "100.2.0.0/16")});
+  hoyan.preprocess();
+
+  ChangePlan plan;
+  // Intended: tag 100.1/16. Actual: the policy tags everything AND denies
+  // 100.2/16 (the unnoticed side effect).
+  plan.commands = "device t-BR1\n"
+                  "ip-prefix OTHER index 10 permit 100.2.0.0/16\n"
+                  "route-policy SIDE node 5 deny\n"
+                  " match ip-prefix OTHER\n"
+                  "route-policy SIDE node 10 permit\n"
+                  " apply community add 100:7\n"
+                  "router bgp 64512\n"
+                  " neighbor " + net.ispLinkAddr.str() + " import-policy SIDE\n";
+  IntentSet intents;
+  intents.rclIntents = {
+      "prefix = 100.1.0.0/16 and device = t-BR1 => "
+      "POST || (communities contains 100:7) |> count() >= 1"};
+
+  // Without the heuristic the incomplete spec passes...
+  const ChangeVerificationResult incomplete = hoyan.verifyChange(plan, intents);
+  EXPECT_TRUE(incomplete.satisfied()) << incomplete.report();
+  // ...with it, the side effect is caught.
+  ASSERT_TRUE(augmentWithDefaultNoChange(intents));
+  const ChangeVerificationResult augmented = hoyan.verifyChange(plan, intents);
+  EXPECT_FALSE(augmented.satisfied());
+}
+
+// --- misconfiguration localization ------------------------------------------
+
+TEST(LocalizeTest, SplitsSectionsAndGroups) {
+  const auto sections = splitPlanSections(
+      "device R1\nstatic-route 1.0.0.0/8 discard\ndevice R2\n"
+      "route-policy P node 10 permit\n apply med 5\nstatic-route 2.0.0.0/8 discard\n");
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].first, "R1");
+  EXPECT_EQ(sections[1].first, "R2");
+  const auto groups = splitCommandGroups(sections[1].second);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], "route-policy P node 10 permit\n apply med 5\n");
+  EXPECT_EQ(groups[1], "static-route 2.0.0.0/8 discard\n");
+}
+
+TEST(LocalizeTest, CleanPlanReportsNothing) {
+  SmallWan net = buildSmallWan();
+  Hoyan hoyan(net.topology, net.configs);
+  hoyan.setInputRoutes({ispRoute(net, "100.1.0.0/16")});
+  hoyan.preprocess();
+  ChangePlan plan;
+  IntentSet intents;
+  intents.rclIntents = {"PRE = POST"};
+  const LocalizationResult result = localizeMisconfiguration(hoyan, plan, intents);
+  EXPECT_FALSE(result.planViolates);
+  EXPECT_TRUE(result.suspects.empty());
+}
+
+TEST(LocalizeTest, FindsTheOneBadCommandGroup) {
+  SmallWan net = buildSmallWan();
+  Hoyan hoyan(net.topology, net.configs);
+  hoyan.setInputRoutes({ispRoute(net, "100.1.0.0/16")});
+  hoyan.preprocess();
+
+  // Three benign groups + one that blocks the ISP route on BR1.
+  ChangePlan plan;
+  plan.commands = "device t-C1\n"
+                  "static-route 61.0.0.0/8 discard\n"
+                  "device t-BR1\n"
+                  "route-policy KILL node 10 deny\n"
+                  "router bgp 64512\n"
+                  " neighbor " + net.ispLinkAddr.str() + " import-policy KILL\n"
+                  "device t-C2\n"
+                  "static-route 62.0.0.0/8 discard\n";
+  IntentSet intents;
+  intents.rclIntents = {
+      "POST || prefix = 100.1.0.0/16 |> distCnt(device) >= 4",
+      // The statics are intended:
+      "prefix = 61.0.0.0/8 => POST |> count() >= 1",
+      "prefix = 62.0.0.0/8 => POST |> count() >= 1",
+  };
+  const LocalizationResult result = localizeMisconfiguration(hoyan, plan, intents);
+  ASSERT_TRUE(result.planViolates);
+  ASSERT_EQ(result.suspects.size(), 1u);
+  EXPECT_EQ(result.suspects[0].device, "t-BR1");
+  // The benign statics were exonerated; the suspect commands include the
+  // policy application.
+  EXPECT_NE(result.suspects[0].commands.find("import-policy KILL"), std::string::npos)
+      << result.str();
+  EXPECT_EQ(result.suspects[0].commands.find("static-route"), std::string::npos);
+}
+
+TEST(LocalizeTest, TopologyDeltaCanBeTheSuspect) {
+  SmallWan net = buildSmallWan();
+  Hoyan hoyan(net.topology, net.configs);
+  hoyan.setInputRoutes({ispRoute(net, "100.1.0.0/16")});
+  hoyan.preprocess();
+  ChangePlan plan;
+  plan.commands = "device t-C1\nstatic-route 61.0.0.0/8 discard\n";
+  plan.topologyChange.removeLinks.push_back({net.br1, net.isp1});
+  IntentSet intents;
+  intents.rclIntents = {"POST || prefix = 100.1.0.0/16 |> distCnt(device) >= 4"};
+  const LocalizationResult result = localizeMisconfiguration(hoyan, plan, intents);
+  ASSERT_TRUE(result.planViolates);
+  EXPECT_TRUE(result.topologyChangeSuspect);
+  EXPECT_TRUE(result.suspects.empty()) << result.str();
+}
+
+// --- RCL concatenation (§4.4 future work) -------------------------------------
+
+TEST(RclConcatTest, ParsesAndCounts) {
+  const rcl::ParseOutcome outcome =
+      rcl::parseIntent("PRE ++ POST |> count() = PRE |> count() + POST |> count()");
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+}
+
+TEST(RclConcatTest, ConcatSemantics) {
+  rcl::GlobalRib base, updated;
+  rcl::RibRow row;
+  row.device = "A";
+  row.vrf = "global";
+  row.prefix = *Prefix::parse("10.0.0.0/24");
+  row.nexthop = *IpAddress::parse("1.1.1.1");
+  base.add(row);
+  row.nexthop = *IpAddress::parse("2.2.2.2");
+  updated.add(row);
+  updated.add(row);
+  // count(PRE ++ POST) = 3.
+  EXPECT_TRUE(rcl::checkIntentText("PRE ++ POST |> count() = 3", base, updated)
+                  .satisfied);
+  // distVals over the union sees both nexthops.
+  EXPECT_TRUE(rcl::checkIntentText(
+                  "PRE ++ POST |> distVals(nexthop) = {1.1.1.1, 2.2.2.2}", base,
+                  updated)
+                  .satisfied);
+  // Filters apply to the concatenation.
+  EXPECT_TRUE(rcl::checkIntentText(
+                  "PRE ++ POST || nexthop = 2.2.2.2 |> count() = 2", base, updated)
+                  .satisfied);
+  // Concat of a RIB with itself doubles the count.
+  EXPECT_TRUE(rcl::checkIntentText("PRE ++ PRE |> count() = 2", base, updated)
+                  .satisfied);
+}
+
+// --- k-failure traffic loads ---------------------------------------------------
+
+TEST(KFailureLoadTest, DetectsOverloadUnderSingleFailure) {
+  // Two equal uplinks from C2 toward the border path; each carries half the
+  // volume. Losing one pushes the full volume over the survivor.
+  SmallWan net = buildSmallWan();
+  // Shrink C1-C2 and C1-RR1... use flow sized so base is fine but any single
+  // link failure that reroutes everything overloads the survivor.
+  // Base: flow C2 -> ISP prefix via C1 (single path, 60% load). Failing
+  // C1-BR1 is fatal for reachability, but failing C2-C1 reroutes via RR1.
+  for (Device* device : {net.topology.findDevice(net.c2),
+                         net.topology.findDevice(net.rr1)})
+    for (Interface& itf : device->interfaces) itf.bandwidthBps = 1e9;
+  const NetworkModel model = net.model();
+  std::vector<InputRoute> inputs = {ispRoute(net, "100.1.0.0/16")};
+  std::vector<Flow> flows(1);
+  flows[0].ingressDevice = net.c2;
+  flows[0].src = *IpAddress::parse("20.0.0.1");
+  flows[0].dst = *IpAddress::parse("100.1.2.3");
+  flows[0].volumeBps = 0.9e9;  // 90% of the shrunken links.
+  KFailureOptions options;
+  options.k = 1;
+  options.maxCounterexamples = 10;
+  options.focusDevices = {net.c2};
+  const KFailureResult result =
+      checkKFailureLoads(model, inputs, flows, /*maxUtilization=*/0.95, options);
+  // Failing C2-C1 moves the flow onto C2-RR1-C1 (1e9 links, 90% each: ok at
+  // 0.95) — tighten the threshold to see the violation instead:
+  const KFailureResult tight =
+      checkKFailureLoads(model, inputs, flows, /*maxUtilization=*/0.5, options);
+  EXPECT_FALSE(tight.holds());
+  EXPECT_GE(result.scenariosChecked, 2u);
+}
+
+}  // namespace
+}  // namespace hoyan
