@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ec_ablation.dir/bench_ec_ablation.cpp.o"
+  "CMakeFiles/bench_ec_ablation.dir/bench_ec_ablation.cpp.o.d"
+  "bench_ec_ablation"
+  "bench_ec_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ec_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

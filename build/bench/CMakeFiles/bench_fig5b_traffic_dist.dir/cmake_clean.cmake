@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_traffic_dist.dir/bench_fig5b_traffic_dist.cpp.o"
+  "CMakeFiles/bench_fig5b_traffic_dist.dir/bench_fig5b_traffic_dist.cpp.o.d"
+  "bench_fig5b_traffic_dist"
+  "bench_fig5b_traffic_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_traffic_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

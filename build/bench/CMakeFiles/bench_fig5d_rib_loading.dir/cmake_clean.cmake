@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d_rib_loading.dir/bench_fig5d_rib_loading.cpp.o"
+  "CMakeFiles/bench_fig5d_rib_loading.dir/bench_fig5d_rib_loading.cpp.o.d"
+  "bench_fig5d_rib_loading"
+  "bench_fig5d_rib_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d_rib_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

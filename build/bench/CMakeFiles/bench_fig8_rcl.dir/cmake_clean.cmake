@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_rcl.dir/bench_fig8_rcl.cpp.o"
+  "CMakeFiles/bench_fig8_rcl.dir/bench_fig8_rcl.cpp.o.d"
+  "bench_fig8_rcl"
+  "bench_fig8_rcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_rcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

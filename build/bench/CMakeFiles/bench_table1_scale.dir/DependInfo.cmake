@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_scale.cpp" "bench/CMakeFiles/bench_table1_scale.dir/bench_table1_scale.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_scale.dir/bench_table1_scale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/hoyan_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hoyan_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hoyan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/hoyan_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/hoyan_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hoyan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hoyan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_changes.dir/bench_table2_changes.cpp.o"
+  "CMakeFiles/bench_table2_changes.dir/bench_table2_changes.cpp.o.d"
+  "bench_table2_changes"
+  "bench_table2_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

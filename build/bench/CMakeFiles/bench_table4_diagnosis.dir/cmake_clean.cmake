@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_diagnosis.dir/bench_table4_diagnosis.cpp.o"
+  "CMakeFiles/bench_table4_diagnosis.dir/bench_table4_diagnosis.cpp.o.d"
+  "bench_table4_diagnosis"
+  "bench_table4_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_vsb.dir/bench_table5_vsb.cpp.o"
+  "CMakeFiles/bench_table5_vsb.dir/bench_table5_vsb.cpp.o.d"
+  "bench_table5_vsb"
+  "bench_table5_vsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_vsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

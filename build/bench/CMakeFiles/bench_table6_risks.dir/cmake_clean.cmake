@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_risks.dir/bench_table6_risks.cpp.o"
+  "CMakeFiles/bench_table6_risks.dir/bench_table6_risks.cpp.o.d"
+  "bench_table6_risks"
+  "bench_table6_risks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_risks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

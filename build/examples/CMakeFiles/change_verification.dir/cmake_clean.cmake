@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_verification.dir/change_verification.cpp.o"
+  "CMakeFiles/change_verification.dir/change_verification.cpp.o.d"
+  "change_verification"
+  "change_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_audit.dir/daily_audit.cpp.o"
+  "CMakeFiles/daily_audit.dir/daily_audit.cpp.o.d"
+  "daily_audit"
+  "daily_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

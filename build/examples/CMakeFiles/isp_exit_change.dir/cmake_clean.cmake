@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_exit_change.dir/isp_exit_change.cpp.o"
+  "CMakeFiles/isp_exit_change.dir/isp_exit_change.cpp.o.d"
+  "isp_exit_change"
+  "isp_exit_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_exit_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_failure.dir/k_failure.cpp.o"
+  "CMakeFiles/k_failure.dir/k_failure.cpp.o.d"
+  "k_failure"
+  "k_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

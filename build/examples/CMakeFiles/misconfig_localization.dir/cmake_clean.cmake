@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misconfig_localization.dir/misconfig_localization.cpp.o"
+  "CMakeFiles/misconfig_localization.dir/misconfig_localization.cpp.o.d"
+  "misconfig_localization"
+  "misconfig_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misconfig_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

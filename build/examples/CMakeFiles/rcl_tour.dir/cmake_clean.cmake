@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcl_tour.dir/rcl_tour.cpp.o"
+  "CMakeFiles/rcl_tour.dir/rcl_tour.cpp.o.d"
+  "rcl_tour"
+  "rcl_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcl_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

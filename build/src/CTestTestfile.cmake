@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("topo")
+subdirs("config")
+subdirs("proto")
+subdirs("sim")
+subdirs("dist")
+subdirs("rcl")
+subdirs("monitor")
+subdirs("diag")
+subdirs("gen")
+subdirs("verify")
+subdirs("scenario")
+subdirs("core")

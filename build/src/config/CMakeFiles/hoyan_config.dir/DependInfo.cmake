@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/device_config.cc" "src/config/CMakeFiles/hoyan_config.dir/device_config.cc.o" "gcc" "src/config/CMakeFiles/hoyan_config.dir/device_config.cc.o.d"
+  "/root/repo/src/config/parser.cc" "src/config/CMakeFiles/hoyan_config.dir/parser.cc.o" "gcc" "src/config/CMakeFiles/hoyan_config.dir/parser.cc.o.d"
+  "/root/repo/src/config/printer.cc" "src/config/CMakeFiles/hoyan_config.dir/printer.cc.o" "gcc" "src/config/CMakeFiles/hoyan_config.dir/printer.cc.o.d"
+  "/root/repo/src/config/vendor.cc" "src/config/CMakeFiles/hoyan_config.dir/vendor.cc.o" "gcc" "src/config/CMakeFiles/hoyan_config.dir/vendor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hoyan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hoyan_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

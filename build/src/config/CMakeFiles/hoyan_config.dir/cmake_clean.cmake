@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_config.dir/device_config.cc.o"
+  "CMakeFiles/hoyan_config.dir/device_config.cc.o.d"
+  "CMakeFiles/hoyan_config.dir/parser.cc.o"
+  "CMakeFiles/hoyan_config.dir/parser.cc.o.d"
+  "CMakeFiles/hoyan_config.dir/printer.cc.o"
+  "CMakeFiles/hoyan_config.dir/printer.cc.o.d"
+  "CMakeFiles/hoyan_config.dir/vendor.cc.o"
+  "CMakeFiles/hoyan_config.dir/vendor.cc.o.d"
+  "libhoyan_config.a"
+  "libhoyan_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

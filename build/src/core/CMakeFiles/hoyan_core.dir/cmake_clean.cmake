@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_core.dir/hoyan.cc.o"
+  "CMakeFiles/hoyan_core.dir/hoyan.cc.o.d"
+  "CMakeFiles/hoyan_core.dir/intent_tools.cc.o"
+  "CMakeFiles/hoyan_core.dir/intent_tools.cc.o.d"
+  "CMakeFiles/hoyan_core.dir/localize.cc.o"
+  "CMakeFiles/hoyan_core.dir/localize.cc.o.d"
+  "CMakeFiles/hoyan_core.dir/report_json.cc.o"
+  "CMakeFiles/hoyan_core.dir/report_json.cc.o.d"
+  "libhoyan_core.a"
+  "libhoyan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

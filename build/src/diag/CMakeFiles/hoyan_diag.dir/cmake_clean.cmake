@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_diag.dir/injection.cc.o"
+  "CMakeFiles/hoyan_diag.dir/injection.cc.o.d"
+  "CMakeFiles/hoyan_diag.dir/root_cause.cc.o"
+  "CMakeFiles/hoyan_diag.dir/root_cause.cc.o.d"
+  "CMakeFiles/hoyan_diag.dir/validation.cc.o"
+  "CMakeFiles/hoyan_diag.dir/validation.cc.o.d"
+  "libhoyan_diag.a"
+  "libhoyan_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_dist.dir/dist_sim.cc.o"
+  "CMakeFiles/hoyan_dist.dir/dist_sim.cc.o.d"
+  "libhoyan_dist.a"
+  "libhoyan_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

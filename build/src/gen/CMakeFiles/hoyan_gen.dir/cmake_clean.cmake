@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_gen.dir/rcl_corpus.cc.o"
+  "CMakeFiles/hoyan_gen.dir/rcl_corpus.cc.o.d"
+  "CMakeFiles/hoyan_gen.dir/wan_gen.cc.o"
+  "CMakeFiles/hoyan_gen.dir/wan_gen.cc.o.d"
+  "CMakeFiles/hoyan_gen.dir/workload_gen.cc.o"
+  "CMakeFiles/hoyan_gen.dir/workload_gen.cc.o.d"
+  "libhoyan_gen.a"
+  "libhoyan_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_monitor.dir/monitoring.cc.o"
+  "CMakeFiles/hoyan_monitor.dir/monitoring.cc.o.d"
+  "libhoyan_monitor.a"
+  "libhoyan_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/community.cc" "src/net/CMakeFiles/hoyan_net.dir/community.cc.o" "gcc" "src/net/CMakeFiles/hoyan_net.dir/community.cc.o.d"
+  "/root/repo/src/net/flow.cc" "src/net/CMakeFiles/hoyan_net.dir/flow.cc.o" "gcc" "src/net/CMakeFiles/hoyan_net.dir/flow.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/net/CMakeFiles/hoyan_net.dir/ip.cc.o" "gcc" "src/net/CMakeFiles/hoyan_net.dir/ip.cc.o.d"
+  "/root/repo/src/net/route.cc" "src/net/CMakeFiles/hoyan_net.dir/route.cc.o" "gcc" "src/net/CMakeFiles/hoyan_net.dir/route.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

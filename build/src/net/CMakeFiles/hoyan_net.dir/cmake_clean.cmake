@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_net.dir/community.cc.o"
+  "CMakeFiles/hoyan_net.dir/community.cc.o.d"
+  "CMakeFiles/hoyan_net.dir/flow.cc.o"
+  "CMakeFiles/hoyan_net.dir/flow.cc.o.d"
+  "CMakeFiles/hoyan_net.dir/ip.cc.o"
+  "CMakeFiles/hoyan_net.dir/ip.cc.o.d"
+  "CMakeFiles/hoyan_net.dir/route.cc.o"
+  "CMakeFiles/hoyan_net.dir/route.cc.o.d"
+  "libhoyan_net.a"
+  "libhoyan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/address_index.cc" "src/proto/CMakeFiles/hoyan_proto.dir/address_index.cc.o" "gcc" "src/proto/CMakeFiles/hoyan_proto.dir/address_index.cc.o.d"
+  "/root/repo/src/proto/bgp.cc" "src/proto/CMakeFiles/hoyan_proto.dir/bgp.cc.o" "gcc" "src/proto/CMakeFiles/hoyan_proto.dir/bgp.cc.o.d"
+  "/root/repo/src/proto/isis.cc" "src/proto/CMakeFiles/hoyan_proto.dir/isis.cc.o" "gcc" "src/proto/CMakeFiles/hoyan_proto.dir/isis.cc.o.d"
+  "/root/repo/src/proto/network_model.cc" "src/proto/CMakeFiles/hoyan_proto.dir/network_model.cc.o" "gcc" "src/proto/CMakeFiles/hoyan_proto.dir/network_model.cc.o.d"
+  "/root/repo/src/proto/policy_eval.cc" "src/proto/CMakeFiles/hoyan_proto.dir/policy_eval.cc.o" "gcc" "src/proto/CMakeFiles/hoyan_proto.dir/policy_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/hoyan_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hoyan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hoyan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

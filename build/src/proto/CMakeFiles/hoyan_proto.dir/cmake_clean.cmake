@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_proto.dir/address_index.cc.o"
+  "CMakeFiles/hoyan_proto.dir/address_index.cc.o.d"
+  "CMakeFiles/hoyan_proto.dir/bgp.cc.o"
+  "CMakeFiles/hoyan_proto.dir/bgp.cc.o.d"
+  "CMakeFiles/hoyan_proto.dir/isis.cc.o"
+  "CMakeFiles/hoyan_proto.dir/isis.cc.o.d"
+  "CMakeFiles/hoyan_proto.dir/network_model.cc.o"
+  "CMakeFiles/hoyan_proto.dir/network_model.cc.o.d"
+  "CMakeFiles/hoyan_proto.dir/policy_eval.cc.o"
+  "CMakeFiles/hoyan_proto.dir/policy_eval.cc.o.d"
+  "libhoyan_proto.a"
+  "libhoyan_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rcl/ast.cc" "src/rcl/CMakeFiles/hoyan_rcl.dir/ast.cc.o" "gcc" "src/rcl/CMakeFiles/hoyan_rcl.dir/ast.cc.o.d"
+  "/root/repo/src/rcl/global_rib.cc" "src/rcl/CMakeFiles/hoyan_rcl.dir/global_rib.cc.o" "gcc" "src/rcl/CMakeFiles/hoyan_rcl.dir/global_rib.cc.o.d"
+  "/root/repo/src/rcl/parser.cc" "src/rcl/CMakeFiles/hoyan_rcl.dir/parser.cc.o" "gcc" "src/rcl/CMakeFiles/hoyan_rcl.dir/parser.cc.o.d"
+  "/root/repo/src/rcl/verify.cc" "src/rcl/CMakeFiles/hoyan_rcl.dir/verify.cc.o" "gcc" "src/rcl/CMakeFiles/hoyan_rcl.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hoyan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_rcl.dir/ast.cc.o"
+  "CMakeFiles/hoyan_rcl.dir/ast.cc.o.d"
+  "CMakeFiles/hoyan_rcl.dir/global_rib.cc.o"
+  "CMakeFiles/hoyan_rcl.dir/global_rib.cc.o.d"
+  "CMakeFiles/hoyan_rcl.dir/parser.cc.o"
+  "CMakeFiles/hoyan_rcl.dir/parser.cc.o.d"
+  "CMakeFiles/hoyan_rcl.dir/verify.cc.o"
+  "CMakeFiles/hoyan_rcl.dir/verify.cc.o.d"
+  "libhoyan_rcl.a"
+  "libhoyan_rcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_rcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_scenario.dir/audit_catalog.cc.o"
+  "CMakeFiles/hoyan_scenario.dir/audit_catalog.cc.o.d"
+  "CMakeFiles/hoyan_scenario.dir/case_studies.cc.o"
+  "CMakeFiles/hoyan_scenario.dir/case_studies.cc.o.d"
+  "CMakeFiles/hoyan_scenario.dir/net_builder.cc.o"
+  "CMakeFiles/hoyan_scenario.dir/net_builder.cc.o.d"
+  "CMakeFiles/hoyan_scenario.dir/scenarios.cc.o"
+  "CMakeFiles/hoyan_scenario.dir/scenarios.cc.o.d"
+  "libhoyan_scenario.a"
+  "libhoyan_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/flow_ec.cc" "src/sim/CMakeFiles/hoyan_sim.dir/flow_ec.cc.o" "gcc" "src/sim/CMakeFiles/hoyan_sim.dir/flow_ec.cc.o.d"
+  "/root/repo/src/sim/local_routes.cc" "src/sim/CMakeFiles/hoyan_sim.dir/local_routes.cc.o" "gcc" "src/sim/CMakeFiles/hoyan_sim.dir/local_routes.cc.o.d"
+  "/root/repo/src/sim/route_ec.cc" "src/sim/CMakeFiles/hoyan_sim.dir/route_ec.cc.o" "gcc" "src/sim/CMakeFiles/hoyan_sim.dir/route_ec.cc.o.d"
+  "/root/repo/src/sim/route_sim.cc" "src/sim/CMakeFiles/hoyan_sim.dir/route_sim.cc.o" "gcc" "src/sim/CMakeFiles/hoyan_sim.dir/route_sim.cc.o.d"
+  "/root/repo/src/sim/traffic_sim.cc" "src/sim/CMakeFiles/hoyan_sim.dir/traffic_sim.cc.o" "gcc" "src/sim/CMakeFiles/hoyan_sim.dir/traffic_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/hoyan_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/hoyan_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hoyan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hoyan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_sim.dir/flow_ec.cc.o"
+  "CMakeFiles/hoyan_sim.dir/flow_ec.cc.o.d"
+  "CMakeFiles/hoyan_sim.dir/local_routes.cc.o"
+  "CMakeFiles/hoyan_sim.dir/local_routes.cc.o.d"
+  "CMakeFiles/hoyan_sim.dir/route_ec.cc.o"
+  "CMakeFiles/hoyan_sim.dir/route_ec.cc.o.d"
+  "CMakeFiles/hoyan_sim.dir/route_sim.cc.o"
+  "CMakeFiles/hoyan_sim.dir/route_sim.cc.o.d"
+  "CMakeFiles/hoyan_sim.dir/traffic_sim.cc.o"
+  "CMakeFiles/hoyan_sim.dir/traffic_sim.cc.o.d"
+  "libhoyan_sim.a"
+  "libhoyan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hoyan_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_topo.dir/topology.cc.o"
+  "CMakeFiles/hoyan_topo.dir/topology.cc.o.d"
+  "libhoyan_topo.a"
+  "libhoyan_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

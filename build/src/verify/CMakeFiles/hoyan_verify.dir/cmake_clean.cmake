@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoyan_verify.dir/properties.cc.o"
+  "CMakeFiles/hoyan_verify.dir/properties.cc.o.d"
+  "libhoyan_verify.a"
+  "libhoyan_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoyan_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

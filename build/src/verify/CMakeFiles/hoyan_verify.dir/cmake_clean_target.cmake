@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhoyan_verify.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_extra_test.dir/config_extra_test.cpp.o"
+  "CMakeFiles/config_extra_test.dir/config_extra_test.cpp.o.d"
+  "config_extra_test"
+  "config_extra_test.pdb"
+  "config_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcl_extra_test.dir/rcl_extra_test.cpp.o"
+  "CMakeFiles/rcl_extra_test.dir/rcl_extra_test.cpp.o.d"
+  "rcl_extra_test"
+  "rcl_extra_test.pdb"
+  "rcl_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcl_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcl_test.dir/rcl_test.cpp.o"
+  "CMakeFiles/rcl_test.dir/rcl_test.cpp.o.d"
+  "rcl_test"
+  "rcl_test.pdb"
+  "rcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_extra_test.cpp" "tests/CMakeFiles/sim_extra_test.dir/sim_extra_test.cpp.o" "gcc" "tests/CMakeFiles/sim_extra_test.dir/sim_extra_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hoyan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hoyan_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/hoyan_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/hoyan_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hoyan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hoyan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
