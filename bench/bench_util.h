@@ -13,13 +13,71 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gen/wan_gen.h"
 #include "gen/workload_gen.h"
+#include "obs/telemetry.h"
 
 namespace hoyan::bench {
+
+// Opt-in tracing for every benchmark, with no per-bench changes: pass
+// `--trace-out=<file>` (or set HOYAN_TRACE_OUT=<file>) and the run's spans
+// are dumped as Chrome-trace JSON to <file> on exit, plus a metrics snapshot
+// to <file>.metrics.json. Implemented as a header-inline global whose
+// constructor installs a tracing `obs::Telemetry` as the process default
+// (`Telemetry::global()`), which `DistributedSimulator` and the diag entry
+// points fall back to. The flag is read from /proc/self/cmdline so it works
+// before main() and without touching each bench's argv handling (google
+// benchmark ignores the unknown flag).
+class TraceOutHook {
+ public:
+  TraceOutHook() {
+    path_ = fromCommandLine();
+    if (path_.empty())
+      if (const char* env = std::getenv("HOYAN_TRACE_OUT")) path_ = env;
+    if (path_.empty()) return;
+    obs::TelemetryOptions options;
+    options.tracing = true;
+    telemetry_ = std::make_unique<obs::Telemetry>(options);
+    obs::Telemetry::setGlobal(telemetry_.get());
+  }
+
+  ~TraceOutHook() {
+    if (!telemetry_) return;
+    obs::Telemetry::setGlobal(nullptr);
+    if (obs::writeFile(path_, telemetry_->tracer().toChromeTraceJson()))
+      std::fprintf(stderr, "trace: %zu spans -> %s (open in chrome://tracing or "
+                   "https://ui.perfetto.dev)\n",
+                   telemetry_->tracer().eventCount(), path_.c_str());
+    else
+      std::fprintf(stderr, "trace: failed to write %s\n", path_.c_str());
+    const std::string metricsPath = path_ + ".metrics.json";
+    if (obs::writeFile(metricsPath, telemetry_->metrics().toJson()))
+      std::fprintf(stderr, "metrics snapshot -> %s\n", metricsPath.c_str());
+  }
+
+ private:
+  static std::string fromCommandLine() {
+    // argv[] NUL-separated; absent outside Linux, where only the env works.
+    std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+    std::string arg;
+    while (std::getline(cmdline, arg, '\0')) {
+      const std::string prefix = "--trace-out=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    }
+    return {};
+  }
+
+  std::string path_;
+  std::unique_ptr<obs::Telemetry> telemetry_;
+};
+
+inline TraceOutHook g_traceOutHook;  // One per bench binary (header-inline).
 
 inline WanSpec wanSpec() {
   WanSpec spec;

@@ -92,6 +92,18 @@ Hoyan Hoyan::fromConfigTexts(Topology topology,
   return Hoyan(std::move(topology), std::move(configs));
 }
 
+void Hoyan::configureTelemetry(const obs::TelemetryOptions& options) {
+  ownedTelemetry_ = std::make_unique<obs::Telemetry>(options);
+  telemetry_ = ownedTelemetry_.get();
+  distOptions_.telemetry = telemetry_;
+}
+
+void Hoyan::setTelemetry(obs::Telemetry* telemetry) {
+  ownedTelemetry_.reset();
+  telemetry_ = telemetry;
+  distOptions_.telemetry = telemetry;
+}
+
 void Hoyan::setInputRoutes(std::vector<InputRoute> inputs) {
   inputRoutes_ = std::move(inputs);
   preprocessed_ = false;
@@ -103,6 +115,8 @@ void Hoyan::setInputFlows(std::vector<Flow> flows) {
 }
 
 void Hoyan::preprocess() {
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(telemetry_);
+  obs::Span span = tel.tracer().span("core.preprocess", "core");
   DistributedSimulator simulator(*baseModel_, distOptions_);
   DistRouteResult routes = simulator.runRouteSimulation(inputRoutes_);
   if (!routes.succeeded) throw std::runtime_error("base route simulation failed");
@@ -117,6 +131,10 @@ void Hoyan::preprocess() {
   }
   baseGlobal_ = rcl::GlobalRib::fromNetworkRibs(baseRibs_);
   preprocessed_ = true;
+  span.finish();
+  tel.log().info("core.preprocess.done",
+                 {{"seconds", std::to_string(span.seconds())},
+                  {"routes", std::to_string(baseRibs_.routeCount())}});
 }
 
 void Hoyan::requirePreprocessed() const {
@@ -139,10 +157,16 @@ NetworkModel Hoyan::buildUpdatedModel(const ChangePlan& plan,
 ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
                                              const IntentSet& intents) {
   requirePreprocessed();
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(telemetry_);
+  obs::Span taskSpan = tel.tracer().span("core.verify_change", "core");
+  taskSpan.arg("plan", plan.name);
+  tel.metrics().counter("core.changes_verified").add(1);
   ChangeVerificationResult result;
 
   // 1. Updated network model (incremental: base model + parsed commands).
+  obs::Span modelSpan = tel.tracer().span("core.build_updated_model", "core");
   NetworkModel updated = buildUpdatedModel(plan, &result.commandErrors);
+  modelSpan.finish();
 
   // 2. Updated input set.
   std::vector<InputRoute> updatedInputs = inputRoutes_;
@@ -158,25 +182,28 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
                        plan.newInputRoutes.end());
 
   // 3. Distributed route + traffic simulation on the updated model.
-  const auto routeStart = Clock::now();
+  obs::Span routeSpan = tel.tracer().span("core.route_sim", "core");
   DistributedSimulator simulator(updated, distOptions_);
   DistRouteResult routes = simulator.runRouteSimulation(updatedInputs);
   result.routeStats = routes.stats;
-  result.routeSimSeconds = secondsSince(routeStart);
+  routeSpan.finish();
+  result.routeSimSeconds = routeSpan.seconds();
   NetworkRibs updatedRibs = std::move(routes.ribs);
   updatedRibs.buildForwardingIndex();
 
   LinkLoadMap updatedLoads;
   if (!inputFlows_.empty() &&
       (intents.maxLinkUtilization || !intents.pathIntents.empty())) {
-    const auto trafficStart = Clock::now();
+    obs::Span trafficSpan = tel.tracer().span("core.traffic_sim", "core");
     DistTrafficResult traffic = simulator.runTrafficSimulation(inputFlows_);
     result.trafficStats = traffic.stats;
-    result.trafficSimSeconds = secondsSince(trafficStart);
+    trafficSpan.finish();
+    result.trafficSimSeconds = trafficSpan.seconds();
     updatedLoads = std::move(traffic.linkLoads);
   }
 
   // 4. Intent verification.
+  obs::Span intentSpan = tel.tracer().span("core.check_intents", "core");
   const auto verifyStart = Clock::now();
   const rcl::GlobalRib updatedGlobal = rcl::GlobalRib::fromNetworkRibs(updatedRibs);
   for (const std::string& specification : intents.rclIntents) {
@@ -195,19 +222,31 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
     result.loadViolations =
         checkLinkLoads(updated.topology, updatedLoads, *intents.maxLinkUtilization);
   }
+  intentSpan.finish();
   result.verifySeconds = secondsSince(verifyStart);
   result.updatedRibs = std::move(updatedRibs);
   result.updatedLinkLoads = std::move(updatedLoads);
+  taskSpan.finish();
+  if (!result.satisfied()) tel.metrics().counter("core.changes_violated").add(1);
+  tel.log().info("core.verify_change.done",
+                 {{"plan", plan.name},
+                  {"satisfied", result.satisfied() ? "true" : "false"},
+                  {"seconds", std::to_string(taskSpan.seconds())}});
   return result;
 }
 
 std::vector<RclOutcome> Hoyan::runAuditTasks(const std::vector<std::string>& auditSpecs) {
   requirePreprocessed();
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(telemetry_);
+  obs::Span span = tel.tracer().span("core.audit", "core");
+  span.arg("tasks", std::to_string(auditSpecs.size()));
   std::vector<RclOutcome> outcomes;
   for (const std::string& specification : auditSpecs) {
     RclOutcome outcome;
     outcome.specification = specification;
     outcome.result = rcl::checkIntentText(specification, baseGlobal_, baseGlobal_);
+    tel.metrics().counter("core.audit_tasks").add(1);
+    if (!outcome.result.satisfied) tel.metrics().counter("core.audit_violations").add(1);
     outcomes.push_back(std::move(outcome));
   }
   return outcomes;

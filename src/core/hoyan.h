@@ -16,6 +16,7 @@
 #include "config/parser.h"
 #include "dist/dist_sim.h"
 #include "net/flow.h"
+#include "obs/telemetry.h"
 #include "net/route.h"
 #include "proto/network_model.h"
 #include "rcl/verify.h"
@@ -101,8 +102,23 @@ class Hoyan {
   void setInputRoutes(std::vector<InputRoute> inputs);
   void setInputFlows(std::vector<Flow> flows);
 
-  // Distributed-simulation knobs used for every simulation run.
-  void setSimulationOptions(DistSimOptions options) { distOptions_ = std::move(options); }
+  // Distributed-simulation knobs used for every simulation run. A configured
+  // telemetry bundle is preserved unless the options carry their own.
+  void setSimulationOptions(DistSimOptions options) {
+    if (!options.telemetry) options.telemetry = telemetry_;
+    distOptions_ = std::move(options);
+  }
+
+  // Telemetry for the whole pipeline (preprocessing, simulation, intent
+  // checking): builds an owned bundle from `options` and threads it through
+  // every stage. Call before preprocess(). `telemetry()` exposes the bundle
+  // for exporting (metrics snapshot, Chrome trace) after a run; null when
+  // never configured.
+  void configureTelemetry(const obs::TelemetryOptions& options);
+  // Alternative: adopt an externally owned bundle (e.g. shared across Hoyan
+  // instances or installed as the process global).
+  void setTelemetry(obs::Telemetry* telemetry);
+  obs::Telemetry* telemetry() const { return telemetry_; }
 
   // Daily pre-processing: base model + base RIBs + base flow paths/loads.
   void preprocess();
@@ -137,6 +153,8 @@ class Hoyan {
   std::vector<InputRoute> inputRoutes_;
   std::vector<Flow> inputFlows_;
   DistSimOptions distOptions_;
+  std::unique_ptr<obs::Telemetry> ownedTelemetry_;
+  obs::Telemetry* telemetry_ = nullptr;
   bool preprocessed_ = false;
 
   NetworkRibs baseRibs_;

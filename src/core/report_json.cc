@@ -36,7 +36,8 @@ std::string jsonEscape(const std::string& text) {
   return out;
 }
 
-std::string toJson(const std::string& planName, const ChangeVerificationResult& result) {
+std::string toJson(const std::string& planName, const ChangeVerificationResult& result,
+                   const obs::MetricsRegistry* metrics) {
   std::string out = "{";
   out += "\"plan\":\"" + jsonEscape(planName) + "\",";
   out += std::string("\"satisfied\":") + (result.satisfied() ? "true" : "false") + ",";
@@ -105,7 +106,9 @@ std::string toJson(const std::string& planName, const ChangeVerificationResult& 
     out += "\"bandwidthBps\":" + number(violation.bandwidthBps) + ",";
     out += "\"utilization\":" + number(violation.utilization()) + "}";
   }
-  out += "]}";
+  out += "]";
+  if (metrics) out += ",\"metrics\":" + metrics->toJson();
+  out += "}";
   return out;
 }
 

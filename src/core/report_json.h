@@ -18,9 +18,14 @@ namespace hoyan {
 //   "trafficSim": {...},
 //   "rcl": [{"spec":..., "satisfied":..., "violations":[{"context":...,
 //            "message":..., "examples":[...]}]}],
-//   "pathViolations": [...], "loadViolations": [...]
+//   "pathViolations": [...], "loadViolations": [...],
+//   "metrics": {"counters":...,"gauges":...,"histograms":...}  // optional
 // }
-std::string toJson(const std::string& planName, const ChangeVerificationResult& result);
+// The "metrics" member is present when `metrics` is non-null: a snapshot of
+// the run's registry (queue depth, store bytes, retries, ...), so the REST
+// consumer gets operational numbers alongside the verdict.
+std::string toJson(const std::string& planName, const ChangeVerificationResult& result,
+                   const obs::MetricsRegistry* metrics = nullptr);
 
 // Minimal JSON string escaping (exposed for tests).
 std::string jsonEscape(const std::string& text);

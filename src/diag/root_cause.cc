@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
+
 namespace hoyan {
 namespace {
 
@@ -118,6 +120,9 @@ std::string RootCauseFinding::str() const {
 std::vector<RootCauseFinding> analyzeLoadInaccuracies(
     const NetworkModel& model, const NetworkRibs& simRibs, const NetworkRibs& realRibs,
     std::span<const Flow> flows, const LoadAccuracyReport& report, size_t maxFindings) {
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(obs::Telemetry::global());
+  obs::Span span = tel.tracer().span("diag.root_cause", "diag");
+  span.arg("inaccurate_links", std::to_string(report.inaccurateLinks.size()));
   std::vector<RootCauseFinding> findings;
   for (const LinkLoadDelta& link : report.inaccurateLinks) {
     if (findings.size() >= maxFindings) break;
@@ -176,6 +181,7 @@ std::vector<RootCauseFinding> analyzeLoadInaccuracies(
     }
     findings.push_back(std::move(finding));
   }
+  tel.metrics().counter("diag.root_cause_findings").add(findings.size());
   return findings;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.h"
+
 namespace hoyan {
 namespace {
 
@@ -54,6 +56,10 @@ std::string RouteDiscrepancy::str() const {
 RouteAccuracyReport compareRoutes(const NetworkRibs& simulated,
                                   const NetworkRibs& monitored,
                                   const RouteMonitorOptions& monitorOptions) {
+  // Validation runs at the pipeline edge; it reports into the process-global
+  // telemetry (the bench --trace-out hook) rather than a threaded pointer.
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(obs::Telemetry::global());
+  obs::Span span = tel.tracer().span("diag.compare_routes", "diag");
   RouteAccuracyReport report;
   // For every monitored best route: find it in the simulation. The
   // simulation's view is reduced to what the monitor would observe.
@@ -129,6 +135,10 @@ RouteAccuracyReport compareRoutes(const NetworkRibs& simulated,
       report.missingDevices.push_back(deviceId);
     }
   }
+  span.arg("compared", std::to_string(report.routesCompared));
+  span.arg("discrepancies", std::to_string(report.discrepancies.size()));
+  tel.metrics().counter("diag.routes_compared").add(report.routesCompared);
+  tel.metrics().counter("diag.route_discrepancies").add(report.discrepancies.size());
   return report;
 }
 
@@ -188,6 +198,8 @@ LoadAccuracyReport compareLinkLoads(const Topology& topology,
                                     const LinkLoadMap& simulated,
                                     const std::vector<MonitoredLinkLoad>& monitored,
                                     double thresholdFraction) {
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(obs::Telemetry::global());
+  obs::Span span = tel.tracer().span("diag.compare_link_loads", "diag");
   LoadAccuracyReport report;
   const auto bandwidthOf = [&topology](NameId from, NameId to) -> double {
     for (const Adjacency& adj : topology.adjacenciesOf(from)) {
@@ -229,6 +241,9 @@ LoadAccuracyReport compareLinkLoads(const Topology& topology,
             [](const LinkLoadDelta& a, const LinkLoadDelta& b) {
               return std::abs(a.deltaFraction()) > std::abs(b.deltaFraction());
             });
+  span.arg("compared", std::to_string(report.linksCompared));
+  tel.metrics().counter("diag.links_compared").add(report.linksCompared);
+  tel.metrics().counter("diag.inaccurate_links").add(report.inaccurateLinks.size());
   return report;
 }
 

@@ -5,17 +5,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <random>
 #include <thread>
 
 namespace hoyan {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double secondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 // Deterministic per-(subtask, attempt) crash decision for fault injection.
 bool injectCrash(const DistSimOptions& options, const std::string& id, int attempt) {
@@ -48,15 +43,26 @@ DistributedSimulator::DistributedSimulator(const NetworkModel& model,
   if (options_.workers == 0) options_.workers = 1;
   if (options_.routeSubtasks == 0) options_.routeSubtasks = 1;
   if (options_.trafficSubtasks == 0) options_.trafficSubtasks = 1;
+  telemetry_ = options_.telemetry ? options_.telemetry : obs::Telemetry::global();
+  if (!telemetry_) telemetry_ = &obs::Telemetry::disabled();
+  obs::MetricsRegistry& metrics = telemetry_->metrics();
+  store_.bindTelemetry(&metrics.gauge("store.blobs"), &metrics.gauge("store.live_bytes"),
+                       &metrics.counter("store.bytes_read"),
+                       &metrics.counter("store.bytes_written"));
 }
 
 DistRouteResult DistributedSimulator::runRouteSimulation(
     std::span<const InputRoute> inputs) {
-  const auto start = Clock::now();
+  obs::Telemetry& tel = *telemetry_;
+  obs::Span taskSpan = tel.tracer().span("route.task", "dist");
+  taskSpan.arg("inputs", std::to_string(inputs.size()));
+  tel.log().info("route.task.start", {{"inputs", std::to_string(inputs.size())},
+                                      {"workers", std::to_string(options_.workers)}});
   DistRouteResult result;
   routeResultKeys_.clear();
 
   // --- master: prepare subtasks -------------------------------------------
+  obs::Span splitSpan = tel.tracer().span("route.split", "dist");
   std::vector<InputRoute> ordered(inputs.begin(), inputs.end());
   if (options_.strategy == SplitStrategy::kOrdering) {
     // Order by the last IP address of the prefix; keep same-prefix routes
@@ -76,6 +82,8 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   const size_t subtaskCount = std::min(options_.routeSubtasks,
                                        std::max<size_t>(ordered.size(), 1));
   MessageQueue<SubtaskMessage> queue;
+  queue.bindTelemetry(&tel.metrics().gauge("mq.depth"),
+                      &tel.metrics().histogram("mq.wait_seconds"));
   std::vector<std::string> subtaskIds;
   size_t cursor = 0;
   for (size_t i = 0; i < subtaskCount; ++i) {
@@ -114,33 +122,52 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
     queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kLocalRoutes, 1});
     subtaskIds.push_back(record.id);
   }
-  result.splitSeconds = secondsSince(start);
+  splitSpan.arg("subtasks", std::to_string(subtaskIds.size()));
+  splitSpan.finish();
+  result.splitSeconds = splitSpan.seconds();
+  tel.metrics().counter("dist.route.subtasks").add(subtaskIds.size());
 
   // --- workers --------------------------------------------------------------
   std::atomic<size_t> remaining{subtaskIds.size()};
   std::atomic<size_t> retries{0};
   std::atomic<bool> failed{false};
   std::mutex statsMutex;
+  obs::Counter& retryCounter = tel.metrics().counter("dist.retries");
+  obs::Counter& completedCounter = tel.metrics().counter("dist.subtasks.completed");
+  obs::Counter& crashCounter = tel.metrics().counter("dist.subtasks.crashed");
+  obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtasks.exhausted");
+  obs::Histogram& subtaskSeconds = tel.metrics().histogram("dist.subtask_seconds");
   const auto workerLoop = [&] {
     while (auto message = queue.pop()) {
-      const auto subtaskStart = Clock::now();
+      obs::Span subtaskSpan = tel.tracer().span("route.subtask", "dist");
+      subtaskSpan.arg("id", message->id);
+      subtaskSpan.arg("attempt", std::to_string(message->attempt));
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kRunning;
         r.attempts = message->attempt;
       });
       if (injectCrash(options_, message->id, message->attempt)) {
         // The working server dies mid-subtask; the master re-queues (§3.2).
+        subtaskSpan.arg("outcome", "crashed");
+        crashCounter.add(1);
         db_.update(message->id,
                    [](SubtaskRecord& r) { r.status = SubtaskStatus::kFailed; });
         if (message->attempt >= options_.maxAttempts) {
+          tel.log().error("route.subtask.exhausted", {{"id", message->id}});
+          exhaustedCounter.add(1);
           failed = true;
           if (remaining.fetch_sub(1) == 1) queue.close();
         } else {
+          tel.log().warn("route.subtask.retry",
+                         {{"id", message->id},
+                          {"attempt", std::to_string(message->attempt)}});
           retries.fetch_add(1);
+          retryCounter.add(1);
           queue.push(SubtaskMessage{message->id, message->kind, message->attempt + 1});
         }
         continue;
       }
+      obs::Span executeSpan = tel.tracer().span("route.subtask.execute", "dist");
       NetworkRibs ribs;
       RouteSimStats stats;
       if (message->kind == SubtaskMessage::Kind::kLocalRoutes) {
@@ -150,16 +177,24 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         const auto chunk = store_.get<std::vector<InputRoute>>(record->inputKey);
         RouteSimOptions subOptions = options_.routeOptions;
         subOptions.includeLocalRoutes = false;
+        subOptions.telemetry = telemetry_;
         RouteSimResult subResult = simulateRoutes(model_, *chunk, subOptions);
         ribs = std::move(subResult.ribs);
         stats = subResult.stats;
       }
+      executeSpan.finish();
+      obs::Span uploadSpan = tel.tracer().span("route.subtask.upload", "dist");
       const auto record = db_.get(message->id);
       const size_t resultBytes = approxRibBytes(ribs);
       store_.put(record->resultKey, std::move(ribs), resultBytes);
+      uploadSpan.finish();
+      subtaskSpan.finish();
+      subtaskSeconds.observe(subtaskSpan.seconds());
+      completedCounter.add(1);
+      // The span both *is* the trace record and feeds the public metric.
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kSucceeded;
-        r.runtimeSeconds = secondsSince(subtaskStart);
+        r.runtimeSeconds = subtaskSpan.seconds();
       });
       {
         std::lock_guard lock(statsMutex);
@@ -170,6 +205,9 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         result.stats.ec.inputRoutes += stats.ec.inputRoutes;
         result.stats.ec.classes += stats.ec.classes;
         result.stats.ec.prefixClasses += stats.ec.prefixClasses;
+        result.stats.ecSeconds += stats.ecSeconds;
+        result.stats.propagateSeconds += stats.propagateSeconds;
+        result.stats.materializeSeconds += stats.materializeSeconds;
       }
       if (remaining.fetch_sub(1) == 1) queue.close();
     }
@@ -184,7 +222,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   result.succeeded = !failed.load();
 
   // --- master: collect results ----------------------------------------------
-  const auto mergeStart = Clock::now();
+  obs::Span mergeSpan = tel.tracer().span("route.merge", "dist");
   for (const std::string& id : subtaskIds) {
     const auto record = db_.get(id);
     if (!record || record->status != SubtaskStatus::kSucceeded) continue;
@@ -197,20 +235,32 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   dedupeRoutes(result.ribs);
   reselectAll(result.ribs);
   result.ribs.buildForwardingIndex();
-  result.mergeSeconds = secondsSince(mergeStart);
+  mergeSpan.finish();
+  result.mergeSeconds = mergeSpan.seconds();
   result.stats.installedRoutes = result.ribs.routeCount();
   result.stats.inputRoutes = inputs.size();
-  result.elapsedSeconds = secondsSince(start);
+  taskSpan.finish();
+  result.elapsedSeconds = taskSpan.seconds();
+  tel.log().info("route.task.done",
+                 {{"seconds", std::to_string(result.elapsedSeconds)},
+                  {"routes", std::to_string(result.stats.installedRoutes)},
+                  {"retries", std::to_string(result.retries)},
+                  {"succeeded", result.succeeded ? "true" : "false"}});
   return result;
 }
 
 DistTrafficResult DistributedSimulator::runTrafficSimulation(
     std::span<const Flow> flows) {
-  const auto start = Clock::now();
+  obs::Telemetry& tel = *telemetry_;
+  obs::Span taskSpan = tel.tracer().span("traffic.task", "dist");
+  taskSpan.arg("flows", std::to_string(flows.size()));
+  tel.log().info("traffic.task.start", {{"flows", std::to_string(flows.size())},
+                                        {"workers", std::to_string(options_.workers)}});
   DistTrafficResult result;
   const size_t storeReadsBefore = store_.bytesRead();
 
   // --- master: prepare subtasks ----------------------------------------------
+  obs::Span splitSpan = tel.tracer().span("traffic.split", "dist");
   std::vector<Flow> ordered(flows.begin(), flows.end());
   if (options_.strategy == SplitStrategy::kOrdering) {
     // Order by destination address (§3.2 — done offline by the input-flow
@@ -225,6 +275,8 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   const size_t subtaskCount =
       std::min(options_.trafficSubtasks, std::max<size_t>(ordered.size(), 1));
   MessageQueue<SubtaskMessage> queue;
+  queue.bindTelemetry(&tel.metrics().gauge("mq.depth"),
+                      &tel.metrics().histogram("mq.wait_seconds"));
   std::vector<std::string> subtaskIds;
   for (size_t i = 0; i < subtaskCount; ++i) {
     const size_t begin = ordered.size() * i / subtaskCount;
@@ -241,7 +293,10 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
     subtaskIds.push_back(record.id);
   }
 
-  result.splitSeconds = secondsSince(start);
+  splitSpan.arg("subtasks", std::to_string(subtaskIds.size()));
+  splitSpan.finish();
+  result.splitSeconds = splitSpan.seconds();
+  tel.metrics().counter("dist.traffic.subtasks").add(subtaskIds.size());
 
   // Snapshot route-subtask coverage for the dependency check.
   struct RouteFile {
@@ -266,23 +321,43 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   std::atomic<size_t> retries{0};
   std::atomic<bool> failed{false};
   std::mutex outputMutex;
-  TrafficOutput merged;
+  // Per-subtask outputs, merged by the master in subtask order after the
+  // workers join: float addition is not associative, so merging in worker
+  // *completion* order made link loads depend on the worker count.
+  std::map<std::string, TrafficOutput> outputs;
+  obs::Counter& retryCounter = tel.metrics().counter("dist.retries");
+  obs::Counter& completedCounter = tel.metrics().counter("dist.subtasks.completed");
+  obs::Counter& crashCounter = tel.metrics().counter("dist.subtasks.crashed");
+  obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtasks.exhausted");
+  obs::Histogram& subtaskSeconds = tel.metrics().histogram("dist.subtask_seconds");
+  obs::Counter& ribFilesLoaded = tel.metrics().counter("dist.traffic.rib_files_loaded");
+  obs::Counter& ribFilesSkipped = tel.metrics().counter("dist.traffic.rib_files_skipped");
 
   const auto workerLoop = [&] {
     while (auto message = queue.pop()) {
-      const auto subtaskStart = Clock::now();
+      obs::Span subtaskSpan = tel.tracer().span("traffic.subtask", "dist");
+      subtaskSpan.arg("id", message->id);
+      subtaskSpan.arg("attempt", std::to_string(message->attempt));
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kRunning;
         r.attempts = message->attempt;
       });
       if (injectCrash(options_, message->id, message->attempt)) {
+        subtaskSpan.arg("outcome", "crashed");
+        crashCounter.add(1);
         db_.update(message->id,
                    [](SubtaskRecord& r) { r.status = SubtaskStatus::kFailed; });
         if (message->attempt >= options_.maxAttempts) {
+          tel.log().error("traffic.subtask.exhausted", {{"id", message->id}});
+          exhaustedCounter.add(1);
           failed = true;
           if (remaining.fetch_sub(1) == 1) queue.close();
         } else {
+          tel.log().warn("traffic.subtask.retry",
+                         {{"id", message->id},
+                          {"attempt", std::to_string(message->attempt)}});
           retries.fetch_add(1);
+          retryCounter.add(1);
           queue.push(SubtaskMessage{message->id, message->kind, message->attempt + 1});
         }
         continue;
@@ -300,6 +375,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
       // Dependency pruning (§3.2): load only route result files whose
       // recorded coverage overlaps our destination range. The local-routes
       // file is always needed (nexthop/loopback routes).
+      obs::Span loadSpan = tel.tracer().span("traffic.subtask.load_ribs", "dist");
       NetworkRibs ribs;
       size_t loaded = 0;
       for (const RouteFile& file : routeFiles) {
@@ -313,26 +389,30 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
       dedupeRoutes(ribs);
       reselectAll(ribs);
       ribs.buildForwardingIndex();
+      loadSpan.arg("loaded", std::to_string(loaded));
+      loadSpan.finish();
+      ribFilesLoaded.add(loaded);
+      ribFilesSkipped.add(routeFiles.size() - loaded);
+      obs::Span executeSpan = tel.tracer().span("traffic.subtask.execute", "dist");
+      TrafficSimOptions subOptions = options_.trafficOptions;
+      subOptions.telemetry = telemetry_;
       const TrafficSimResult subResult =
-          simulateTraffic(model_, ribs, *chunk, options_.trafficOptions);
+          simulateTraffic(model_, ribs, *chunk, subOptions);
+      executeSpan.finish();
       {
         std::lock_guard lock(outputMutex);
-        merged.loads.merge(subResult.linkLoads);
-        merged.stats.inputFlows += subResult.stats.inputFlows;
-        merged.stats.simulatedFlows += subResult.stats.simulatedFlows;
-        merged.stats.delivered += subResult.stats.delivered;
-        merged.stats.exited += subResult.stats.exited;
-        merged.stats.blackholed += subResult.stats.blackholed;
-        merged.stats.looped += subResult.stats.looped;
-        merged.stats.deniedAcl += subResult.stats.deniedAcl;
-        merged.stats.ec.inputFlows += subResult.stats.ec.inputFlows;
-        merged.stats.ec.classes += subResult.stats.ec.classes;
+        outputs[message->id] = TrafficOutput{subResult.linkLoads, subResult.stats};
       }
+      obs::Span uploadSpan = tel.tracer().span("traffic.subtask.upload", "dist");
       store_.put(record->resultKey, subResult.linkLoads,
                  subResult.linkLoads.size() * 24);
+      uploadSpan.finish();
+      subtaskSpan.finish();
+      subtaskSeconds.observe(subtaskSpan.seconds());
+      completedCounter.add(1);
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kSucceeded;
-        r.runtimeSeconds = secondsSince(subtaskStart);
+        r.runtimeSeconds = subtaskSpan.seconds();
         r.ribFilesLoaded = loaded;
         r.ribFilesTotal = routeFiles.size();
       });
@@ -347,8 +427,25 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
 
   result.retries = retries.load();
   result.succeeded = !failed.load();
-  result.linkLoads = std::move(merged.loads);
-  result.stats = merged.stats;
+  // --- master: merge in fixed subtask order (determinism) -------------------
+  obs::Span mergeSpan = tel.tracer().span("traffic.merge", "dist");
+  for (const std::string& id : subtaskIds) {
+    const auto it = outputs.find(id);
+    if (it == outputs.end()) continue;
+    const TrafficOutput& output = it->second;
+    result.linkLoads.merge(output.loads);
+    result.stats.inputFlows += output.stats.inputFlows;
+    result.stats.simulatedFlows += output.stats.simulatedFlows;
+    result.stats.delivered += output.stats.delivered;
+    result.stats.exited += output.stats.exited;
+    result.stats.blackholed += output.stats.blackholed;
+    result.stats.looped += output.stats.looped;
+    result.stats.deniedAcl += output.stats.deniedAcl;
+    result.stats.ec.inputFlows += output.stats.ec.inputFlows;
+    result.stats.ec.classes += output.stats.ec.classes;
+    result.stats.ecSeconds += output.stats.ecSeconds;
+    result.stats.forwardSeconds += output.stats.forwardSeconds;
+  }
   for (const std::string& id : subtaskIds) {
     const auto record = db_.get(id);
     if (!record) continue;
@@ -356,8 +453,15 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
                                             record->ribFilesLoaded,
                                             record->ribFilesTotal});
   }
+  mergeSpan.finish();
   result.storeBytesRead = store_.bytesRead() - storeReadsBefore;
-  result.elapsedSeconds = secondsSince(start);
+  taskSpan.finish();
+  result.elapsedSeconds = taskSpan.seconds();
+  tel.log().info("traffic.task.done",
+                 {{"seconds", std::to_string(result.elapsedSeconds)},
+                  {"links", std::to_string(result.linkLoads.size())},
+                  {"retries", std::to_string(result.retries)},
+                  {"succeeded", result.succeeded ? "true" : "false"}});
   return result;
 }
 

@@ -26,6 +26,7 @@
 #include "dist/subtask_db.h"
 #include "net/flow.h"
 #include "net/route.h"
+#include "obs/telemetry.h"
 #include "proto/network_model.h"
 #include "sim/route_sim.h"
 #include "sim/traffic_sim.h"
@@ -50,6 +51,10 @@ struct DistSimOptions {
   int maxAttempts = 3;
   RouteSimOptions routeOptions;
   TrafficSimOptions trafficOptions;
+  // Telemetry sink for the whole run: master/worker lifecycle spans, queue
+  // and store gauges, retry counters. Null falls back to Telemetry::global()
+  // (the benches' --trace-out hook), then to the disabled sink.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct SubtaskMetric {
@@ -98,10 +103,14 @@ class DistributedSimulator {
 
   const SubtaskDb& db() const { return db_; }
   const ObjectStore& store() const { return store_; }
+  // The telemetry sink this run reports into (never null; possibly the
+  // process-wide disabled instance).
+  obs::Telemetry& telemetry() const { return *telemetry_; }
 
  private:
   const NetworkModel& model_;
   DistSimOptions options_;
+  obs::Telemetry* telemetry_;  // Resolved: options -> global -> disabled.
   ObjectStore store_;
   SubtaskDb db_;
   std::vector<std::string> routeResultKeys_;  // Ordered; last is local-routes.

@@ -3,7 +3,11 @@
 //
 // Blobs are typed shared pointers; the store is thread-safe and accounts the
 // approximate bytes written/read so benchmarks can report the network-I/O
-// saving of the ordering heuristic (Fig. 5(d)) without real sockets.
+// saving of the ordering heuristic (Fig. 5(d)) without real sockets. Beyond
+// the cumulative counters it tracks *residency* — live blob count and live
+// bytes — so store occupancy between the route and traffic phases is
+// visible; `bindTelemetry` mirrors residency into gauges and traffic into
+// counters.
 #pragma once
 
 #include <memory>
@@ -12,10 +16,24 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace hoyan {
 
 class ObjectStore {
  public:
+  // All pointers optional and must outlive the store.
+  void bindTelemetry(obs::Gauge* blobCount, obs::Gauge* liveBytes,
+                     obs::Counter* bytesRead, obs::Counter* bytesWritten) {
+    std::lock_guard lock(mutex_);
+    blobCountGauge_ = blobCount;
+    liveBytesGauge_ = liveBytes;
+    bytesReadCounter_ = bytesRead;
+    bytesWrittenCounter_ = bytesWritten;
+    if (blobCountGauge_) blobCountGauge_->set(static_cast<int64_t>(objects_.size()));
+    if (liveBytesGauge_) liveBytesGauge_->set(static_cast<int64_t>(liveBytes_));
+  }
+
   template <typename T>
   void put(const std::string& key, T value, size_t approxBytes) {
     auto blob = std::make_shared<Entry>();
@@ -23,7 +41,16 @@ class ObjectStore {
     blob->bytes = approxBytes;
     std::lock_guard lock(mutex_);
     bytesWritten_ += approxBytes;
-    objects_[key] = std::move(blob);
+    if (bytesWrittenCounter_) bytesWrittenCounter_->add(approxBytes);
+    auto& slot = objects_[key];
+    if (slot) {
+      liveBytes_ -= slot->bytes;  // Overwrite: replace the old blob's bytes.
+    } else if (blobCountGauge_) {
+      blobCountGauge_->add(1);
+    }
+    liveBytes_ += approxBytes;
+    if (liveBytesGauge_) liveBytesGauge_->set(static_cast<int64_t>(liveBytes_));
+    slot = std::move(blob);
   }
 
   // Returns the blob stored under `key`; throws if absent or of the wrong
@@ -39,6 +66,7 @@ class ObjectStore {
       entry = it->second;
       bytesRead_ += entry->bytes;
       ++reads_;
+      if (bytesReadCounter_) bytesReadCounter_->add(entry->bytes);
     }
     auto typed = std::static_pointer_cast<const T>(
         std::shared_ptr<const void>(entry->object));
@@ -51,7 +79,12 @@ class ObjectStore {
   }
   void erase(const std::string& key) {
     std::lock_guard lock(mutex_);
-    objects_.erase(key);
+    const auto it = objects_.find(key);
+    if (it == objects_.end()) return;
+    liveBytes_ -= it->second->bytes;
+    objects_.erase(it);
+    if (blobCountGauge_) blobCountGauge_->add(-1);
+    if (liveBytesGauge_) liveBytesGauge_->set(static_cast<int64_t>(liveBytes_));
   }
 
   size_t bytesWritten() const {
@@ -66,6 +99,15 @@ class ObjectStore {
     std::lock_guard lock(mutex_);
     return reads_;
   }
+  // Residency: blobs currently held and their live bytes (not cumulative).
+  size_t blobCount() const {
+    std::lock_guard lock(mutex_);
+    return objects_.size();
+  }
+  size_t liveBytes() const {
+    std::lock_guard lock(mutex_);
+    return liveBytes_;
+  }
 
  private:
   struct Entry {
@@ -77,7 +119,12 @@ class ObjectStore {
   std::unordered_map<std::string, std::shared_ptr<Entry>> objects_;
   size_t bytesWritten_ = 0;
   size_t bytesRead_ = 0;
+  size_t liveBytes_ = 0;
   size_t reads_ = 0;
+  obs::Gauge* blobCountGauge_ = nullptr;
+  obs::Gauge* liveBytesGauge_ = nullptr;
+  obs::Counter* bytesReadCounter_ = nullptr;
+  obs::Counter* bytesWrittenCounter_ = nullptr;
 };
 
 }  // namespace hoyan

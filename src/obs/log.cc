@@ -1,0 +1,58 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hoyan::obs {
+namespace {
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logLevelFromName(const std::string& name, LogLevel fallback) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel logLevelFromEnv() {
+  const char* value = std::getenv("HOYAN_LOG");
+  if (!value) return LogLevel::kOff;
+  return logLevelFromName(value, LogLevel::kOff);
+}
+
+void Logger::log(LogLevel level, const std::string& event,
+                 std::initializer_list<Field> fields) const {
+  if (!enabled(level)) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  std::string line;
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "%10.6f %-5s ", elapsed, levelName(level));
+  line += prefix;
+  line += event;
+  for (const Field& field : fields) {
+    line += ' ';
+    line += field.first;
+    line += '=';
+    line += field.second;
+  }
+  line += '\n';
+  // One fwrite per line keeps concurrent workers' lines whole.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace hoyan::obs

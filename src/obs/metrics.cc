@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hoyan::obs {
+namespace {
+
+std::string numberToJson(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our registry names use
+// dots as separators; map anything illegal to '_'.
+std::string promName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = defaultLatencyBounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_.emplace_back(0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucketCounts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) out.push_back(bucket.load(std::memory_order_relaxed));
+  return out;
+}
+
+std::vector<double> Histogram::defaultLatencyBounds() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+          0.5,   1.0,    2.5,   5.0,  10.0,  25.0, 50.0, 100.0};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : counters_)
+    if (entry.name == name) return entry.instrument;
+  counters_.emplace_back(name);
+  return counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : gauges_)
+    if (entry.name == name) return entry.instrument;
+  gauges_.emplace_back(name);
+  return gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : histograms_)
+    if (entry.name == name) return entry.instrument;
+  histograms_.emplace_back(name, std::move(bounds));
+  return histograms_.back().instrument;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + counters_[i].name + "\":" + std::to_string(counters_[i].instrument.value());
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + gauges_[i].name + "\":{\"value\":" +
+           std::to_string(gauges_[i].instrument.value()) +
+           ",\"max\":" + std::to_string(gauges_[i].instrument.maxValue()) + "}";
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& histogram = histograms_[i].instrument;
+    if (i) out += ",";
+    out += "\"" + histograms_[i].name + "\":{\"count\":" +
+           std::to_string(histogram.count()) +
+           ",\"sum\":" + numberToJson(histogram.sum()) + ",\"buckets\":[";
+    const auto counts = histogram.bucketCounts();
+    for (size_t b = 0; b < counts.size(); ++b) {
+      if (b) out += ",";
+      const std::string le =
+          b < histogram.bounds().size() ? numberToJson(histogram.bounds()[b]) : "\"+Inf\"";
+      out += "{\"le\":" + le + ",\"count\":" + std::to_string(counts[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::toPrometheusText() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& entry : counters_) {
+    const std::string name = promName(entry.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(entry.instrument.value()) + "\n";
+  }
+  for (const auto& entry : gauges_) {
+    const std::string name = promName(entry.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(entry.instrument.value()) + "\n";
+    out += name + "_max " + std::to_string(entry.instrument.maxValue()) + "\n";
+  }
+  for (const auto& entry : histograms_) {
+    const std::string name = promName(entry.name);
+    const Histogram& histogram = entry.instrument;
+    out += "# TYPE " + name + " histogram\n";
+    const auto counts = histogram.bucketCounts();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      cumulative += counts[b];
+      const std::string le =
+          b < histogram.bounds().size() ? numberToJson(histogram.bounds()[b]) : "+Inf";
+      out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + numberToJson(histogram.sum()) + "\n";
+    out += name + "_count " + std::to_string(histogram.count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hoyan::obs

@@ -1,0 +1,117 @@
+// Thread-safe metrics registry: named counters, gauges, and fixed-bucket
+// histograms with atomic hot paths, plus JSON and Prometheus-text exporters.
+//
+// Mirrors how the production system (§3.2, §5) is operated: subtask status
+// monitoring, retry accounting, and accuracy cross-validation all hang off
+// numeric series. Registration (name -> instrument) takes a mutex once;
+// after that every update is a relaxed atomic op, so instruments can sit on
+// the distributed workers' hot paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hoyan::obs {
+
+// Monotonically increasing count (events, retries, bytes moved).
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time signed level (queue depth, live blob count/bytes). Tracks the
+// high-watermark so a snapshot taken after a run still shows peak residency.
+class Gauge {
+ public:
+  void set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    raiseMax(value);
+  }
+  void add(int64_t delta) {
+    const int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raiseMax(now);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t maxValue() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void raiseMax(int64_t candidate) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !max_.compare_exchange_weak(seen, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Fixed-bucket histogram (cumulative-bucket semantics on export, like
+// Prometheus). Bounds are upper bounds of each bucket; observations above the
+// last bound land in the implicit +Inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts; size = bounds.size() + 1 (+Inf last).
+  std::vector<uint64_t> bucketCounts() const;
+
+  // Default bounds for second-valued latencies: 1ms .. ~100s, log-spaced.
+  static std::vector<double> defaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::deque<std::atomic<uint64_t>> buckets_;  // deque: atomics aren't movable.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// Name -> instrument registry. Returned references stay valid for the
+// registry's lifetime (node-stable storage); looking up an existing name
+// returns the same instrument, so call sites can cache the reference.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  // {"counters":{name:value,...},"gauges":{name:{"value":v,"max":m},...},
+  //  "histograms":{name:{"count":c,"sum":s,"buckets":[{"le":b,"count":n},...]}}}
+  std::string toJson() const;
+  // Prometheus text exposition format (counters, gauges, cumulative buckets).
+  std::string toPrometheusText() const;
+
+  // Number of registered instruments (for tests).
+  size_t size() const;
+
+ private:
+  // Constructed in place (instruments hold atomics, so they can't move).
+  template <typename T>
+  struct Named {
+    template <typename... Args>
+    explicit Named(std::string n, Args&&... args)
+        : name(std::move(n)), instrument(std::forward<Args>(args)...) {}
+    std::string name;
+    T instrument;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<Histogram>> histograms_;
+};
+
+}  // namespace hoyan::obs

@@ -1,0 +1,38 @@
+#include "obs/telemetry.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hoyan::obs {
+
+Telemetry::Telemetry(const TelemetryOptions& options)
+    : tracer_(options.tracing),
+      log_(options.logFromEnv && std::getenv("HOYAN_LOG") ? logLevelFromEnv()
+                                                          : options.logLevel) {}
+
+Telemetry& Telemetry::disabled() {
+  static Telemetry instance{TelemetryOptions{.tracing = false,
+                                             .logLevel = LogLevel::kOff,
+                                             .logFromEnv = false}};
+  return instance;
+}
+
+namespace {
+std::atomic<Telemetry*> g_global{nullptr};
+}  // namespace
+
+Telemetry* Telemetry::global() { return g_global.load(std::memory_order_acquire); }
+
+void Telemetry::setGlobal(Telemetry* telemetry) {
+  g_global.store(telemetry, std::memory_order_release);
+}
+
+bool writeFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (!file) return false;
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == contents.size();
+  return ok;
+}
+
+}  // namespace hoyan::obs

@@ -1,0 +1,62 @@
+// The telemetry bundle threaded through the pipeline: one MetricsRegistry,
+// one Tracer, one Logger, configured by TelemetryOptions.
+//
+// Wiring convention: stages take a nullable `obs::Telemetry*` (via their
+// options structs); `Telemetry::orDisabled(pointer)` upgrades it to a
+// reference on a process-wide disabled instance, so instrumentation code
+// never branches on null. The disabled instance has tracing off (spans still
+// *time*, they just record nothing) and logging off; its metric instruments
+// work but are never exported, costing a relaxed atomic op per update.
+//
+// A process-global default (`setGlobal`/`global`) lets edge harnesses — the
+// benchmarks' `--trace-out=` hook — enable telemetry without threading a
+// pointer through every call site.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hoyan::obs {
+
+struct TelemetryOptions {
+  bool tracing = false;      // Record spans (Chrome-trace exportable).
+  LogLevel logLevel = LogLevel::kOff;
+  bool logFromEnv = true;    // HOYAN_LOG overrides logLevel when set.
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(const TelemetryOptions& options = {});
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  Logger& log() { return log_; }
+  const Logger& log() const { return log_; }
+
+  // Process-wide no-op sink (tracing + logging off). Never exported.
+  static Telemetry& disabled();
+  static Telemetry& orDisabled(Telemetry* telemetry) {
+    return telemetry ? *telemetry : disabled();
+  }
+
+  // Optional process-global default; null until set. Not owned.
+  static Telemetry* global();
+  static void setGlobal(Telemetry* telemetry);
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  Logger log_;
+};
+
+// Writes `contents` to `path`; returns false on I/O failure. Used by the
+// bench --trace-out hook and tests to dump Chrome-trace / metrics JSON.
+bool writeFile(const std::string& path, const std::string& contents);
+
+}  // namespace hoyan::obs

@@ -1,0 +1,93 @@
+// Span tracing for the distributed pipeline: nested, timestamped spans
+// (task -> subtask -> phase) with a per-thread active-span stack and a
+// Chrome `trace_event`-compatible JSON dump, so a whole distributed run can
+// be opened in about:tracing / Perfetto (see docs/OBSERVABILITY.md).
+//
+// A Span is RAII: it measures wall time from construction to finish() (or
+// destruction). Spans always measure — `Span::seconds()` is valid even with
+// tracing disabled — but only an *enabled* tracer records events, so the
+// disabled path costs two clock reads and nothing else. This lets the
+// distributed framework drive its public per-subtask timing structs
+// (`SubtaskMetric`) off the same spans that feed the trace.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hoyan::obs {
+
+class Tracer;
+
+// One finished span, Chrome trace_event "complete" (ph:"X") semantics.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t threadId = 0;
+  uint64_t startMicros = 0;  // Relative to the tracer's epoch.
+  uint64_t durationMicros = 0;
+  int depth = 0;  // Nesting depth on this thread at start (0 = root).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Span {
+ public:
+  Span() = default;  // Detached: times, records nothing.
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  // Attaches a key/value argument shown in the trace viewer's detail pane.
+  void arg(std::string key, std::string value);
+
+  // Elapsed wall time: running total before finish(), final duration after.
+  double seconds() const;
+
+  // Ends the span (idempotent); records the event if the tracer is enabled.
+  void finish();
+
+ private:
+  friend class Tracer;
+  using Clock = std::chrono::steady_clock;
+
+  Tracer* tracer_ = nullptr;  // Null when detached or tracing disabled.
+  Clock::time_point start_{};
+  double finishedSeconds_ = -1;
+  TraceEvent event_;  // Staged; moved into the tracer on finish.
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled), epoch_(Span::Clock::now()) {}
+
+  bool enabled() const { return enabled_; }
+
+  // Starts a span. Category is free-form ("dist", "sim", "core", ...); it
+  // becomes the trace event's `cat`, and the per-thread stack links nesting.
+  Span span(std::string name, std::string category = "hoyan");
+
+  // All finished spans so far (copy; safe while workers still run).
+  std::vector<TraceEvent> events() const;
+  size_t eventCount() const;
+
+  // Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  // Load via chrome://tracing or https://ui.perfetto.dev.
+  std::string toChromeTraceJson() const;
+
+ private:
+  friend class Span;
+  void record(TraceEvent event);
+  uint64_t micronow(Span::Clock::time_point at) const;
+
+  bool enabled_;
+  Span::Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hoyan::obs

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/telemetry.h"
 #include "proto/bgp.h"
 #include "proto/policy_eval.h"
 #include "sim/local_routes.h"
@@ -79,17 +80,23 @@ class RouteSimEngine {
   }
 
   RouteSimResult run(std::span<const InputRoute> inputs) {
+    obs::Telemetry& tel = obs::Telemetry::orDisabled(options_.telemetry);
     RouteSimResult result;
     result.stats.inputRoutes = inputs.size();
 
     // Equivalence-class reduction.
+    obs::Span ecSpan = tel.tracer().span("route_sim.ec", "sim");
     EcPlan plan;
     std::span<const InputRoute> effective = inputs;
     if (options_.useEquivalenceClasses) {
       plan = buildRouteEcs(model_, inputs, &result.stats.ec);
       effective = plan.toSimulate;
     }
+    ecSpan.finish();
+    result.stats.ecSeconds = ecSpan.seconds();
     result.stats.simulatedInputs = effective.size();
+
+    obs::Span propagateSpan = tel.tracer().span("route_sim.propagate", "sim");
 
     // Inject inputs as locally originated routes at their devices.
     for (const InputRoute& input : effective) {
@@ -138,8 +145,13 @@ class RouteSimEngine {
     }
     result.stats.rounds = static_cast<size_t>(round);
     result.stats.converged = dirty_.empty() && !result.stats.outOfMemory;
+    propagateSpan.arg("rounds", std::to_string(round));
+    propagateSpan.finish();
+    result.stats.propagateSeconds = propagateSpan.seconds();
+    tel.metrics().counter("sim.route.messages").add(result.stats.messagesProcessed);
 
     // Materialise RIBs.
+    obs::Span materializeSpan = tel.tracer().span("route_sim.materialize", "sim");
     if (options_.includeLocalRoutes) installLocalRoutes(model_, result.ribs);
     for (auto& [key, cell] : cells_) {
       if (cell.selected.empty()) continue;
@@ -149,6 +161,12 @@ class RouteSimEngine {
     if (options_.includeLocalRoutes) reselectAll(result.ribs);
     if (options_.useEquivalenceClasses) expandEcResults(plan.classes, result.ribs);
     result.stats.installedRoutes = result.ribs.routeCount();
+    materializeSpan.finish();
+    result.stats.materializeSeconds = materializeSpan.seconds();
+    tel.log().debug("route_sim.done",
+                    {{"inputs", std::to_string(inputs.size())},
+                     {"routes", std::to_string(result.stats.installedRoutes)},
+                     {"rounds", std::to_string(result.stats.rounds)}});
     return result;
   }
 

@@ -16,6 +16,10 @@
 #include "proto/network_model.h"
 #include "sim/route_ec.h"
 
+namespace hoyan::obs {
+class Telemetry;
+}  // namespace hoyan::obs
+
 namespace hoyan {
 
 struct RouteSimOptions {
@@ -27,6 +31,8 @@ struct RouteSimOptions {
   // Install direct/static/IS-IS routes into the result RIBs. The distributed
   // master runs exactly one local-routes subtask; centralized runs set this.
   bool includeLocalRoutes = false;
+  // Optional sink for per-phase spans/metrics (null = disabled, no cost).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct RouteSimStats {
@@ -38,6 +44,10 @@ struct RouteSimStats {
   bool converged = true;
   bool outOfMemory = false;
   EcStats ec;
+  // Per-phase wall times of one simulateRoutes call (also traced as spans).
+  double ecSeconds = 0;           // Equivalence-class reduction.
+  double propagateSeconds = 0;    // Fixpoint rounds.
+  double materializeSeconds = 0;  // RIB materialisation + EC expansion.
 };
 
 struct RouteSimResult {

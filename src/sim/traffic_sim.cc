@@ -4,6 +4,8 @@
 #include <deque>
 #include <map>
 
+#include "obs/telemetry.h"
+
 namespace hoyan {
 namespace {
 
@@ -279,9 +281,11 @@ class FlowForwarder {
 TrafficSimResult simulateTraffic(const NetworkModel& model, const NetworkRibs& ribs,
                                  std::span<const Flow> flows,
                                  const TrafficSimOptions& options) {
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(options.telemetry);
   TrafficSimResult result;
   result.stats.inputFlows = flows.size();
 
+  obs::Span ecSpan = tel.tracer().span("traffic_sim.ec", "sim");
   std::vector<Flow> representativeStorage;
   std::span<const Flow> toSimulate = flows;
   if (options.useEquivalenceClasses) {
@@ -293,8 +297,11 @@ TrafficSimResult simulateTraffic(const NetworkModel& model, const NetworkRibs& r
     result.flowToPath.resize(flows.size());
     for (size_t i = 0; i < flows.size(); ++i) result.flowToPath[i] = i;
   }
+  ecSpan.finish();
+  result.stats.ecSeconds = ecSpan.seconds();
   result.stats.simulatedFlows = toSimulate.size();
 
+  obs::Span forwardSpan = tel.tracer().span("traffic_sim.forward", "sim");
   FlowForwarder forwarder(model, ribs);
   result.paths.reserve(toSimulate.size());
   for (const Flow& flow : toSimulate) {
@@ -310,6 +317,13 @@ TrafficSimResult simulateTraffic(const NetworkModel& model, const NetworkRibs& r
     }
     result.paths.push_back(std::move(path));
   }
+  forwardSpan.arg("flows", std::to_string(toSimulate.size()));
+  forwardSpan.finish();
+  result.stats.forwardSeconds = forwardSpan.seconds();
+  tel.metrics().counter("sim.traffic.flows_simulated").add(toSimulate.size());
+  tel.log().debug("traffic_sim.done",
+                  {{"flows", std::to_string(flows.size())},
+                   {"simulated", std::to_string(toSimulate.size())}});
   return result;
 }
 

@@ -19,6 +19,10 @@
 #include "proto/network_model.h"
 #include "sim/flow_ec.h"
 
+namespace hoyan::obs {
+class Telemetry;
+}  // namespace hoyan::obs
+
 namespace hoyan {
 
 // Directed per-link traffic volumes (bits per second).
@@ -55,6 +59,8 @@ class LinkLoadMap {
 
 struct TrafficSimOptions {
   bool useEquivalenceClasses = true;
+  // Optional sink for per-phase spans/metrics (null = disabled, no cost).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct TrafficSimStats {
@@ -66,6 +72,9 @@ struct TrafficSimStats {
   size_t blackholed = 0;
   size_t looped = 0;
   size_t deniedAcl = 0;
+  // Per-phase wall times of one simulateTraffic call (also traced as spans).
+  double ecSeconds = 0;       // Flow equivalence-class reduction.
+  double forwardSeconds = 0;  // DAG forwarding + load accumulation.
 };
 
 struct TrafficSimResult {

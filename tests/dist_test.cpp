@@ -12,6 +12,7 @@
 #include "dist/subtask_db.h"
 #include "gen/wan_gen.h"
 #include "gen/workload_gen.h"
+#include "obs/telemetry.h"
 
 namespace hoyan {
 namespace {
@@ -241,6 +242,51 @@ TEST_F(DistSimTest, LoadAllBaselineReadsMoreBytes) {
   const DistTrafficResult baselineResult = baselineSim.runTrafficSimulation(flows_);
 
   EXPECT_LT(prunedResult.storeBytesRead, baselineResult.storeBytesRead);
+}
+
+TEST_F(DistSimTest, SpansCoverEverySubtaskAttemptIncludingRetries) {
+  // Under fault injection, every attempt — the completed ones *and* the
+  // crashed-then-retried ones — must show up as a subtask span, and the
+  // retry counter must agree with the task results.
+  obs::TelemetryOptions telemetryOptions;
+  telemetryOptions.tracing = true;
+  obs::Telemetry telemetry(telemetryOptions);
+
+  DistSimOptions options;
+  options.workers = 4;
+  options.routeSubtasks = 12;
+  options.trafficSubtasks = 8;
+  options.workerFailureProbability = 0.4;
+  options.failureSeed = 3;
+  options.maxAttempts = 10;
+  options.telemetry = &telemetry;
+  DistributedSimulator sim(*model_, options);
+  const DistRouteResult route = sim.runRouteSimulation(inputs_);
+  ASSERT_TRUE(route.succeeded);
+  const DistTrafficResult traffic = sim.runTrafficSimulation(flows_);
+  ASSERT_TRUE(traffic.succeeded);
+  EXPECT_GT(route.retries + traffic.retries, 0u) << "fault injection never fired";
+
+  const auto countSpans = [&](const std::string& name) {
+    size_t n = 0;
+    for (const obs::TraceEvent& event : telemetry.tracer().events())
+      if (event.name == name) ++n;
+    return n;
+  };
+  EXPECT_EQ(countSpans("route.subtask"), route.subtasks.size() + route.retries);
+  EXPECT_EQ(countSpans("traffic.subtask"), traffic.subtasks.size() + traffic.retries);
+  // Successful attempts additionally record an execute phase; crashed ones
+  // die before reaching it.
+  EXPECT_EQ(countSpans("route.subtask.execute"), route.subtasks.size());
+  EXPECT_EQ(countSpans("traffic.subtask.execute"), traffic.subtasks.size());
+  EXPECT_EQ(countSpans("route.task"), 1u);
+  EXPECT_EQ(countSpans("route.split"), 1u);
+  EXPECT_EQ(countSpans("route.merge"), 1u);
+
+  obs::MetricsRegistry& metrics = telemetry.metrics();
+  EXPECT_EQ(metrics.counter("dist.retries").value(), route.retries + traffic.retries);
+  EXPECT_EQ(metrics.counter("dist.subtasks.completed").value(),
+            route.subtasks.size() + traffic.subtasks.size());
 }
 
 TEST_F(DistSimTest, SubtaskRuntimesAreRecorded) {

@@ -1,0 +1,407 @@
+// Tests of the telemetry subsystem: registry concurrency (atomic hot paths),
+// histogram bucketing, span nesting/ordering and the per-thread stack,
+// exporter round-trips (the JSON snapshot and Chrome trace parse back), the
+// instrumented queue/store bindings, and logger level gating.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "dist/message_queue.h"
+#include "dist/object_store.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace hoyan {
+namespace {
+
+// --- a minimal JSON parser, enough to round-trip the exporters -------------
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsonObject>,
+               std::shared_ptr<JsonArray>>
+      value;
+
+  bool isObject() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(value); }
+  const JsonObject& object() const { return *std::get<std::shared_ptr<JsonObject>>(value); }
+  const JsonArray& array() const { return *std::get<std::shared_ptr<JsonArray>>(value); }
+  double number() const { return std::get<double>(value); }
+  const std::string& str() const { return std::get<std::string>(value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parseValue();
+    skipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing JSON content";
+    return value;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void expect(char c) {
+    skipSpace();
+    ASSERT_LT(pos_, text_.size());
+    ASSERT_EQ(text_[pos_], c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue parseValue() {
+    const char c = peek();
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') return JsonValue{parseString()};
+    if (c == 't') { pos_ += 4; return JsonValue{true}; }
+    if (c == 'f') { pos_ += 5; return JsonValue{false}; }
+    if (c == 'n') { pos_ += 4; return JsonValue{nullptr}; }
+    return parseNumber();
+  }
+
+  JsonValue parseObject() {
+    auto object = std::make_shared<JsonObject>();
+    expect('{');
+    if (peek() == '}') { ++pos_; return JsonValue{object}; }
+    while (true) {
+      std::string key = parseString();
+      expect(':');
+      (*object)[key] = parseValue();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      break;
+    }
+    return JsonValue{object};
+  }
+
+  JsonValue parseArray() {
+    auto array = std::make_shared<JsonArray>();
+    expect('[');
+    if (peek() == ']') { ++pos_; return JsonValue{array}; }
+    while (true) {
+      array->push_back(parseValue());
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      break;
+    }
+    return JsonValue{array};
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        switch (text_[pos_]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': pos_ += 4; out += '?'; break;
+          default: out += text_[pos_];
+        }
+      } else {
+        out += text_[pos_];
+      }
+      ++pos_;
+    }
+    ++pos_;  // Closing quote.
+    return out;
+  }
+
+  JsonValue parseNumber() {
+    skipSpace();
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '-' ||
+            text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E'))
+      ++end;
+    const double value = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return JsonValue{value};
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("c");
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  EXPECT_EQ(&registry.counter("c"), &counter) << "same name -> same instrument";
+
+  obs::Gauge& gauge = registry.gauge("g");
+  gauge.set(7);
+  gauge.add(5);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), 2);
+  EXPECT_EQ(gauge.maxValue(), 12) << "high-watermark survives the drop";
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsTest, HistogramBucketsObservations) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("h", {1.0, 10.0});
+  histogram.observe(0.5);   // <= 1
+  histogram.observe(1.0);   // <= 1 (bounds are inclusive upper bounds)
+  histogram.observe(5.0);   // <= 10
+  histogram.observe(100.0); // +Inf
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 106.5);
+  const auto counts = histogram.bucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesLoseNothing) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&registry] {
+      // Mixing registration and updates across threads exercises both the
+      // registry lock and the atomic hot paths.
+      obs::Counter& counter = registry.counter("shared.counter");
+      obs::Gauge& gauge = registry.gauge("shared.gauge");
+      obs::Histogram& histogram = registry.histogram("shared.hist", {0.5});
+      for (int i = 0; i < kIterations; ++i) {
+        counter.add(1);
+        gauge.add(1);
+        gauge.add(-1);
+        histogram.observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("shared.counter").value(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.gauge("shared.gauge").value(), 0);
+  obs::Histogram& histogram = registry.histogram("shared.hist");
+  EXPECT_EQ(histogram.count(), static_cast<uint64_t>(kThreads) * kIterations);
+  const auto counts = histogram.bucketCounts();
+  EXPECT_EQ(counts[0], static_cast<uint64_t>(kThreads) * kIterations / 2);
+  EXPECT_EQ(registry.size(), 3u) << "no duplicate registration under contention";
+}
+
+TEST(MetricsTest, JsonSnapshotRoundTrips) {
+  obs::MetricsRegistry registry;
+  registry.counter("dist.retries").add(3);
+  registry.gauge("mq.depth").set(5);
+  registry.histogram("lat", {1.0}).observe(0.5);
+  registry.histogram("lat").observe(2.0);
+
+  const JsonValue root = JsonParser(registry.toJson()).parse();
+  ASSERT_TRUE(root.isObject());
+  const JsonObject& counters = root.object().at("counters").object();
+  EXPECT_EQ(counters.at("dist.retries").number(), 3.0);
+  const JsonObject& gauge = root.object().at("gauges").object().at("mq.depth").object();
+  EXPECT_EQ(gauge.at("value").number(), 5.0);
+  EXPECT_EQ(gauge.at("max").number(), 5.0);
+  const JsonObject& histogram = root.object().at("histograms").object().at("lat").object();
+  EXPECT_EQ(histogram.at("count").number(), 2.0);
+  EXPECT_EQ(histogram.at("sum").number(), 2.5);
+  const JsonArray& buckets = histogram.at("buckets").array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].object().at("le").number(), 1.0);
+  EXPECT_EQ(buckets[0].object().at("count").number(), 1.0);
+  EXPECT_EQ(buckets[1].object().at("le").str(), "+Inf");
+}
+
+TEST(MetricsTest, PrometheusTextExposition) {
+  obs::MetricsRegistry registry;
+  registry.counter("dist.retries").add(2);
+  registry.gauge("store.live_bytes").set(1024);
+  registry.histogram("dist.subtask_seconds", {0.1, 1.0}).observe(0.05);
+  registry.histogram("dist.subtask_seconds").observe(0.5);
+  const std::string text = registry.toPrometheusText();
+  EXPECT_NE(text.find("# TYPE dist_retries counter\ndist_retries 2\n"), std::string::npos);
+  EXPECT_NE(text.find("store_live_bytes 1024"), std::string::npos);
+  // Buckets are cumulative in the exposition format.
+  EXPECT_NE(text.find("dist_subtask_seconds_bucket{le=\"0.1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("dist_subtask_seconds_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("dist_subtask_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("dist_subtask_seconds_count 2"), std::string::npos);
+}
+
+// --- tracing ----------------------------------------------------------------
+
+TEST(TraceTest, SpansNestOnThePerThreadStack) {
+  obs::Tracer tracer;
+  {
+    obs::Span outer = tracer.span("task", "test");
+    {
+      obs::Span inner = tracer.span("subtask", "test");
+      inner.arg("id", "route-0");
+    }
+    obs::Span sibling = tracer.span("merge", "test");
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Events record in finish order: inner, sibling, outer.
+  EXPECT_EQ(events[0].name, "subtask");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].name, "merge");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "task");
+  EXPECT_EQ(events[2].depth, 0);
+  // Nesting is consistent in time: the parent covers the children.
+  EXPECT_LE(events[2].startMicros, events[0].startMicros);
+  EXPECT_GE(events[2].startMicros + events[2].durationMicros,
+            events[0].startMicros + events[0].durationMicros);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "id");
+  EXPECT_EQ(events[0].args[0].second, "route-0");
+}
+
+TEST(TraceTest, DisabledTracerStillTimesButRecordsNothing) {
+  obs::Tracer tracer(false);
+  obs::Span span = tracer.span("x");
+  span.finish();
+  EXPECT_GE(span.seconds(), 0.0);
+  EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(TraceTest, FinishIsIdempotentAndMoveSafe) {
+  obs::Tracer tracer;
+  obs::Span span = tracer.span("a");
+  obs::Span moved = std::move(span);
+  moved.finish();
+  moved.finish();
+  EXPECT_EQ(tracer.eventCount(), 1u) << "one event despite move + double finish";
+}
+
+TEST(TraceTest, ChromeTraceJsonParsesBack) {
+  obs::Tracer tracer;
+  {
+    obs::Span outer = tracer.span("route.task", "dist");
+    obs::Span inner = tracer.span("route.subtask", "dist");
+    inner.arg("id", "route-7");
+  }
+  const JsonValue root = JsonParser(tracer.toChromeTraceJson()).parse();
+  const JsonArray& events = root.object().at("traceEvents").array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const JsonValue& event : events) {
+    const JsonObject& fields = event.object();
+    EXPECT_EQ(fields.at("ph").str(), "X");
+    EXPECT_EQ(fields.at("cat").str(), "dist");
+    EXPECT_GE(fields.at("dur").number(), 0.0);
+    EXPECT_GE(fields.at("tid").number(), 1.0);
+  }
+  EXPECT_EQ(events[0].object().at("name").str(), "route.subtask");
+  EXPECT_EQ(events[0].object().at("args").object().at("id").str(), "route-7");
+}
+
+TEST(TraceTest, ConcurrentSpansRecordPerThreadIds) {
+  obs::Tracer tracer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < 50; ++i) obs::Span span = tracer.span("work");
+    });
+  for (std::thread& thread : threads) thread.join();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 200u);
+  for (const obs::TraceEvent& event : events) EXPECT_EQ(event.depth, 0);
+}
+
+// --- telemetry bundle & instrumented primitives -----------------------------
+
+TEST(TelemetryTest, DisabledSinkIsInertAndShared) {
+  obs::Telemetry& disabled = obs::Telemetry::disabled();
+  EXPECT_FALSE(disabled.tracer().enabled());
+  EXPECT_FALSE(disabled.log().enabled(obs::LogLevel::kError));
+  EXPECT_EQ(&obs::Telemetry::orDisabled(nullptr), &disabled);
+  obs::Telemetry own;
+  EXPECT_EQ(&obs::Telemetry::orDisabled(&own), &own);
+}
+
+TEST(TelemetryTest, MessageQueueReportsDepthAndWait) {
+  obs::MetricsRegistry registry;
+  MessageQueue<int> queue;
+  queue.bindTelemetry(&registry.gauge("mq.depth"), &registry.histogram("mq.wait", {1.0}));
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(registry.gauge("mq.depth").value(), 2);
+  EXPECT_EQ(registry.gauge("mq.depth").maxValue(), 2);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.tryPop(), 2);
+  EXPECT_EQ(registry.gauge("mq.depth").value(), 0);
+  EXPECT_EQ(registry.histogram("mq.wait").count(), 2u);
+}
+
+TEST(TelemetryTest, ObjectStoreTracksResidency) {
+  ObjectStore store;
+  obs::MetricsRegistry registry;
+  store.bindTelemetry(&registry.gauge("store.blobs"), &registry.gauge("store.live_bytes"),
+                      &registry.counter("store.bytes_read"),
+                      &registry.counter("store.bytes_written"));
+  store.put("a", std::string("x"), 100);
+  store.put("b", std::string("y"), 50);
+  EXPECT_EQ(store.blobCount(), 2u);
+  EXPECT_EQ(store.liveBytes(), 150u);
+  // Overwrite replaces the old blob's bytes instead of double counting.
+  store.put("a", std::string("z"), 10);
+  EXPECT_EQ(store.blobCount(), 2u);
+  EXPECT_EQ(store.liveBytes(), 60u);
+  store.get<std::string>("b");
+  store.erase("b");
+  EXPECT_EQ(store.blobCount(), 1u);
+  EXPECT_EQ(store.liveBytes(), 10u);
+  EXPECT_EQ(registry.gauge("store.blobs").value(), 1);
+  EXPECT_EQ(registry.gauge("store.blobs").maxValue(), 2);
+  EXPECT_EQ(registry.gauge("store.live_bytes").value(), 10);
+  EXPECT_EQ(registry.gauge("store.live_bytes").maxValue(), 150);
+  EXPECT_EQ(registry.counter("store.bytes_written").value(), 160u);
+  EXPECT_EQ(registry.counter("store.bytes_read").value(), 50u);
+  // Cumulative read/write accounting unchanged by residency tracking.
+  EXPECT_EQ(store.bytesWritten(), 160u);
+  EXPECT_EQ(store.bytesRead(), 50u);
+}
+
+TEST(TelemetryTest, LoggerGatesOnLevel) {
+  obs::Logger logger(obs::LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(obs::LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(obs::LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(obs::LogLevel::kError));
+  obs::Logger off;
+  EXPECT_FALSE(off.enabled(obs::LogLevel::kError));
+  EXPECT_EQ(obs::logLevelFromName("info"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::logLevelFromName("bogus", obs::LogLevel::kWarn), obs::LogLevel::kWarn);
+}
+
+TEST(TelemetryTest, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/obs_write_file_test.json";
+  ASSERT_TRUE(obs::writeFile(path, "{\"ok\":true}"));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "{\"ok\":true}");
+}
+
+}  // namespace
+}  // namespace hoyan
