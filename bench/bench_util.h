@@ -21,6 +21,8 @@
 
 #include "gen/wan_gen.h"
 #include "gen/workload_gen.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 
 namespace hoyan::bench {
@@ -78,6 +80,64 @@ class TraceOutHook {
 };
 
 inline TraceOutHook g_traceOutHook;  // One per bench binary (header-inline).
+
+// Opt-in route-decision provenance for every benchmark: pass
+// `--explain=<device>/<prefix>` (or set HOYAN_EXPLAIN=<device>/<prefix>) and
+// a prefix-scoped `obs::ProvenanceRecorder` is installed as the process
+// default, which the simulators fall back to. On exit the decision chain for
+// the named pair is written as JSON to HOYAN_EXPLAIN_OUT (default
+// "explain.json"). Same /proc/self/cmdline trick as TraceOutHook.
+class ExplainHook {
+ public:
+  ExplainHook() {
+    std::string spec = fromCommandLine();
+    if (spec.empty())
+      if (const char* env = std::getenv("HOYAN_EXPLAIN")) spec = env;
+    if (spec.empty() || !obs::parseExplainTarget(spec, device_, prefix_)) return;
+    // Interning here forces the Names singleton to finish construction
+    // before this hook does, so it is still alive when ~ExplainHook renders
+    // the chain (function-local statics destroy in reverse construction
+    // order).
+    deviceId_ = Names::id(device_);
+    obs::ProvenanceOptions options;
+    options.enabled = true;
+    options.prefixes.push_back(prefix_);
+    recorder_ = std::make_unique<obs::ProvenanceRecorder>(options);
+    obs::ProvenanceRecorder::setGlobal(recorder_.get());
+  }
+
+  ~ExplainHook() {
+    if (!recorder_) return;
+    obs::ProvenanceRecorder::setGlobal(nullptr);
+    std::string path = "explain.json";
+    if (const char* env = std::getenv("HOYAN_EXPLAIN_OUT")) path = env;
+    const std::string json = recorder_->explainJson(deviceId_, prefix_);
+    if (obs::writeFile(path, json))
+      std::fprintf(stderr, "explain: %s/%s (%zu events recorded) -> %s\n",
+                   device_.c_str(), prefix_.str().c_str(),
+                   recorder_->eventCount(), path.c_str());
+    else
+      std::fprintf(stderr, "explain: failed to write %s\n", path.c_str());
+  }
+
+ private:
+  static std::string fromCommandLine() {
+    std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+    std::string arg;
+    while (std::getline(cmdline, arg, '\0')) {
+      const std::string prefix = "--explain=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    }
+    return {};
+  }
+
+  std::string device_;
+  NameId deviceId_ = kInvalidName;
+  Prefix prefix_;
+  std::unique_ptr<obs::ProvenanceRecorder> recorder_;
+};
+
+inline ExplainHook g_explainHook;  // One per bench binary (header-inline).
 
 inline WanSpec wanSpec() {
   WanSpec spec;
@@ -150,8 +210,7 @@ inline void printCdf(const std::string& title, std::vector<double> samples,
   std::sort(samples.begin(), samples.end());
   std::vector<std::vector<std::string>> rows = {{"percentile", unit}};
   for (const double p : {0.0, 0.10, 0.25, 0.50, 0.75, 0.80, 0.90, 0.95, 1.0}) {
-    const size_t index =
-        std::min(samples.size() - 1, static_cast<size_t>(p * samples.size()));
+    const size_t index = obs::nearestRankIndex(p, samples.size());
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.4g", samples[index]);
     rows.push_back({std::to_string(static_cast<int>(p * 100)) + "%", buffer});

@@ -104,6 +104,24 @@ void Hoyan::setTelemetry(obs::Telemetry* telemetry) {
   distOptions_.telemetry = telemetry;
 }
 
+void Hoyan::configureProvenance(obs::ProvenanceOptions options) {
+  ownedProvenance_ = std::make_unique<obs::ProvenanceRecorder>(std::move(options));
+  provenance_ = ownedProvenance_.get();
+  distOptions_.routeOptions.provenance = provenance_;
+}
+
+void Hoyan::setProvenance(obs::ProvenanceRecorder* recorder) {
+  ownedProvenance_.reset();
+  provenance_ = recorder;
+  distOptions_.routeOptions.provenance = recorder;
+}
+
+std::string Hoyan::explain(const std::string& device, const Prefix& prefix,
+                           size_t maxDepth) const {
+  if (!provenance_) return "{}";
+  return provenance_->explainJson(Names::id(device), prefix, maxDepth);
+}
+
 void Hoyan::setInputRoutes(std::vector<InputRoute> inputs) {
   inputRoutes_ = std::move(inputs);
   preprocessed_ = false;
@@ -161,6 +179,9 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   obs::Span taskSpan = tel.tracer().span("core.verify_change", "core");
   taskSpan.arg("plan", plan.name);
   tel.metrics().counter("core.changes_verified").add(1);
+  // Fresh provenance log per verification: the explain chains and violation
+  // attachments below must describe *this* change's simulation.
+  if (provenance_) provenance_->clear();
   ChangeVerificationResult result;
 
   // 1. Updated network model (incremental: base model + parsed commands).
@@ -209,7 +230,8 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   for (const std::string& specification : intents.rclIntents) {
     RclOutcome outcome;
     outcome.specification = specification;
-    outcome.result = rcl::checkIntentText(specification, baseGlobal_, updatedGlobal);
+    outcome.result =
+        rcl::checkIntentText(specification, baseGlobal_, updatedGlobal, provenance_);
     result.rclOutcomes.push_back(std::move(outcome));
   }
   for (const PathChangeIntent& intent : intents.pathIntents) {
@@ -244,7 +266,8 @@ std::vector<RclOutcome> Hoyan::runAuditTasks(const std::vector<std::string>& aud
   for (const std::string& specification : auditSpecs) {
     RclOutcome outcome;
     outcome.specification = specification;
-    outcome.result = rcl::checkIntentText(specification, baseGlobal_, baseGlobal_);
+    outcome.result =
+        rcl::checkIntentText(specification, baseGlobal_, baseGlobal_, provenance_);
     tel.metrics().counter("core.audit_tasks").add(1);
     if (!outcome.result.satisfied) tel.metrics().counter("core.audit_violations").add(1);
     outcomes.push_back(std::move(outcome));

@@ -16,6 +16,7 @@
 #include "config/parser.h"
 #include "dist/dist_sim.h"
 #include "net/flow.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "net/route.h"
 #include "proto/network_model.h"
@@ -102,10 +103,13 @@ class Hoyan {
   void setInputRoutes(std::vector<InputRoute> inputs);
   void setInputFlows(std::vector<Flow> flows);
 
-  // Distributed-simulation knobs used for every simulation run. A configured
-  // telemetry bundle is preserved unless the options carry their own.
+  // Distributed-simulation knobs used for every simulation run. Configured
+  // telemetry/provenance sinks are preserved unless the options carry their
+  // own.
   void setSimulationOptions(DistSimOptions options) {
     if (!options.telemetry) options.telemetry = telemetry_;
+    if (!options.routeOptions.provenance)
+      options.routeOptions.provenance = provenance_;
     distOptions_ = std::move(options);
   }
 
@@ -119,6 +123,23 @@ class Hoyan {
   // instances or installed as the process global).
   void setTelemetry(obs::Telemetry* telemetry);
   obs::Telemetry* telemetry() const { return telemetry_; }
+
+  // Route-decision provenance for the pipeline's simulations: builds an owned
+  // recorder from `options` and threads it through every simulation run and
+  // intent check (violations then carry explain chains). Call before
+  // preprocess(). verifyChange() clears the recorder at entry so its log
+  // describes the post-change simulation.
+  void configureProvenance(obs::ProvenanceOptions options);
+  // Alternative: adopt an externally owned recorder (e.g. the benches'
+  // --explain hook's process global).
+  void setProvenance(obs::ProvenanceRecorder* recorder);
+  obs::ProvenanceRecorder* provenance() const { return provenance_; }
+
+  // The decision chain for (device, prefix) from the configured recorder —
+  // the `hoyan explain <device> <prefix>` entry point. Returns "{}" when no
+  // recorder is configured (or it recorded nothing for the pair).
+  std::string explain(const std::string& device, const Prefix& prefix,
+                      size_t maxDepth = 8) const;
 
   // Daily pre-processing: base model + base RIBs + base flow paths/loads.
   void preprocess();
@@ -155,6 +176,8 @@ class Hoyan {
   DistSimOptions distOptions_;
   std::unique_ptr<obs::Telemetry> ownedTelemetry_;
   obs::Telemetry* telemetry_ = nullptr;
+  std::unique_ptr<obs::ProvenanceRecorder> ownedProvenance_;
+  obs::ProvenanceRecorder* provenance_ = nullptr;
   bool preprocessed_ = false;
 
   NetworkRibs baseRibs_;

@@ -82,7 +82,11 @@ std::string toJson(const std::string& planName, const ChangeVerificationResult& 
         if (e) out += ",";
         out += "\"" + jsonEscape(violation.exampleRows[e]) + "\"";
       }
-      out += "]}";
+      out += "]";
+      // Raw embed: explainJson renders valid JSON (or "{}" for no events).
+      if (!violation.provenanceJson.empty())
+        out += ",\"provenance\":" + violation.provenanceJson;
+      out += "}";
     }
     out += "]}";
   }

@@ -1,0 +1,76 @@
+// Route propagation graph (§5.2): which device told which device about a
+// prefix, and where propagation was cut. Built from the provenance
+// recorder's event log (preferred — it has denials and withdraws) or, as a
+// fallback, reconstructed from RIB learnedFrom pointers.
+//
+// The root-cause workflow walks this graph instead of an ad-hoc device list:
+// step (4)'s per-router comparison visits devices in breadth-first distance
+// from the inaccurate link, so the first divergent router found is the one
+// closest to the observable symptom. The graph also exports to Graphviz DOT
+// and JSON for the expert-facing report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/route.h"
+#include "obs/provenance.h"
+
+namespace hoyan {
+
+// One directed propagation edge. `kind` is one of:
+//   "advertised"  sender pushed the prefix to the receiver (egress permitted)
+//   "received"    receiver accepted it (ingress permitted, nexthop resolved)
+//   "denied"      a policy cut propagation on this edge (detail: the clause)
+//   "withdrawn"   the sender withdrew its routes from the receiver
+//   "chosen"      the receiver selected a route learned over this edge
+//   "vsb"         a vendor-specific behaviour rewrote the route at the head
+//   "rib"         reconstructed from learnedFrom (fromRibs builder only)
+struct PropEdge {
+  NameId from = kInvalidName;
+  NameId to = kInvalidName;
+  Prefix prefix;
+  std::string kind;
+  std::string detail;
+
+  friend bool operator==(const PropEdge&, const PropEdge&) = default;
+};
+
+class PropagationGraph {
+ public:
+  // Builds the graph from provenance events (all of them — the recorder's
+  // prefix filter already scoped the log). Peer-less events still register
+  // their device as a node.
+  static PropagationGraph fromProvenance(const std::vector<obs::RouteEvent>& events);
+
+  // Fallback builder from a RIB snapshot: an edge learnedFrom -> device per
+  // installed route for `prefix` (kind "rib"). No denial/withdraw edges —
+  // RIBs only remember what survived.
+  static PropagationGraph fromRibs(const NetworkRibs& ribs, const Prefix& prefix);
+
+  const std::vector<NameId>& nodes() const { return nodes_; }
+  const std::vector<PropEdge>& edges() const { return edges_; }
+
+  // Inserts the edge unless an identical (from, to, prefix, kind) edge
+  // exists; registers both endpoints as nodes.
+  void addEdge(PropEdge edge);
+  void addNode(NameId device);
+
+  // Deterministic BFS from `start`, treating edges as bidirectional (a denial
+  // edge still connects the devices for walking purposes). Neighbours expand
+  // in sorted order; unreachable nodes are excluded. `start` leads the order
+  // even when it has no edges.
+  std::vector<NameId> walkOrder(NameId start) const;
+
+  // Graphviz DOT: denied/withdrawn edges dashed, chosen edges bold.
+  std::string toDot() const;
+  // {"nodes":[...],"edges":[{"from":..,"to":..,"prefix":..,"kind":..,
+  //  "detail":..}]}
+  std::string toJson() const;
+
+ private:
+  std::vector<NameId> nodes_;  // Insertion-ordered, unique.
+  std::vector<PropEdge> edges_;
+};
+
+}  // namespace hoyan

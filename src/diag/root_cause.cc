@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "diag/prop_graph.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 
 namespace hoyan {
@@ -119,7 +121,9 @@ std::string RootCauseFinding::str() const {
 
 std::vector<RootCauseFinding> analyzeLoadInaccuracies(
     const NetworkModel& model, const NetworkRibs& simRibs, const NetworkRibs& realRibs,
-    std::span<const Flow> flows, const LoadAccuracyReport& report, size_t maxFindings) {
+    std::span<const Flow> flows, const LoadAccuracyReport& report, size_t maxFindings,
+    const obs::ProvenanceRecorder* provenance) {
+  if (provenance && !provenance->enabled()) provenance = nullptr;
   obs::Telemetry& tel = obs::Telemetry::orDisabled(obs::Telemetry::global());
   obs::Span span = tel.tracer().span("diag.root_cause", "diag");
   span.arg("inaccurate_links", std::to_string(report.inaccurateLinks.size()));
@@ -154,12 +158,33 @@ std::vector<RootCauseFinding> analyzeLoadInaccuracies(
       continue;
     }
 
-    // Step (4): walk the flow's devices starting from the router attached to
-    // the identified link, comparing forwarding behaviour.
-    std::vector<NameId> order;
-    order.push_back(link.from);
+    // The propagation graph of the suspect prefix: from provenance when the
+    // simulation recorded it (denials and withdraws included), else
+    // reconstructed from the simulated RIBs' learnedFrom pointers.
+    Prefix suspectPrefix;
+    {
+      const DeviceRib* deviceRib = simRibs.findDevice(link.from);
+      const VrfRib* vrfRib =
+          deviceRib ? deviceRib->findVrf(finding.suspectFlow->vrf) : nullptr;
+      const auto matched =
+          vrfRib ? vrfRib->longestMatchPrefix(finding.suspectFlow->dst) : std::nullopt;
+      if (matched) suspectPrefix = *matched;
+    }
+    const PropagationGraph graph =
+        provenance ? PropagationGraph::fromProvenance(provenance->snapshot())
+                   : PropagationGraph::fromRibs(simRibs, suspectPrefix);
+    finding.propagationDot = graph.toDot();
+    finding.propagationJson = graph.toJson();
+
+    // Step (4): walk the propagation graph breadth-first from the router at
+    // the identified link (so the first divergence found is the one closest
+    // to the symptom), then any path devices the graph missed, comparing
+    // forwarding behaviour at each.
+    std::vector<NameId> order = graph.walkOrder(link.from);
+    if (order.empty()) order.push_back(link.from);
     for (const NameId device : finding.realPath.devicesVisited())
-      if (device != link.from) order.push_back(device);
+      if (std::find(order.begin(), order.end(), device) == order.end())
+        order.push_back(device);
     for (const NameId device : finding.simPath.devicesVisited())
       if (std::find(order.begin(), order.end(), device) == order.end())
         order.push_back(device);
@@ -170,6 +195,14 @@ std::vector<RootCauseFinding> analyzeLoadInaccuracies(
         finding.divergence = divergence;
         finding.classification =
             classifyDivergence(model, *divergence, finding.explanation);
+        // Step (5): hand the expert the divergent device's decision chain.
+        if (provenance) {
+          const Prefix explainPrefix = !(divergence->simMatchedPrefix == Prefix{})
+                                           ? divergence->simMatchedPrefix
+                                           : suspectPrefix;
+          finding.provenanceExplainJson =
+              provenance->explainJson(divergence->device, explainPrefix);
+        }
         break;
       }
     }

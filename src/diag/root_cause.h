@@ -20,6 +20,10 @@
 #include "proto/network_model.h"
 #include "sim/traffic_sim.h"
 
+namespace hoyan::obs {
+class ProvenanceRecorder;
+}  // namespace hoyan::obs
+
 namespace hoyan {
 
 // Table 4 issue classes.
@@ -56,6 +60,14 @@ struct RootCauseFinding {
   std::optional<ForwardingDivergence> divergence;
   IssueCategory classification = IssueCategory::kOther;
   std::string explanation;
+  // Propagation graph of the suspect prefix (diag/prop_graph exports), built
+  // from simulation provenance when a recorder was supplied, else from the
+  // simulated RIBs. Empty when there is no suspect flow.
+  std::string propagationDot;
+  std::string propagationJson;
+  // The divergent device's decision chain (ProvenanceRecorder::explainJson);
+  // empty without a recorder or a divergence.
+  std::string provenanceExplainJson;
 
   std::string str() const;
 };
@@ -63,10 +75,13 @@ struct RootCauseFinding {
 // Runs the full §5.2 workflow over a load-accuracy report. `simRibs` are
 // Hoyan's simulated RIBs, `realRibs` the live network's (ground truth in this
 // reproduction); `flows` the monitored flows with their reported volumes.
+// `provenance` (optional) is the recorder the simulation producing `simRibs`
+// reported into: step (4) then walks the recorded propagation graph breadth-
+// first from the inaccurate link, and findings carry explain chains.
 std::vector<RootCauseFinding> analyzeLoadInaccuracies(
     const NetworkModel& model, const NetworkRibs& simRibs, const NetworkRibs& realRibs,
     std::span<const Flow> flows, const LoadAccuracyReport& report,
-    size_t maxFindings = 8);
+    size_t maxFindings = 8, const obs::ProvenanceRecorder* provenance = nullptr);
 
 // Classification of route-level discrepancies (used by the Table 4 bench):
 // combines the route accuracy report, live cross-validation, parse errors,

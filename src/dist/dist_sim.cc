@@ -1,5 +1,6 @@
 #include "dist/dist_sim.h"
 
+#include "obs/provenance.h"
 #include "sim/local_routes.h"
 
 #include <algorithm>
@@ -60,6 +61,14 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
                                       {"workers", std::to_string(options_.workers)}});
   DistRouteResult result;
   routeResultKeys_.clear();
+  // Master-side provenance sink (same resolution as the engine: explicit
+  // option, else the process-global --explain hook). Subtasks record into
+  // private recorders; the master appends them in subtask order below, so the
+  // merged event log is identical for every worker count.
+  obs::ProvenanceRecorder* prov = options_.routeOptions.provenance
+                                      ? options_.routeOptions.provenance
+                                      : obs::ProvenanceRecorder::global();
+  if (prov && !prov->enabled()) prov = nullptr;
 
   // --- master: prepare subtasks -------------------------------------------
   obs::Span splitSpan = tel.tracer().span("route.split", "dist");
@@ -170,14 +179,21 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       obs::Span executeSpan = tel.tracer().span("route.subtask.execute", "dist");
       NetworkRibs ribs;
       RouteSimStats stats;
+      // Private per-subtask recorder (same filter/caps as the master's):
+      // concurrent subtasks must not interleave events in a shared sink.
+      obs::ProvenanceRecorder subProv(prov ? prov->options() : obs::ProvenanceOptions{});
       if (message->kind == SubtaskMessage::Kind::kLocalRoutes) {
-        installLocalRoutes(model_, ribs);
+        installLocalRoutes(model_, ribs, prov ? &subProv : nullptr);
       } else {
         const auto record = db_.get(message->id);
         const auto chunk = store_.get<std::vector<InputRoute>>(record->inputKey);
         RouteSimOptions subOptions = options_.routeOptions;
         subOptions.includeLocalRoutes = false;
         subOptions.telemetry = telemetry_;
+        subOptions.provenance = prov ? &subProv : nullptr;
+        // Subtask-local selection is provisional (the master re-selects after
+        // merging); selection events come from the merged RIBs below.
+        subOptions.provenanceSelectionEvents = false;
         RouteSimResult subResult = simulateRoutes(model_, *chunk, subOptions);
         ribs = std::move(subResult.ribs);
         stats = subResult.stats;
@@ -187,6 +203,11 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       const auto record = db_.get(message->id);
       const size_t resultBytes = approxRibBytes(ribs);
       store_.put(record->resultKey, std::move(ribs), resultBytes);
+      if (prov) {
+        std::vector<obs::RouteEvent> events = subProv.snapshot();
+        const size_t eventBytes = events.size() * 128;
+        store_.put(record->id + "/prov", std::move(events), eventBytes);
+      }
       uploadSpan.finish();
       subtaskSpan.finish();
       subtaskSeconds.observe(subtaskSpan.seconds());
@@ -228,12 +249,18 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
     if (!record || record->status != SubtaskStatus::kSucceeded) continue;
     const auto ribs = store_.get<NetworkRibs>(record->resultKey);
     result.ribs.merge(*ribs);
+    // Ordered provenance merge: append each subtask's event log in subtask-id
+    // order (not worker completion order), re-sequencing as we go.
+    if (prov && store_.contains(id + "/prov"))
+      prov->append(*store_.get<std::vector<obs::RouteEvent>>(id + "/prov"));
     result.subtasks.push_back(
         SubtaskMetric{id, record->runtimeSeconds, record->attempts, 0, 0});
     routeResultKeys_.push_back(record->resultKey);
   }
   dedupeRoutes(result.ribs);
   reselectAll(result.ribs);
+  // Authoritative selection events from the merged, re-selected RIBs.
+  if (prov) recordSelectionEvents(result.ribs, prov);
   result.ribs.buildForwardingIndex();
   mergeSpan.finish();
   result.mergeSeconds = mergeSpan.seconds();

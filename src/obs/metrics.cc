@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 
 namespace hoyan::obs {
 namespace {
@@ -12,9 +13,15 @@ std::string numberToJson(double value) {
   return buffer;
 }
 
+constexpr double kSummaryQuantiles[] = {0.50, 0.95, 0.99};
+constexpr const char* kSummaryQuantileJsonKeys[] = {"p50", "p95", "p99"};
+constexpr const char* kSummaryQuantileLabels[] = {"0.5", "0.95", "0.99"};
+
+}  // namespace
+
 // Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our registry names use
 // dots as separators; map anything illegal to '_'.
-std::string promName(const std::string& name) {
+std::string prometheusMetricName(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -25,7 +32,19 @@ std::string promName(const std::string& name) {
   return out;
 }
 
-}  // namespace
+std::string prometheusLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = defaultLatencyBounds();
@@ -47,6 +66,23 @@ std::vector<uint64_t> Histogram::bucketCounts() const {
   out.reserve(buckets_.size());
   for (const auto& bucket : buckets_) out.push_back(bucket.load(std::memory_order_relaxed));
   return out;
+}
+
+double Histogram::quantile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  // Rank of the quantile observation (1-based, nearest-rank), then the first
+  // bucket whose cumulative count reaches it.
+  const uint64_t rank = nearestRankIndex(p, total) + 1;
+  uint64_t cumulative = 0;
+  const auto counts = bucketCounts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank)
+      return i < bounds_.size() ? bounds_[i]
+                                : (bounds_.empty() ? sum() : bounds_.back());
+  }
+  return bounds_.empty() ? sum() : bounds_.back();
 }
 
 std::vector<double> Histogram::defaultLatencyBounds() {
@@ -104,7 +140,13 @@ std::string MetricsRegistry::toJson() const {
     if (i) out += ",";
     out += "\"" + histograms_[i].name + "\":{\"count\":" +
            std::to_string(histogram.count()) +
-           ",\"sum\":" + numberToJson(histogram.sum()) + ",\"buckets\":[";
+           ",\"sum\":" + numberToJson(histogram.sum()) + ",\"quantiles\":{";
+    for (size_t q = 0; q < std::size(kSummaryQuantiles); ++q) {
+      if (q) out += ",";
+      out += std::string("\"") + kSummaryQuantileJsonKeys[q] +
+             "\":" + numberToJson(histogram.quantile(kSummaryQuantiles[q]));
+    }
+    out += "},\"buckets\":[";
     const auto counts = histogram.bucketCounts();
     for (size_t b = 0; b < counts.size(); ++b) {
       if (b) out += ",";
@@ -122,18 +164,18 @@ std::string MetricsRegistry::toPrometheusText() const {
   std::lock_guard lock(mutex_);
   std::string out;
   for (const auto& entry : counters_) {
-    const std::string name = promName(entry.name);
+    const std::string name = prometheusMetricName(entry.name);
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(entry.instrument.value()) + "\n";
   }
   for (const auto& entry : gauges_) {
-    const std::string name = promName(entry.name);
+    const std::string name = prometheusMetricName(entry.name);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + std::to_string(entry.instrument.value()) + "\n";
     out += name + "_max " + std::to_string(entry.instrument.maxValue()) + "\n";
   }
   for (const auto& entry : histograms_) {
-    const std::string name = promName(entry.name);
+    const std::string name = prometheusMetricName(entry.name);
     const Histogram& histogram = entry.instrument;
     out += "# TYPE " + name + " histogram\n";
     const auto counts = histogram.bucketCounts();
@@ -146,6 +188,12 @@ std::string MetricsRegistry::toPrometheusText() const {
     }
     out += name + "_sum " + numberToJson(histogram.sum()) + "\n";
     out += name + "_count " + std::to_string(histogram.count()) + "\n";
+    out += "# TYPE " + name + "_quantile gauge\n";
+    for (size_t q = 0; q < std::size(kSummaryQuantiles); ++q) {
+      out += name + "_quantile{quantile=\"" +
+             prometheusLabelEscape(kSummaryQuantileLabels[q]) + "\"} " +
+             numberToJson(histogram.quantile(kSummaryQuantiles[q])) + "\n";
+    }
   }
   return out;
 }

@@ -8,7 +8,9 @@
 // the distributed workers' hot paths.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -16,6 +18,17 @@
 #include <vector>
 
 namespace hoyan::obs {
+
+// Nearest-rank percentile index into a sorted sample set of size `n`:
+// ceil(p*n) - 1 (the textbook definition), clamped to [0, n-1]. A truncated
+// `p*n` overshoots every interior percentile by one rank — e.g. the median of
+// 4 samples is rank 2 (index 1), not index 2. Shared by the bench CDF
+// printer and the histogram summary quantiles.
+inline size_t nearestRankIndex(double p, size_t n) {
+  if (n == 0 || p <= 0) return 0;
+  const auto rank = static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+  return std::min(n - 1, rank == 0 ? 0 : rank - 1);
+}
 
 // Monotonically increasing count (events, retries, bytes moved).
 class Counter {
@@ -69,6 +82,12 @@ class Histogram {
   // Per-bucket (non-cumulative) counts; size = bounds.size() + 1 (+Inf last).
   std::vector<uint64_t> bucketCounts() const;
 
+  // Nearest-rank quantile estimated from the bucket counts: the upper bound
+  // of the bucket holding rank ceil(p*count). Observations in the +Inf
+  // bucket clamp to the last finite bound (the estimate is a lower bound
+  // there). 0 when empty.
+  double quantile(double p) const;
+
   // Default bounds for second-valued latencies: 1ms .. ~100s, log-spaced.
   static std::vector<double> defaultLatencyBounds();
 
@@ -89,7 +108,9 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
 
   // {"counters":{name:value,...},"gauges":{name:{"value":v,"max":m},...},
-  //  "histograms":{name:{"count":c,"sum":s,"buckets":[{"le":b,"count":n},...]}}}
+  //  "histograms":{name:{"count":c,"sum":s,
+  //                      "quantiles":{"p50":v,"p95":v,"p99":v},
+  //                      "buckets":[{"le":b,"count":n},...]}}}
   std::string toJson() const;
   // Prometheus text exposition format (counters, gauges, cumulative buckets).
   std::string toPrometheusText() const;
@@ -113,5 +134,11 @@ class MetricsRegistry {
   std::deque<Named<Gauge>> gauges_;
   std::deque<Named<Histogram>> histograms_;
 };
+
+// Prometheus text-format helpers (exposed for tests). Metric names must
+// match [a-zA-Z_:][a-zA-Z0-9_:]*; anything else maps to '_'. Label values
+// escape backslash, double-quote, and newline per the exposition format.
+std::string prometheusMetricName(const std::string& name);
+std::string prometheusLabelEscape(const std::string& value);
 
 }  // namespace hoyan::obs

@@ -140,6 +140,24 @@ bool bgpPreferred(const Route& a, const Route& b) {
   return false;  // Equal through IGP cost: ECMP candidates.
 }
 
+std::string bgpDecisionStep(const Route& winner, const Route& loser) {
+  if (winner.adminDistance != loser.adminDistance) return "admin-distance";
+  if (winner.attrs.weight != loser.attrs.weight) return "weight";
+  if (winner.attrs.localPref != loser.attrs.localPref) return "local-pref";
+  const bool winnerLocal = winner.protocol == Protocol::kAggregate;
+  const bool loserLocal = loser.protocol == Protocol::kAggregate;
+  if (winnerLocal != loserLocal) return "local-origination";
+  if (winner.attrs.asPath.length() != loser.attrs.asPath.length())
+    return "as-path-length";
+  if (winner.attrs.origin != loser.attrs.origin) return "origin";
+  if (winner.attrs.asPath.firstAsn() == loser.attrs.asPath.firstAsn() &&
+      winner.attrs.med != loser.attrs.med)
+    return "med";
+  if (winner.ebgpLearned != loser.ebgpLearned) return "ebgp-over-ibgp";
+  if (winner.igpCost != loser.igpCost) return "igp-cost";
+  return "router-id";
+}
+
 void selectBestRoutes(std::vector<Route>& routes) {
   if (routes.empty()) return;
   std::stable_sort(routes.begin(), routes.end(), [](const Route& a, const Route& b) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "config/device_config.h"
@@ -51,6 +52,14 @@ std::vector<BgpSession> deriveBgpSessions(const Topology& topology,
 // routes from the same neighbouring AS. Ties broken by learnedFrom (stands in
 // for router-id) so selection is deterministic.
 bool bgpPreferred(const Route& a, const Route& b);
+
+// Names the step of the decision process on which `winner` beat `loser` —
+// "weight", "local-pref", "local-origination", "as-path-length", "origin",
+// "med", "ebgp-over-ibgp", "igp-cost", or "router-id" when equal through IGP
+// cost (the deterministic learnedFrom tiebreak). "admin-distance" when the two
+// routes weren't even in the same protocol class. Used by the provenance
+// recorder to annotate lost-tie-break events.
+std::string bgpDecisionStep(const Route& winner, const Route& loser);
 
 // Ranks the BGP (and other-protocol) routes of one prefix: sorts `routes`
 // best-first and assigns RouteType kBest / kEcmp / kAlternate. Routes of

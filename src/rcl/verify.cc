@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 
+#include "obs/provenance.h"
 #include "rcl/parser.h"
 
 namespace hoyan::rcl {
@@ -36,6 +37,12 @@ struct EvalContext {
     for (size_t i = 0; i < n.size() && violation.exampleRows.size() < 2 * kMaxExampleRows;
          ++i)
       violation.exampleRows.push_back("POST: " + n.row(i).str());
+    // Structured explain target: prefer the updated (POST) side's first row.
+    const RibRow* example = n.size() ? &n.row(0) : (m.size() ? &m.row(0) : nullptr);
+    if (example) {
+      violation.exampleDevice = example->device;
+      violation.examplePrefix = example->prefix;
+    }
     violations->push_back(std::move(violation));
   }
 };
@@ -253,6 +260,38 @@ bool evalIntent(const Intent& intent, const RibView& m, const RibView& n,
   return false;
 }
 
+// Pulls the value of `field=` out of a ", "-joined binding trail.
+std::string bindingValue(const std::string& trail, const std::string& field) {
+  size_t pos = 0;
+  const std::string needle = field + "=";
+  while (pos < trail.size()) {
+    size_t end = trail.find(", ", pos);
+    if (end == std::string::npos) end = trail.size();
+    if (trail.compare(pos, needle.size(), needle) == 0)
+      return trail.substr(pos + needle.size(), end - pos - needle.size());
+    pos = end == trail.size() ? end : end + 2;
+  }
+  return {};
+}
+
+// Attaches explain chains: the target device/prefix come from the binding
+// trail when the intent iterated them (forall device/prefix), else from the
+// first example row.
+void attachProvenance(std::vector<Violation>& violations,
+                      const obs::ProvenanceRecorder& provenance) {
+  for (Violation& violation : violations) {
+    std::string device = bindingValue(violation.context, "device");
+    if (device.empty()) device = violation.exampleDevice;
+    if (device.empty()) continue;
+    Prefix prefix = violation.examplePrefix;
+    const std::string boundPrefix = bindingValue(violation.context, "prefix");
+    if (!boundPrefix.empty()) {
+      if (const auto parsed = Prefix::parse(boundPrefix)) prefix = *parsed;
+    }
+    violation.provenanceJson = provenance.explainJson(Names::id(device), prefix);
+  }
+}
+
 }  // namespace
 
 std::string CheckResult::summary() const {
@@ -268,7 +307,8 @@ std::string CheckResult::summary() const {
 }
 
 CheckResult checkIntent(const Intent& intent, const GlobalRib& base,
-                        const GlobalRib& updated) {
+                        const GlobalRib& updated,
+                        const obs::ProvenanceRecorder* provenance) {
   const auto start = std::chrono::steady_clock::now();
   CheckResult result;
   EvalContext context;
@@ -278,21 +318,26 @@ CheckResult checkIntent(const Intent& intent, const GlobalRib& base,
   result.satisfied = evalIntent(intent, m, n, context);
   g_concatScratch.clear();
   if (result.satisfied) result.violations.clear();
+  if (provenance && provenance->enabled() && !result.violations.empty())
+    attachProvenance(result.violations, *provenance);
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;
 }
 
 CheckResult checkIntentText(const std::string& specification, const GlobalRib& base,
-                            const GlobalRib& updated) {
+                            const GlobalRib& updated,
+                            const obs::ProvenanceRecorder* provenance) {
   const ParseOutcome outcome = parseIntent(specification);
   if (!outcome.ok()) {
     CheckResult result;
     result.satisfied = false;
-    result.violations.push_back({"", "parse error: " + outcome.error, {}});
+    Violation violation;
+    violation.message = "parse error: " + outcome.error;
+    result.violations.push_back(std::move(violation));
     return result;
   }
-  return checkIntent(*outcome.intent, base, updated);
+  return checkIntent(*outcome.intent, base, updated, provenance);
 }
 
 }  // namespace hoyan::rcl

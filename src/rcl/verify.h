@@ -13,12 +13,24 @@
 #include "rcl/ast.h"
 #include "rcl/global_rib.h"
 
+namespace hoyan::obs {
+class ProvenanceRecorder;
+}  // namespace hoyan::obs
+
 namespace hoyan::rcl {
 
 struct Violation {
   std::string context;  // "device=R1, prefix=10.0.0.0/24" binding trail.
   std::string message;  // The failing basic intent with actual values.
   std::vector<std::string> exampleRows;  // Up to a handful of related routes.
+  // The (device, prefix) the first example row names — the explain target
+  // when the binding trail doesn't pin one down.
+  std::string exampleDevice;
+  Prefix examplePrefix;
+  // Decision chain for the violating (device, prefix), rendered by
+  // obs::ProvenanceRecorder::explainJson. Empty unless a recorder with
+  // matching events was passed to checkIntent.
+  std::string provenanceJson;
 };
 
 struct CheckResult {
@@ -29,11 +41,16 @@ struct CheckResult {
   std::string summary() const;
 };
 
+// `provenance` (optional): the recorder the simulation that produced the
+// RIBs reported into. Violations then carry the decision chain of the
+// device/prefix their binding trail (or first example row) names.
 CheckResult checkIntent(const Intent& intent, const GlobalRib& base,
-                        const GlobalRib& updated);
+                        const GlobalRib& updated,
+                        const obs::ProvenanceRecorder* provenance = nullptr);
 
 // Convenience: parse + check; a parse failure reports as a violation.
 CheckResult checkIntentText(const std::string& specification, const GlobalRib& base,
-                            const GlobalRib& updated);
+                            const GlobalRib& updated,
+                            const obs::ProvenanceRecorder* provenance = nullptr);
 
 }  // namespace hoyan::rcl

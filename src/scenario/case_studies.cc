@@ -4,6 +4,7 @@
 #include "diag/root_cause.h"
 #include "diag/validation.h"
 #include "monitor/monitoring.h"
+#include "obs/provenance.h"
 #include "scenario/net_builder.h"
 #include "sim/route_sim.h"
 #include "sim/traffic_sim.h"
@@ -296,15 +297,27 @@ CaseStudyResult runSrIgpCostDiagnosisCase() {
                                                             "77.0.0.0/16")};
   std::vector<Flow> flows = {makeFlow(ingress, "20.0.0.5", "77.0.1.1", 0.8e9)};
 
+  // Record route-decision provenance for the destination prefix in both
+  // runs: the Hoyan run's recorder drives §5.2's propagation-graph walk and
+  // explain chains; the live run's recorder demonstrates the VSB firing.
+  const Prefix dstPrefix = *Prefix::parse("77.0.0.0/16");
+  obs::ProvenanceOptions provOptions;
+  provOptions.enabled = true;
+  provOptions.prefixes.push_back(dstPrefix);
+  obs::ProvenanceRecorder liveProv(provOptions);
+  obs::ProvenanceRecorder hoyanProv(provOptions);
+
   RouteSimOptions options;
   options.includeLocalRoutes = true;
   // Ground truth (the live network's converged state).
+  options.provenance = &liveProv;
   NetworkModel liveModel = liveNet.build();
   RouteSimResult liveRoutes = simulateRoutes(liveModel, inputs, options);
   liveRoutes.ribs.buildForwardingIndex();
   const TrafficSimResult liveTraffic =
       simulateTraffic(liveModel, liveRoutes.ribs, flows);
   // Hoyan's (mis-modelled) simulation.
+  options.provenance = &hoyanProv;
   NetworkModel hoyanModel = modelNet.build();
   RouteSimResult hoyanRoutes = simulateRoutes(hoyanModel, inputs, options);
   hoyanRoutes.ribs.buildForwardingIndex();
@@ -329,7 +342,8 @@ CaseStudyResult runSrIgpCostDiagnosisCase() {
 
   // §5.2 root-cause analysis.
   const std::vector<RootCauseFinding> findings = analyzeLoadInaccuracies(
-      hoyanModel, hoyanRoutes.ribs, liveRoutes.ribs, flows, loadReport);
+      hoyanModel, hoyanRoutes.ribs, liveRoutes.ribs, flows, loadReport,
+      /*maxFindings=*/8, &hoyanProv);
   bool vsbLocalised = false;
   for (const RootCauseFinding& finding : findings) {
     result.narrative += "\n" + finding.str();
@@ -337,9 +351,19 @@ CaseStudyResult runSrIgpCostDiagnosisCase() {
         finding.divergence && finding.divergence->device == a)
       vsbLocalised = true;
   }
-  result.riskDetected = abLinkReported && vsbLocalised;
+  // The expert's confirmation: replaying A with the vendor's real semantics,
+  // the explain chain for (A, 77.0.0.0/16) names the VSB as the point where
+  // the decision diverges from the generic model.
+  const std::string liveExplain = liveProv.explainJson(a, dstPrefix);
+  const bool vsbExplained =
+      liveExplain.find("vsb-applied") != std::string::npos &&
+      liveExplain.find("igp-cost-zero-via-sr-tunnel") != std::string::npos;
+  result.narrative += "\nExplain(f9-A, 77.0.0.0/16) on the live semantics:\n  " +
+                      liveExplain;
+  result.riskDetected = abLinkReported && vsbLocalised && vsbExplained;
   result.narrative += result.riskDetected
-                          ? "\n=> The Fig. 9 'IGP cost for SR' VSB localised at A."
+                          ? "\n=> The Fig. 9 'IGP cost for SR' VSB localised at A "
+                            "and named by the explain chain."
                           : "\n=> WARNING: VSB not localised.";
   return result;
 }

@@ -1,5 +1,8 @@
 #include "sim/local_routes.h"
 
+#include <algorithm>
+
+#include "obs/provenance.h"
 #include "proto/policy_eval.h"
 
 namespace hoyan {
@@ -60,7 +63,8 @@ std::vector<Route> staticRoutesOf(const NetworkModel& model, const DeviceConfig&
 
 }  // namespace
 
-void installLocalRoutes(const NetworkModel& model, NetworkRibs& ribs) {
+void installLocalRoutes(const NetworkModel& model, NetworkRibs& ribs,
+                        obs::ProvenanceRecorder* provenance) {
   for (const auto& [name, device] : model.topology.devices()) {
     if (!model.topology.deviceActive(name)) continue;
     DeviceRib& deviceRib = ribs.device(name);
@@ -98,6 +102,33 @@ void installLocalRoutes(const NetworkModel& model, NetworkRibs& ribs) {
   for (auto& [name, deviceRib] : ribs.devices())
     for (auto& [vrfId, vrfRib] : deviceRib.vrfs())
       for (auto& [prefix, routes] : vrfRib.routes()) selectBestRoutes(routes);
+  if (provenance && provenance->enabled()) {
+    // Sorted emission pass (the install loop above iterates unordered maps).
+    std::vector<NameId> deviceIds;
+    for (const auto& [name, deviceRib] : ribs.devices()) deviceIds.push_back(name);
+    std::sort(deviceIds.begin(), deviceIds.end());
+    for (const NameId name : deviceIds) {
+      const DeviceRib* deviceRib = ribs.findDevice(name);
+      std::vector<NameId> vrfIds;
+      for (const auto& [vrfId, vrfRib] : deviceRib->vrfs()) vrfIds.push_back(vrfId);
+      std::sort(vrfIds.begin(), vrfIds.end());
+      for (const NameId vrfId : vrfIds) {
+        for (const auto& [prefix, routes] : deviceRib->findVrf(vrfId)->routes()) {
+          if (!provenance->wants(prefix)) continue;
+          for (const Route& route : routes) {
+            obs::RouteEvent event;
+            event.kind = obs::RouteEventKind::kLocalInstalled;
+            event.device = name;
+            event.vrf = vrfId;
+            event.prefix = prefix;
+            event.detail = protocolName(route.protocol);
+            event.route = route.str();
+            provenance->record(std::move(event));
+          }
+        }
+      }
+    }
+  }
 }
 
 std::vector<InputRoute> computeRedistributedInputs(const NetworkModel& model) {

@@ -11,6 +11,10 @@
 #include "net/route.h"
 #include "proto/network_model.h"
 
+namespace hoyan::obs {
+class ProvenanceRecorder;
+}  // namespace hoyan::obs
+
 namespace hoyan {
 
 // Admin distances for non-BGP protocols (BGP distances are per-vendor VSBs).
@@ -20,8 +24,12 @@ inline constexpr uint8_t kAggregateAdminDistance = 130;
 
 // Installs direct (interface subnets + /32 host routes + loopbacks), static,
 // and IS-IS (domain loopbacks with SPF costs, ECMP expanded) routes for every
-// active device into `ribs`.
-void installLocalRoutes(const NetworkModel& model, NetworkRibs& ribs);
+// active device into `ribs`. When `provenance` is set (and enabled), emits a
+// local-installed event per watched route in sorted (device, vrf, prefix)
+// order; `ribs` must start empty for those events to cover exactly the local
+// routes (both callers pass a fresh RIB set).
+void installLocalRoutes(const NetworkModel& model, NetworkRibs& ribs,
+                        obs::ProvenanceRecorder* provenance = nullptr);
 
 // Derives the BGP routes each device originates by redistribution
 // (redistribute static/direct/isis, with per-redistribution policies and the

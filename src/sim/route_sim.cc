@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "proto/bgp.h"
 #include "proto/policy_eval.h"
@@ -58,6 +59,8 @@ class RouteSimEngine {
  public:
   RouteSimEngine(const NetworkModel& model, const RouteSimOptions& options)
       : model_(model), options_(options) {
+    prov_ = options.provenance ? options.provenance : obs::ProvenanceRecorder::global();
+    if (prov_ && !prov_->enabled()) prov_ = nullptr;
     // Reverse-session lookup: receiving side of each directed session.
     // Parallel sessions between the same device pair are disambiguated by
     // the session addresses (the reverse session dials our local address).
@@ -152,7 +155,7 @@ class RouteSimEngine {
 
     // Materialise RIBs.
     obs::Span materializeSpan = tel.tracer().span("route_sim.materialize", "sim");
-    if (options_.includeLocalRoutes) installLocalRoutes(model_, result.ribs);
+    if (options_.includeLocalRoutes) installLocalRoutes(model_, result.ribs, prov_);
     for (auto& [key, cell] : cells_) {
       if (cell.selected.empty()) continue;
       auto& routes = result.ribs.device(key.device).vrf(key.vrf).routesFor(key.prefix);
@@ -160,6 +163,8 @@ class RouteSimEngine {
     }
     if (options_.includeLocalRoutes) reselectAll(result.ribs);
     if (options_.useEquivalenceClasses) expandEcResults(plan.classes, result.ribs);
+    if (prov_ && options_.provenanceSelectionEvents)
+      recordSelectionEvents(result.ribs, prov_);
     result.stats.installedRoutes = result.ribs.routeCount();
     materializeSpan.finish();
     result.stats.materializeSeconds = materializeSpan.seconds();
@@ -171,6 +176,24 @@ class RouteSimEngine {
   }
 
  private:
+  // --- provenance -----------------------------------------------------------
+  // Builds and records one event; callers must have checked
+  // `prov_ && prov_->wants(prefix)` first (so the disabled path renders no
+  // strings).
+  void emitEvent(obs::RouteEventKind kind, NameId device, NameId vrf,
+                 const Prefix& prefix, NameId peer, std::string detail,
+                 std::string routeStr = {}) {
+    obs::RouteEvent event;
+    event.kind = kind;
+    event.device = device;
+    event.vrf = vrf;
+    event.prefix = prefix;
+    event.peer = peer;
+    event.detail = std::move(detail);
+    event.route = std::move(routeStr);
+    prov_->record(std::move(event));
+  }
+
   // --- receive side ---------------------------------------------------------
   void receive(const Advertisement& adv) {
     const BgpSession& session = model_.sessions[adv.session];
@@ -192,6 +215,10 @@ class RouteSimEngine {
     const size_t before = cell.adjIn.size();
     std::erase_if(cell.adjIn, [&](const ReceivedRoute& r) { return r.viaSession == reverseIdx; });
     installed_ -= before - cell.adjIn.size();
+    const bool watch = prov_ && prov_->wants(adv.prefix);
+    if (watch && adv.routes.empty() && before > cell.adjIn.size())
+      emitEvent(obs::RouteEventKind::kWithdrawn, receiver, receiverSide.vrf,
+                adv.prefix, session.local, "all routes from this session withdrawn");
 
     uint32_t pathId = 0;
     for (const Route& advertised : adv.routes) {
@@ -201,25 +228,52 @@ class RouteSimEngine {
       route.ebgpLearned = session.ebgp;
       if (session.ebgp) {
         // AS-loop prevention.
-        if (route.attrs.asPath.contains(config->bgp.asn)) continue;
+        if (route.attrs.asPath.contains(config->bgp.asn)) {
+          if (watch)
+            emitEvent(obs::RouteEventKind::kLoopPrevented, receiver,
+                      receiverSide.vrf, adv.prefix, session.local,
+                      "as-path contains local ASN " + std::to_string(config->bgp.asn));
+          continue;
+        }
         // localPref and weight are not transitive over eBGP.
         route.attrs.localPref = 100;
         route.attrs.weight = 0;
       } else {
         // Reflection loop prevention.
-        if (route.attrs.originatorId == receiver) continue;
+        if (route.attrs.originatorId == receiver) {
+          if (watch)
+            emitEvent(obs::RouteEventKind::kLoopPrevented, receiver,
+                      receiverSide.vrf, adv.prefix, session.local,
+                      "originator-id names this device (reflection loop)");
+          continue;
+        }
       }
       // Ingress policy (the receiver's import policy for this neighbour).
       const PolicyResult verdict =
           evaluatePolicy(context, receiverSide.importPolicy, route);
-      if (!verdict.permitted) continue;
+      if (!verdict.permitted) {
+        if (watch)
+          emitEvent(obs::RouteEventKind::kPolicyDenied, receiver, receiverSide.vrf,
+                    adv.prefix, session.local, "ingress: " + verdict.reason);
+        continue;
+      }
       route = verdict.route;
       route.adminDistance =
           session.ebgp ? vendor.ebgpAdminDistance : vendor.ibgpAdminDistance;
       // Nexthop resolution: IGP cost, SR tunnel detection (Table 5 "IGP cost
       // for SR" — the Fig. 9 root cause).
-      if (!resolveNexthop(receiver, vendor, route)) continue;
+      if (!resolveNexthop(receiver, vendor, route)) {
+        if (watch)
+          emitEvent(obs::RouteEventKind::kNexthopUnresolved, receiver,
+                    receiverSide.vrf, adv.prefix, session.local,
+                    "nexthop " + route.nexthop.str() +
+                        " neither IGP-reachable nor adjacent");
+        continue;
+      }
       route.type = RouteType::kAlternate;
+      if (watch)
+        emitEvent(obs::RouteEventKind::kReceived, receiver, receiverSide.vrf,
+                  adv.prefix, session.local, verdict.reason, route.str());
       cell.adjIn.push_back(ReceivedRoute{route, reverseIdx, pathId++});
       ++installed_;
     }
@@ -248,7 +302,17 @@ class RouteSimEngine {
       if (!adjacent && !sr) return false;
       route.igpCost = 0;
     }
-    if (sr && vendor.igpCostZeroViaSrTunnel) route.igpCost = 0;
+    if (sr && vendor.igpCostZeroViaSrTunnel) {
+      // The Fig. 9 VSB: the vendor reports IGP cost 0 for nexthops reached
+      // through an SR tunnel, changing downstream tie-breaks. Record before
+      // rewriting so the event names the cost it erased.
+      if (prov_ && prov_->wants(route.prefix))
+        emitEvent(obs::RouteEventKind::kVsbApplied, device, route.vrf, route.prefix,
+                  route.learnedFrom,
+                  "igp-cost-zero-via-sr-tunnel: igp cost " +
+                      std::to_string(route.igpCost) + " -> 0");
+      route.igpCost = 0;
+    }
     return true;
   }
 
@@ -425,12 +489,17 @@ class RouteSimEngine {
     // Suppress aggregate contributors (summary-only).
     const bool suppressed = isSuppressedContributor(*config, key);
 
+    const bool watch = prov_ && prov_->wants(key.prefix);
     for (const size_t sessionIdx : sessionsIt->second) {
       const BgpSession& session = model_.sessions[sessionIdx];
       if (session.vrf != key.vrf) continue;
       Advertisement adv;
       adv.session = sessionIdx;
       adv.prefix = key.prefix;
+      // Events buffered until the changed-set check below: the fixpoint
+      // re-evaluates unchanged advertisements every dirty round, and only
+      // rounds that alter the advertised set are provenance-worthy.
+      std::vector<obs::RouteEvent> events;
       if (!bgpRoutes.empty() && !suppressed) {
         const size_t limit = session.addPathSend ? bgpRoutes.size() : 1;
         for (size_t i = 0; i < limit && i < bgpRoutes.size(); ++i) {
@@ -441,7 +510,17 @@ class RouteSimEngine {
           const PolicyContext context{config, &vendor, config->bgp.asn};
           const PolicyResult verdict =
               evaluatePolicy(context, session.exportPolicy, outbound);
-          if (!verdict.permitted) continue;
+          if (!verdict.permitted) {
+            if (watch)
+              events.push_back(obs::RouteEvent{
+                  obs::RouteEventKind::kPolicyDenied, key.device, key.vrf,
+                  key.prefix, session.peer, "egress: " + verdict.reason, {}, 0});
+            continue;
+          }
+          if (watch)
+            events.push_back(obs::RouteEvent{
+                obs::RouteEventKind::kAdvertised, key.device, key.vrf, key.prefix,
+                session.peer, {}, verdict.route.str(), 0});
           adv.routes.push_back(verdict.route);
         }
       }
@@ -450,6 +529,7 @@ class RouteSimEngine {
       auto& last = lastAdvertised_[advKey];
       if (last != adv.routes) {
         last = adv.routes;
+        for (obs::RouteEvent& event : events) prov_->record(std::move(event));
         out.push_back(std::move(adv));
       }
     }
@@ -546,6 +626,7 @@ class RouteSimEngine {
   std::unordered_map<std::pair<size_t, Prefix>, std::vector<Route>, AdvKeyHash>
       lastAdvertised_;
   size_t installed_ = 0;
+  obs::ProvenanceRecorder* prov_ = nullptr;  // Null when disabled.
 };
 
 }  // namespace
@@ -561,6 +642,51 @@ void reselectAll(NetworkRibs& ribs) {
   for (auto& [deviceId, deviceRib] : ribs.devices())
     for (auto& [vrfId, vrfRib] : deviceRib.vrfs())
       for (auto& [prefix, routes] : vrfRib.routes()) selectBestRoutes(routes);
+}
+
+void recordSelectionEvents(const NetworkRibs& ribs, obs::ProvenanceRecorder* recorder) {
+  if (!recorder || !recorder->enabled()) return;
+  // Sorted iteration: the RIB maps are unordered, but provenance output must
+  // be byte-identical run to run (and across worker counts).
+  std::vector<NameId> deviceIds;
+  deviceIds.reserve(ribs.devices().size());
+  for (const auto& [deviceId, deviceRib] : ribs.devices()) deviceIds.push_back(deviceId);
+  std::sort(deviceIds.begin(), deviceIds.end());
+  for (const NameId deviceId : deviceIds) {
+    const DeviceRib* deviceRib = ribs.findDevice(deviceId);
+    std::vector<NameId> vrfIds;
+    vrfIds.reserve(deviceRib->vrfs().size());
+    for (const auto& [vrfId, vrfRib] : deviceRib->vrfs()) vrfIds.push_back(vrfId);
+    std::sort(vrfIds.begin(), vrfIds.end());
+    for (const NameId vrfId : vrfIds) {
+      const VrfRib* vrfRib = deviceRib->findVrf(vrfId);
+      for (const auto& [prefix, routes] : vrfRib->routes()) {
+        if (routes.empty() || !recorder->wants(prefix)) continue;
+        const Route& best = routes.front();
+        for (const Route& route : routes) {
+          obs::RouteEvent event;
+          event.device = deviceId;
+          event.vrf = vrfId;
+          event.prefix = prefix;
+          event.peer = route.learnedFrom;
+          event.route = route.str();
+          switch (route.type) {
+            case RouteType::kBest:
+              event.kind = obs::RouteEventKind::kChosenBest;
+              break;
+            case RouteType::kEcmp:
+              event.kind = obs::RouteEventKind::kChosenEcmp;
+              break;
+            case RouteType::kAlternate:
+              event.kind = obs::RouteEventKind::kLostTieBreak;
+              event.detail = "lost on " + bgpDecisionStep(best, route);
+              break;
+          }
+          recorder->record(std::move(event));
+        }
+      }
+    }
+  }
 }
 
 void dedupeRoutes(NetworkRibs& ribs) {

@@ -17,6 +17,7 @@
 #include "sim/route_ec.h"
 
 namespace hoyan::obs {
+class ProvenanceRecorder;
 class Telemetry;
 }  // namespace hoyan::obs
 
@@ -33,6 +34,14 @@ struct RouteSimOptions {
   bool includeLocalRoutes = false;
   // Optional sink for per-phase spans/metrics (null = disabled, no cost).
   obs::Telemetry* telemetry = nullptr;
+  // Optional route-decision provenance sink (null = fall back to
+  // obs::ProvenanceRecorder::global(); disabled recorders cost one branch).
+  obs::ProvenanceRecorder* provenance = nullptr;
+  // Emit chosen-best/ecmp/lost-tie-break events from the final RIBs. The
+  // distributed master disables this on route subtasks (subtask-local
+  // selection is provisional) and calls recordSelectionEvents() itself after
+  // the merged reselect.
+  bool provenanceSelectionEvents = true;
 };
 
 struct RouteSimStats {
@@ -72,5 +81,12 @@ void reselectAll(NetworkRibs& ribs);
 // Needed after merging subtask results: an aggregate whose contributors span
 // several route subtasks is originated once per subtask.
 void dedupeRoutes(NetworkRibs& ribs);
+
+// Emits chosen-best / chosen-ecmp / lost-tie-break provenance events for
+// every (device, vrf, prefix) cell of `ribs` that the recorder watches, in
+// deterministic (sorted-key) order. Lost routes carry the deciding step of
+// the BGP decision process (proto/bgp.h bgpDecisionStep). No-op when
+// `recorder` is null or disabled.
+void recordSelectionEvents(const NetworkRibs& ribs, obs::ProvenanceRecorder* recorder);
 
 }  // namespace hoyan

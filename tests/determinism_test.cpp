@@ -8,6 +8,7 @@
 #include "dist/dist_sim.h"
 #include "gen/wan_gen.h"
 #include "gen/workload_gen.h"
+#include "obs/provenance.h"
 #include "rcl/global_rib.h"
 
 namespace hoyan {
@@ -35,11 +36,13 @@ class DeterminismTest : public ::testing::Test {
     flows_ = generateFlows(wan_, workload, 800);
   }
 
-  NetworkRibs runDistributed(size_t workers, size_t subtasks) {
+  NetworkRibs runDistributed(size_t workers, size_t subtasks,
+                             obs::ProvenanceRecorder* provenance = nullptr) {
     const NetworkModel model = wan_.buildModel();
     DistSimOptions options;
     options.workers = workers;
     options.routeSubtasks = subtasks;
+    options.routeOptions.provenance = provenance;
     DistributedSimulator simulator(model, options);
     DistRouteResult result = simulator.runRouteSimulation(inputs_);
     EXPECT_TRUE(result.succeeded);
@@ -70,6 +73,29 @@ TEST_F(DeterminismTest, SubtaskCountDoesNotChangeResults) {
   const auto many = renderedRows(runDistributed(4, 64));
   ASSERT_EQ(few.size(), many.size());
   for (size_t i = 0; i < few.size(); ++i) EXPECT_EQ(few[i], many[i]) << i;
+}
+
+TEST_F(DeterminismTest, ProvenanceLogIsIdenticalAcrossWorkerCounts) {
+  // The master merges per-subtask provenance in subtask order and emits
+  // selection events from the final merged RIBs, so with a fixed subtask
+  // count the rendered log must be byte-identical for any worker count.
+  obs::ProvenanceOptions provOptions;
+  provOptions.enabled = true;
+  provOptions.totalEventCap = 1u << 20;
+  provOptions.perDeviceEventCap = 1u << 16;
+  const auto rendered = [&](size_t workers) {
+    obs::ProvenanceRecorder recorder(provOptions);
+    runDistributed(workers, 16, &recorder);
+    std::string out;
+    for (const obs::RouteEvent& event : recorder.snapshot())
+      out += event.str() + "\n";
+    EXPECT_EQ(recorder.droppedEvents(), 0u) << "caps too small for the fixture";
+    return out;
+  };
+  const std::string two = rendered(2);
+  const std::string eight = rendered(8);
+  EXPECT_GT(two.size(), 0u);
+  EXPECT_EQ(two, eight);
 }
 
 TEST_F(DeterminismTest, TrafficLoadsAreDeterministicAcrossWorkers) {

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <variant>
@@ -245,6 +246,129 @@ TEST(MetricsTest, PrometheusTextExposition) {
   EXPECT_NE(text.find("dist_subtask_seconds_bucket{le=\"1\"} 2"), std::string::npos);
   EXPECT_NE(text.find("dist_subtask_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
   EXPECT_NE(text.find("dist_subtask_seconds_count 2"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusQuantileLines) {
+  obs::MetricsRegistry registry;
+  // Bounds at the quantile cuts so each quantile reports a distinct bucket:
+  // observations 1..100 put the p50/p95/p99 ranks in the 50/95/99 buckets.
+  obs::Histogram& histogram = registry.histogram("lat_seconds", {10, 50, 95, 99, 100});
+  for (int i = 1; i <= 100; ++i) histogram.observe(i);
+  const std::string text = registry.toPrometheusText();
+  EXPECT_NE(text.find("# TYPE lat_seconds_quantile gauge"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_quantile{quantile=\"0.5\"} 50"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_seconds_quantile{quantile=\"0.95\"} 95"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_quantile{quantile=\"0.99\"} 99"), std::string::npos);
+  // And the JSON snapshot carries the same quantiles.
+  const JsonValue root = JsonParser(registry.toJson()).parse();
+  const JsonObject& quantiles = root.object().at("histograms").object()
+                                    .at("lat_seconds").object()
+                                    .at("quantiles").object();
+  EXPECT_EQ(quantiles.at("p50").number(), 50.0);
+  EXPECT_EQ(quantiles.at("p95").number(), 95.0);
+  EXPECT_EQ(quantiles.at("p99").number(), 99.0);
+}
+
+TEST(MetricsTest, HistogramQuantileNearestRank) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("q", {1.0, 2.0, 4.0, 8.0});
+  // Quantiles come from bucket upper bounds (the histogram keeps no samples):
+  // 10 observations <= 1, none elsewhere, so every quantile reports 1.
+  for (int i = 0; i < 10; ++i) histogram.observe(0.5);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 1.0);
+  histogram.observe(3.0);  // An 11th observation in the (2, 4] bucket.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 4.0);
+  // Empty histogram: quantiles are 0, not NaN.
+  EXPECT_DOUBLE_EQ(registry.histogram("empty", {1.0}).quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, NearestRankIndexIsUnbiased) {
+  // ceil(p*n) - 1: the canonical nearest-rank definition. The old
+  // floor(p*n) form reported one sample too high at every exact cut.
+  EXPECT_EQ(obs::nearestRankIndex(0.50, 100), 49u);
+  EXPECT_EQ(obs::nearestRankIndex(0.95, 100), 94u);
+  EXPECT_EQ(obs::nearestRankIndex(0.99, 100), 98u);
+  EXPECT_EQ(obs::nearestRankIndex(1.00, 100), 99u);
+  EXPECT_EQ(obs::nearestRankIndex(0.00, 100), 0u);
+  EXPECT_EQ(obs::nearestRankIndex(0.50, 1), 0u);
+  EXPECT_EQ(obs::nearestRankIndex(0.50, 2), 0u);
+  EXPECT_EQ(obs::nearestRankIndex(0.75, 4), 2u);
+}
+
+TEST(MetricsTest, PrometheusNameSanitisation) {
+  EXPECT_EQ(obs::prometheusMetricName("dist.subtask.seconds"), "dist_subtask_seconds");
+  EXPECT_EQ(obs::prometheusMetricName("9lives"), "_9lives") << "leading digit";
+  EXPECT_EQ(obs::prometheusMetricName("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(obs::prometheusMetricName("ok_name:v1"), "ok_name:v1")
+      << "colons are legal in the exposition grammar";
+}
+
+TEST(MetricsTest, PrometheusLabelEscaping) {
+  EXPECT_EQ(obs::prometheusLabelEscape("plain"), "plain");
+  EXPECT_EQ(obs::prometheusLabelEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::prometheusLabelEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prometheusLabelEscape("line1\nline2"), "line1\\nline2");
+}
+
+// Parses the whole exposition back line by line: every line is a comment or
+// `name{labels} value`, names match the grammar, and label values stay
+// balanced — the round-trip guard for the exporter.
+TEST(MetricsTest, PrometheusExpositionGrammarRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.counter("dist.retries").add(2);
+  registry.gauge("9weird.gauge name").set(3);
+  registry.histogram("lat", {0.5, 1.5}).observe(1.0);
+  const std::string text = registry.toPrometheusText();
+
+  size_t samples = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    // name ::= [a-zA-Z_:][a-zA-Z0-9_:]*
+    size_t pos = 0;
+    const auto nameChar = [&](char c, bool first) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+             (!first && std::isdigit(static_cast<unsigned char>(c)));
+    };
+    ASSERT_TRUE(pos < line.size() && nameChar(line[pos], true)) << line;
+    while (pos < line.size() && nameChar(line[pos], false)) ++pos;
+    // Optional {label="value",...} block with escapes.
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        while (pos < line.size() && nameChar(line[pos], false)) ++pos;
+        ASSERT_TRUE(pos + 1 < line.size() && line[pos] == '=' && line[pos + 1] == '"')
+            << line;
+        pos += 2;
+        while (pos < line.size() && line[pos] != '"') pos += line[pos] == '\\' ? 2 : 1;
+        ASSERT_TRUE(pos < line.size()) << "unterminated label value: " << line;
+        ++pos;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      ASSERT_TRUE(pos < line.size()) << "unterminated label block: " << line;
+      ++pos;
+    }
+    // A single space, then a parseable number.
+    ASSERT_TRUE(pos < line.size() && line[pos] == ' ') << line;
+    const std::string value = line.substr(pos + 1);
+    size_t parsed = 0;
+    if (value == "+Inf" || value == "-Inf" || value == "NaN") {
+      parsed = value.size();
+    } else {
+      (void)std::stod(value, &parsed);
+    }
+    EXPECT_EQ(parsed, value.size()) << line;
+    ++samples;
+  }
+  EXPECT_GE(samples, 10u) << "counter + gauge(2) + buckets + quantiles + sum/count";
 }
 
 // --- tracing ----------------------------------------------------------------
