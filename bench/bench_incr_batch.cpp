@@ -1,0 +1,298 @@
+// Incremental verification batch: 50 scoped change plans (the paper's daily
+// change-request queue, §6.2) verified end to end, cold (no cache) vs warm
+// (incremental engine on, cache seeded by preprocessing). Each plan touches
+// one border router with a prefix-scoped policy edit, so the change-impact
+// analyzer bounds the dirty range and most route/traffic subtasks are served
+// from the content-addressed cache. Reports per-plan timings, the aggregate
+// subtask cache hit rate, and the median warm-over-cold speedup; writes a
+// JSON artifact for CI.
+//
+// Flags (also readable from the environment, bench_util-style):
+//   --json-out=<file>   JSON artifact path (HOYAN_INCR_JSON, default
+//                       incr_batch.json)
+//   --incr=off          skip the incremental engine: run the cold pipeline
+//                       only (baseline mode; no hit-rate gate)
+//   --plans=<n>         corpus size (default 50)
+//
+// Exit code: with the engine on, nonzero if the aggregate subtask cache hit
+// rate falls below 0.7 — the cache regressing to misses is a correctness
+// smell (fingerprint churn), not just a perf one. Wall-clock speedup is
+// reported but not gated (machine-dependent).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/hoyan.h"
+
+using namespace hoyan;
+using namespace hoyan::bench;
+
+namespace {
+
+std::string flagValue(const std::string& name, const char* envVar,
+                      const std::string& fallback) {
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  std::string arg;
+  const std::string prefix = "--" + name + "=";
+  while (std::getline(cmdline, arg, '\0'))
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  if (envVar)
+    if (const char* env = std::getenv(envVar)) return env;
+  return fallback;
+}
+
+// A corpus plan: one border router gains a prefix-scoped local-pref bump on
+// its ISP import policy. The touched /24 is inside the generated workload
+// pool (100.<isp>.<n>.0/24), so the impact analyzer can bound the dirty
+// coverage range to that prefix.
+struct CorpusEntry {
+  ChangePlan plan;
+  IntentSet intents;
+  std::string prefix;
+};
+
+CorpusEntry makeEntry(size_t i, const WanSpec& wan, const WorkloadSpec& workload) {
+  const size_t region = i % wan.regions;
+  const size_t ispCount =
+      wan.regions * wan.bordersPerRegion * wan.ispsPerBorder;
+  const size_t isp = i % std::min<size_t>(ispCount, 0x7f);
+  const size_t n = i % std::min<size_t>(workload.prefixesPerIsp, 256);
+  CorpusEntry entry;
+  entry.prefix = "100." + std::to_string(isp) + "." + std::to_string(n) + ".0/24";
+  entry.plan.name = "plan-" + std::to_string(i);
+  entry.plan.commands =
+      "device BR-" + std::to_string(region) + "-0\n" +
+      "ip-prefix LP-INCR-" + std::to_string(i) + " index 10 permit " +
+      entry.prefix + "\n" +
+      "route-policy ISP-IN-" + std::to_string(region) + " node " +
+      std::to_string(800 + i) + " permit\n" +
+      " match ip-prefix LP-INCR-" + std::to_string(i) + "\n" +
+      " apply local-pref " + std::to_string(120 + i % 50) + "\n";
+  entry.intents.rclIntents = {"not prefix = " + entry.prefix + " => PRE = POST"};
+  entry.intents.maxLinkUtilization = 5.0;  // Keeps the traffic phase in play.
+  return entry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const bool incremental = flagValue("incr", "HOYAN_INCR", "on") != "off";
+  const std::string jsonPath =
+      flagValue("json-out", "HOYAN_INCR_JSON", "incr_batch.json");
+  const size_t planCount =
+      std::stoul(flagValue("plans", "HOYAN_INCR_PLANS", "50"));
+
+  WanSpec wan;
+  wan.regions = 4;
+  wan.coresPerRegion = 3;
+  wan.bordersPerRegion = 2;
+  wan.dcsPerRegion = 2;
+  wan.ispsPerBorder = 2;
+  wan.seed = 42;
+  WorkloadSpec workload;
+  workload.prefixesPerIsp = 96;
+  workload.prefixesPerDc = 24;
+  workload.attrGroupSize = 1;  // One EC per prefix: maximal propagation work.
+  // v4-only on purpose: some generated vendors carry the §6.1(b) VSB where a
+  // v4 prefix list matches every v6 route, so a v4 list edit legitimately
+  // dirties the whole v6 space — correct, but it would defeat the scoped-
+  // corpus premise this benchmark measures.
+  workload.v6Share = 0.0;
+  workload.ispPathsPerPrefix = 8;  // Competing announcements: more sim work
+                                   // per best route (rib rows unchanged).
+  workload.seed = 7;
+
+  const GeneratedWan generated = generateWan(wan);
+  const std::vector<InputRoute> inputs = generateInputRoutes(generated, workload);
+  const std::vector<Flow> flows = generateFlows(generated, workload, 200000);
+
+  DistSimOptions simOptions;
+  simOptions.workers = 4;
+  simOptions.routeSubtasks = 96;   // Fine chunks keep a miss's re-run small.
+  simOptions.trafficSubtasks = 64;
+
+  const auto makeHoyan = [&](bool withEngine) {
+    auto hoyan = std::make_unique<Hoyan>(generated.topology, generated.configs);
+    hoyan->setInputRoutes(inputs);
+    hoyan->setInputFlows(flows);
+    hoyan->setSimulationOptions(simOptions);
+    if (withEngine) hoyan->enableIncremental();
+    Stopwatch stopwatch;
+    hoyan->preprocess();
+    std::printf("preprocess (%s): %.3gs\n", withEngine ? "incremental" : "cold",
+                stopwatch.seconds());
+    return hoyan;
+  };
+
+  auto cold = makeHoyan(false);
+  std::unique_ptr<Hoyan> warm;
+  if (incremental) warm = makeHoyan(true);
+
+  std::vector<CorpusEntry> corpus;
+  for (size_t i = 0; i < planCount; ++i)
+    corpus.push_back(makeEntry(i, wan, workload));
+
+  struct PlanTiming {
+    std::string name;
+    double coldSeconds = 0;
+    double warmSeconds = 0;
+    double coldRoute = 0, coldTraffic = 0, coldVerify = 0;
+    double warmRoute = 0, warmTraffic = 0, warmVerify = 0;
+    size_t hits = 0;
+    size_t subtasks = 0;
+    bool satisfied = true;
+  };
+  std::vector<PlanTiming> timings;
+  size_t totalHits = 0, totalSubtasks = 0, unsatisfied = 0;
+  for (const CorpusEntry& entry : corpus) {
+    PlanTiming timing;
+    timing.name = entry.plan.name;
+    {
+      Stopwatch stopwatch;
+      const ChangeVerificationResult result =
+          cold->verifyChange(entry.plan, entry.intents);
+      timing.coldSeconds = stopwatch.seconds();
+      timing.coldRoute = result.routeSimSeconds;
+      timing.coldTraffic = result.trafficSimSeconds;
+      timing.coldVerify = result.verifySeconds;
+      timing.satisfied = result.satisfied();
+    }
+    if (warm) {
+      Stopwatch stopwatch;
+      const ChangeVerificationResult result =
+          warm->verifyChange(entry.plan, entry.intents);
+      timing.warmSeconds = stopwatch.seconds();
+      timing.warmRoute = result.routeSimSeconds;
+      timing.warmTraffic = result.trafficSimSeconds;
+      timing.warmVerify = result.verifySeconds;
+      timing.satisfied = timing.satisfied && result.satisfied();
+      timing.hits = result.routeSubtaskCacheHits + result.trafficSubtaskCacheHits;
+      timing.subtasks = result.routeSubtaskCount + result.trafficSubtaskCount;
+      totalHits += timing.hits;
+      totalSubtasks += timing.subtasks;
+      if (timings.empty())
+        std::printf("first plan: %s | route hits %zu/%zu, traffic hits %zu/%zu\n",
+                    result.impactSummary.c_str(), result.routeSubtaskCacheHits,
+                    result.routeSubtaskCount, result.trafficSubtaskCacheHits,
+                    result.trafficSubtaskCount);
+    }
+    if (!timing.satisfied) ++unsatisfied;
+    timings.push_back(timing);
+  }
+
+  // Two speedup views per plan: the simulation phases (route + traffic — the
+  // part the subtask cache accelerates) and end to end. Intent verification
+  // (GlobalRib + RCL over the merged result) is not cacheable — every plan
+  // produces a fresh global RIB — so the end-to-end number carries that
+  // Amdahl floor and is reported alongside, not instead.
+  std::vector<double> simSpeedups, e2eSpeedups;
+  double coldTotal = 0, warmTotal = 0;
+  for (const PlanTiming& timing : timings) {
+    coldTotal += timing.coldSeconds;
+    warmTotal += timing.warmSeconds;
+    if (!warm) continue;
+    const double coldSim = timing.coldRoute + timing.coldTraffic;
+    const double warmSim = timing.warmRoute + timing.warmTraffic;
+    if (warmSim > 0) simSpeedups.push_back(coldSim / warmSim);
+    if (timing.warmSeconds > 0)
+      e2eSpeedups.push_back(timing.coldSeconds / timing.warmSeconds);
+  }
+  std::sort(simSpeedups.begin(), simSpeedups.end());
+  std::sort(e2eSpeedups.begin(), e2eSpeedups.end());
+  const double medianSimSpeedup =
+      simSpeedups.empty() ? 0 : simSpeedups[simSpeedups.size() / 2];
+  const double medianE2eSpeedup =
+      e2eSpeedups.empty() ? 0 : e2eSpeedups[e2eSpeedups.size() / 2];
+  const double hitRate =
+      totalSubtasks == 0 ? 0 : static_cast<double>(totalHits) / totalSubtasks;
+
+  std::vector<std::vector<std::string>> rows = {
+      {"plan", "cold (s)", "warm (s)", "sim speedup", "e2e speedup", "cache hits"}};
+  for (size_t i = 0; i < timings.size(); i += std::max<size_t>(timings.size() / 10, 1))
+    rows.push_back(
+        {timings[i].name, fmt(timings[i].coldSeconds),
+         warm ? fmt(timings[i].warmSeconds) : "-",
+         warm && timings[i].warmRoute + timings[i].warmTraffic > 0
+             ? fmt((timings[i].coldRoute + timings[i].coldTraffic) /
+                   (timings[i].warmRoute + timings[i].warmTraffic))
+             : "-",
+         warm && timings[i].warmSeconds > 0
+             ? fmt(timings[i].coldSeconds / timings[i].warmSeconds)
+             : "-",
+         warm ? std::to_string(timings[i].hits) + "/" +
+                    std::to_string(timings[i].subtasks)
+              : "-"});
+  printTable("Incremental batch — sampled plans (of " +
+                 std::to_string(timings.size()) + ")",
+             rows);
+  if (warm)
+    printCdf("Warm-over-cold simulation speedup CDF", simSpeedups, "x");
+  double coldRoute = 0, coldTraffic = 0, coldVerify = 0;
+  double warmRoute = 0, warmTraffic = 0, warmVerify = 0;
+  for (const PlanTiming& timing : timings) {
+    coldRoute += timing.coldRoute;
+    coldTraffic += timing.coldTraffic;
+    coldVerify += timing.coldVerify;
+    warmRoute += timing.warmRoute;
+    warmTraffic += timing.warmTraffic;
+    warmVerify += timing.warmVerify;
+  }
+  printTable("Phase totals across the corpus",
+             {{"phase", "cold (s)", "warm (s)"},
+              {"route sim", fmt(coldRoute), warm ? fmt(warmRoute) : "-"},
+              {"traffic sim", fmt(coldTraffic), warm ? fmt(warmTraffic) : "-"},
+              {"intent verify", fmt(coldVerify), warm ? fmt(warmVerify) : "-"},
+              {"other (parse/model/merge)",
+               fmt(coldTotal - coldRoute - coldTraffic - coldVerify),
+               warm ? fmt(warmTotal - warmRoute - warmTraffic - warmVerify)
+                    : "-"}});
+  std::printf("\n%zu plans; cold total %.3gs", timings.size(), coldTotal);
+  if (warm)
+    std::printf(", warm total %.3gs, median sim speedup %.3gx, "
+                "median e2e speedup %.3gx, "
+                "subtask cache hit rate %.1f%% (%zu/%zu)",
+                warmTotal, medianSimSpeedup, medianE2eSpeedup, hitRate * 100,
+                totalHits, totalSubtasks);
+  std::printf("; %zu unsatisfied (expect 0)\n", unsatisfied);
+
+  std::string json = "{\n  \"incremental\": ";
+  json += incremental ? "true" : "false";
+  json += ",\n  \"plans\": " + std::to_string(timings.size());
+  json += ",\n  \"cold_total_seconds\": " + fmt(coldTotal, "%.6g");
+  json += ",\n  \"warm_total_seconds\": " + fmt(warmTotal, "%.6g");
+  json += ",\n  \"median_sim_speedup\": " + fmt(medianSimSpeedup, "%.6g");
+  json += ",\n  \"median_e2e_speedup\": " + fmt(medianE2eSpeedup, "%.6g");
+  json += ",\n  \"cache_hit_rate\": " + fmt(hitRate, "%.6g");
+  json += ",\n  \"cache_hits\": " + std::to_string(totalHits);
+  json += ",\n  \"cache_lookups\": " + std::to_string(totalSubtasks);
+  json += ",\n  \"unsatisfied\": " + std::to_string(unsatisfied);
+  json += ",\n  \"per_plan\": [\n";
+  for (size_t i = 0; i < timings.size(); ++i) {
+    json += "    {\"name\": \"" + timings[i].name + "\", \"cold_seconds\": " +
+            fmt(timings[i].coldSeconds, "%.6g") + ", \"warm_seconds\": " +
+            fmt(timings[i].warmSeconds, "%.6g") + ", \"cache_hits\": " +
+            std::to_string(timings[i].hits) + ", \"subtasks\": " +
+            std::to_string(timings[i].subtasks) + "}";
+    json += i + 1 < timings.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  if (obs::writeFile(jsonPath, json))
+    std::printf("json -> %s\n", jsonPath.c_str());
+  else
+    std::fprintf(stderr, "failed to write %s\n", jsonPath.c_str());
+
+  if (unsatisfied > 0) return 1;
+  if (incremental && hitRate < 0.7) {
+    std::fprintf(stderr,
+                 "FAIL: cache hit rate %.3f below the 0.7 floor — fingerprints "
+                 "are churning or the impact analyzer over-dirties\n",
+                 hitRate);
+    return 1;
+  }
+  return 0;
+}

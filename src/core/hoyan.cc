@@ -122,6 +122,15 @@ std::string Hoyan::explain(const std::string& device, const Prefix& prefix,
   return provenance_->explainJson(Names::id(device), prefix, maxDepth);
 }
 
+void Hoyan::enableIncremental(incr::IncrementalOptions options) {
+  // Same fallback chain as the simulator: explicit options, then this
+  // facade's bundle, then the process-global sink (bench hooks).
+  if (!options.telemetry)
+    options.telemetry = telemetry_ ? telemetry_ : obs::Telemetry::global();
+  incremental_ = std::make_unique<incr::IncrementalEngine>(options);
+  if (preprocessed_) incremental_->setBaseModel(*baseModel_);
+}
+
 void Hoyan::setInputRoutes(std::vector<InputRoute> inputs) {
   inputRoutes_ = std::move(inputs);
   preprocessed_ = false;
@@ -135,7 +144,14 @@ void Hoyan::setInputFlows(std::vector<Flow> flows) {
 void Hoyan::preprocess() {
   obs::Telemetry& tel = obs::Telemetry::orDisabled(telemetry_);
   obs::Span span = tel.tracer().span("core.preprocess", "core");
-  DistributedSimulator simulator(*baseModel_, distOptions_);
+  DistSimOptions runOptions = distOptions_;
+  if (incremental_) {
+    // The base run seeds the cache: its subtask results are what later clean
+    // subtasks hit.
+    incremental_->setBaseModel(*baseModel_);
+    incremental_->beginRun(*baseModel_, runOptions);
+  }
+  DistributedSimulator simulator(*baseModel_, runOptions);
   DistRouteResult routes = simulator.runRouteSimulation(inputRoutes_);
   if (!routes.succeeded) throw std::runtime_error("base route simulation failed");
   baseRibs_ = std::move(routes.ribs);
@@ -147,6 +163,7 @@ void Hoyan::preprocess() {
   } else {
     baseLoads_ = {};
   }
+  if (incremental_) incremental_->endRun();
   baseGlobal_ = rcl::GlobalRib::fromNetworkRibs(baseRibs_);
   preprocessed_ = true;
   span.finish();
@@ -202,11 +219,21 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   updatedInputs.insert(updatedInputs.end(), plan.newInputRoutes.begin(),
                        plan.newInputRoutes.end());
 
-  // 3. Distributed route + traffic simulation on the updated model.
+  // 3. Distributed route + traffic simulation on the updated model. With the
+  // incremental engine enabled, subtasks unaffected by the plan are served
+  // from the content-addressed result cache.
+  DistSimOptions runOptions = distOptions_;
+  if (incremental_) {
+    const incr::ChangeImpact& impact = incremental_->beginRun(updated, runOptions);
+    result.incrementalUsed = true;
+    result.impactSummary = impact.str();
+  }
   obs::Span routeSpan = tel.tracer().span("core.route_sim", "core");
-  DistributedSimulator simulator(updated, distOptions_);
+  DistributedSimulator simulator(updated, runOptions);
   DistRouteResult routes = simulator.runRouteSimulation(updatedInputs);
   result.routeStats = routes.stats;
+  result.routeSubtaskCacheHits = routes.cacheHits;
+  result.routeSubtaskCount = routes.subtasks.size();
   routeSpan.finish();
   result.routeSimSeconds = routeSpan.seconds();
   NetworkRibs updatedRibs = std::move(routes.ribs);
@@ -218,10 +245,13 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
     obs::Span trafficSpan = tel.tracer().span("core.traffic_sim", "core");
     DistTrafficResult traffic = simulator.runTrafficSimulation(inputFlows_);
     result.trafficStats = traffic.stats;
+    result.trafficSubtaskCacheHits = traffic.cacheHits;
+    result.trafficSubtaskCount = traffic.subtasks.size();
     trafficSpan.finish();
     result.trafficSimSeconds = trafficSpan.seconds();
     updatedLoads = std::move(traffic.linkLoads);
   }
+  if (incremental_) incremental_->endRun();
 
   // 4. Intent verification.
   obs::Span intentSpan = tel.tracer().span("core.check_intents", "core");
@@ -255,6 +285,14 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
                   {"satisfied", result.satisfied() ? "true" : "false"},
                   {"seconds", std::to_string(taskSpan.seconds())}});
   return result;
+}
+
+std::vector<ChangeVerificationResult> Hoyan::verifyChangeBatch(
+    std::span<const ChangePlan> plans, const IntentSet& intents) {
+  std::vector<ChangeVerificationResult> results;
+  results.reserve(plans.size());
+  for (const ChangePlan& plan : plans) results.push_back(verifyChange(plan, intents));
+  return results;
 }
 
 std::vector<RclOutcome> Hoyan::runAuditTasks(const std::vector<std::string>& auditSpecs) {

@@ -10,11 +10,13 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "config/parser.h"
 #include "dist/dist_sim.h"
+#include "incr/engine.h"
 #include "net/flow.h"
 #include "obs/provenance.h"
 #include "obs/telemetry.h"
@@ -74,6 +76,14 @@ struct ChangeVerificationResult {
   std::vector<RclOutcome> rclOutcomes;
   std::vector<PathChangeViolation> pathViolations;
   std::vector<LoadViolation> loadViolations;
+
+  // Incremental-engine accounting (all zero unless enableIncremental ran).
+  bool incrementalUsed = false;
+  size_t routeSubtaskCacheHits = 0;
+  size_t trafficSubtaskCacheHits = 0;
+  size_t routeSubtaskCount = 0;
+  size_t trafficSubtaskCount = 0;
+  std::string impactSummary;  // One-line change-impact description.
 
   // The simulated post-change state (for probes, diagnosis, and examples).
   NetworkRibs updatedRibs;
@@ -156,8 +166,25 @@ class Hoyan {
   NetworkModel buildUpdatedModel(const ChangePlan& plan,
                                  std::vector<ParseError>* errors = nullptr) const;
 
+  // Turns on the incremental verification engine: change-impact analysis +
+  // content-addressed subtask result cache shared across verifyChange calls.
+  // Results stay byte-identical to cold runs; repeated/overlapping plans get
+  // served from the cache. Telemetry defaults to the pipeline's bundle.
+  // Call any time; takes effect from the next preprocess()/verifyChange().
+  void enableIncremental(incr::IncrementalOptions options = {});
+  // The engine, for inspection (cache stats, last impact); null when
+  // enableIncremental was never called.
+  incr::IncrementalEngine* incremental() const { return incremental_.get(); }
+
   // Full change verification (Fig. 2 left half).
   ChangeVerificationResult verifyChange(const ChangePlan& plan, const IntentSet& intents);
+
+  // Verifies a stream of independent change plans against the same intents,
+  // each against the base network. With the incremental engine enabled,
+  // subtask results are reused across plans (the paper's recurring-change
+  // workload); without it this is a plain loop over verifyChange.
+  std::vector<ChangeVerificationResult> verifyChangeBatch(
+      std::span<const ChangePlan> plans, const IntentSet& intents);
 
   // Daily configuration auditing (§6.2): each audit task is an RCL intent
   // evaluated with both PRE and POST bound to the *base* global RIB.
@@ -178,6 +205,7 @@ class Hoyan {
   obs::Telemetry* telemetry_ = nullptr;
   std::unique_ptr<obs::ProvenanceRecorder> ownedProvenance_;
   obs::ProvenanceRecorder* provenance_ = nullptr;
+  std::unique_ptr<incr::IncrementalEngine> incremental_;
   bool preprocessed_ = false;
 
   NetworkRibs baseRibs_;

@@ -46,10 +46,11 @@ DistributedSimulator::DistributedSimulator(const NetworkModel& model,
   if (options_.trafficSubtasks == 0) options_.trafficSubtasks = 1;
   telemetry_ = options_.telemetry ? options_.telemetry : obs::Telemetry::global();
   if (!telemetry_) telemetry_ = &obs::Telemetry::disabled();
+  store_ = options_.store ? options_.store : &ownStore_;
   obs::MetricsRegistry& metrics = telemetry_->metrics();
-  store_.bindTelemetry(&metrics.gauge("store.blobs"), &metrics.gauge("store.live_bytes"),
-                       &metrics.counter("store.bytes_read"),
-                       &metrics.counter("store.bytes_written"));
+  store_->bindTelemetry(&metrics.gauge("store.blobs"), &metrics.gauge("store.live_bytes"),
+                        &metrics.counter("store.bytes_read"),
+                        &metrics.counter("store.bytes_written"));
 }
 
 DistRouteResult DistributedSimulator::runRouteSimulation(
@@ -69,6 +70,13 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
                                       ? options_.routeOptions.provenance
                                       : obs::ProvenanceRecorder::global();
   if (prov && !prov->enabled()) prov = nullptr;
+  // Result cache: provenance-recording runs bypass it — a cached subtask
+  // cannot replay the decision events its original execution emitted.
+  SubtaskResultCache* cache = options_.cache;
+  if (cache && prov) {
+    cache->noteBypass();
+    cache = nullptr;
+  }
 
   // --- master: prepare subtasks -------------------------------------------
   obs::Span splitSpan = tel.tracer().span("route.split", "dist");
@@ -105,19 +113,33 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       ++end;
     cursor = end;
     if (begin >= end) continue;
-    std::vector<InputRoute> chunk(ordered.begin() + begin, ordered.begin() + end);
+    const std::span<const InputRoute> slice(ordered.data() + begin, end - begin);
     SubtaskRecord record;
     record.id = "route-" + std::to_string(subtaskIds.size());
-    record.inputKey = record.id + "/input";
-    record.resultKey = record.id + "/result";
+    record.inputKey = options_.keyPrefix + record.id + "/input";
+    record.resultKey = options_.keyPrefix + record.id + "/result";
     // Record the address range the subtask's routes cover (§3.2).
-    if (!chunk.empty()) {
-      IpRange range{chunk.front().route.prefix.firstAddress(),
-                    chunk.front().route.prefix.lastAddress()};
-      for (const InputRoute& input : chunk) range.extend(input.route.prefix);
-      record.coverage = range;
+    IpRange range{slice.front().route.prefix.firstAddress(),
+                  slice.front().route.prefix.lastAddress()};
+    for (const InputRoute& input : slice) range.extend(input.route.prefix);
+    record.coverage = range;
+    if (cache) {
+      record.resultKey = cache->routeResultKey(slice, record.coverage);
+      if (cache->lookup(record.resultKey)) {
+        // Served from the store at merge time — a cache read, not sim work.
+        // The chunk is never materialized: nobody will load its inputs.
+        record.status = SubtaskStatus::kSucceeded;
+        record.attempts = 0;
+        record.fromCache = true;
+        db_.upsert(std::move(record));
+        subtaskIds.push_back("route-" + std::to_string(subtaskIds.size()));
+        ++result.cacheHits;
+        continue;
+      }
     }
-    store_.put(record.inputKey, std::move(chunk), approxRouteBytes(end - begin));
+    store_->put(record.inputKey,
+                std::vector<InputRoute>(slice.begin(), slice.end()),
+                approxRouteBytes(end - begin));
     db_.upsert(record);
     queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kRouteInputs, 1});
     subtaskIds.push_back(record.id);
@@ -126,10 +148,19 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   {
     SubtaskRecord record;
     record.id = "route-local";
-    record.resultKey = record.id + "/result";
-    db_.upsert(record);
-    queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kLocalRoutes, 1});
-    subtaskIds.push_back(record.id);
+    record.resultKey = cache ? cache->localRoutesResultKey()
+                             : options_.keyPrefix + record.id + "/result";
+    if (cache && cache->lookup(record.resultKey)) {
+      record.status = SubtaskStatus::kSucceeded;
+      record.attempts = 0;
+      record.fromCache = true;
+      db_.upsert(std::move(record));
+      ++result.cacheHits;
+    } else {
+      db_.upsert(record);
+      queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kLocalRoutes, 1});
+    }
+    subtaskIds.push_back("route-local");
   }
   splitSpan.arg("subtasks", std::to_string(subtaskIds.size()));
   splitSpan.finish();
@@ -137,14 +168,15 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   tel.metrics().counter("dist.route.subtasks").add(subtaskIds.size());
 
   // --- workers --------------------------------------------------------------
-  std::atomic<size_t> remaining{subtaskIds.size()};
+  std::atomic<size_t> remaining{subtaskIds.size() - result.cacheHits};
+  if (remaining.load() == 0) queue.close();  // Everything came from the cache.
   std::atomic<size_t> retries{0};
   std::atomic<bool> failed{false};
   std::mutex statsMutex;
   obs::Counter& retryCounter = tel.metrics().counter("dist.retries");
   obs::Counter& completedCounter = tel.metrics().counter("dist.subtasks.completed");
   obs::Counter& crashCounter = tel.metrics().counter("dist.subtasks.crashed");
-  obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtasks.exhausted");
+  obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtask_exhausted");
   obs::Histogram& subtaskSeconds = tel.metrics().histogram("dist.subtask_seconds");
   const auto workerLoop = [&] {
     while (auto message = queue.pop()) {
@@ -165,6 +197,10 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
           tel.log().error("route.subtask.exhausted", {{"id", message->id}});
           exhaustedCounter.add(1);
           failed = true;
+          {
+            std::lock_guard lock(statsMutex);
+            result.failedSubtasks.push_back(message->id);
+          }
           if (remaining.fetch_sub(1) == 1) queue.close();
         } else {
           tel.log().warn("route.subtask.retry",
@@ -186,7 +222,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         installLocalRoutes(model_, ribs, prov ? &subProv : nullptr);
       } else {
         const auto record = db_.get(message->id);
-        const auto chunk = store_.get<std::vector<InputRoute>>(record->inputKey);
+        const auto chunk = store_->get<std::vector<InputRoute>>(record->inputKey);
         RouteSimOptions subOptions = options_.routeOptions;
         subOptions.includeLocalRoutes = false;
         subOptions.telemetry = telemetry_;
@@ -202,11 +238,18 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       obs::Span uploadSpan = tel.tracer().span("route.subtask.upload", "dist");
       const auto record = db_.get(message->id);
       const size_t resultBytes = approxRibBytes(ribs);
-      store_.put(record->resultKey, std::move(ribs), resultBytes);
+      store_->put(record->resultKey, std::move(ribs), resultBytes);
+      if (cache) {
+        // Replayable stats ride along so a future hit merges identically.
+        constexpr size_t kStatsBytes = 128;
+        store_->put(record->resultKey + "#stats", stats, kStatsBytes);
+        cache->stored(record->resultKey, resultBytes + kStatsBytes);
+      }
       if (prov) {
         std::vector<obs::RouteEvent> events = subProv.snapshot();
         const size_t eventBytes = events.size() * 128;
-        store_.put(record->id + "/prov", std::move(events), eventBytes);
+        store_->put(options_.keyPrefix + record->id + "/prov", std::move(events),
+                    eventBytes);
       }
       uploadSpan.finish();
       subtaskSpan.finish();
@@ -247,14 +290,34 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   for (const std::string& id : subtaskIds) {
     const auto record = db_.get(id);
     if (!record || record->status != SubtaskStatus::kSucceeded) continue;
-    const auto ribs = store_.get<NetworkRibs>(record->resultKey);
+    const auto ribs = store_->get<NetworkRibs>(record->resultKey);
     result.ribs.merge(*ribs);
+    if (record->fromCache) {
+      // A cache hit replays the stats the original execution stored.
+      const std::string statsKey = record->resultKey + "#stats";
+      if (store_->contains(statsKey)) {
+        const auto stats = store_->get<RouteSimStats>(statsKey);
+        std::lock_guard lock(statsMutex);
+        result.stats.simulatedInputs += stats->simulatedInputs;
+        result.stats.messagesProcessed += stats->messagesProcessed;
+        result.stats.rounds = std::max(result.stats.rounds, stats->rounds);
+        result.stats.converged = result.stats.converged && stats->converged;
+        result.stats.ec.inputRoutes += stats->ec.inputRoutes;
+        result.stats.ec.classes += stats->ec.classes;
+        result.stats.ec.prefixClasses += stats->ec.prefixClasses;
+        result.stats.ecSeconds += stats->ecSeconds;
+        result.stats.propagateSeconds += stats->propagateSeconds;
+        result.stats.materializeSeconds += stats->materializeSeconds;
+      }
+    }
     // Ordered provenance merge: append each subtask's event log in subtask-id
     // order (not worker completion order), re-sequencing as we go.
-    if (prov && store_.contains(id + "/prov"))
-      prov->append(*store_.get<std::vector<obs::RouteEvent>>(id + "/prov"));
-    result.subtasks.push_back(
-        SubtaskMetric{id, record->runtimeSeconds, record->attempts, 0, 0});
+    const std::string provKey = options_.keyPrefix + id + "/prov";
+    if (prov && store_->contains(provKey))
+      prov->append(*store_->get<std::vector<obs::RouteEvent>>(provKey));
+    result.subtasks.push_back(SubtaskMetric{id, record->runtimeSeconds,
+                                            record->attempts, 0, 0,
+                                            record->fromCache});
     routeResultKeys_.push_back(record->resultKey);
   }
   dedupeRoutes(result.ribs);
@@ -284,7 +347,53 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   tel.log().info("traffic.task.start", {{"flows", std::to_string(flows.size())},
                                         {"workers", std::to_string(options_.workers)}});
   DistTrafficResult result;
-  const size_t storeReadsBefore = store_.bytesRead();
+  const size_t storeReadsBefore = store_->bytesRead();
+  // Result cache: mirror the route phase's provenance bypass. With recording
+  // active the route results sit under transient per-run keys, and composing
+  // those into traffic content keys would poison the cache.
+  obs::ProvenanceRecorder* prov = options_.routeOptions.provenance
+                                      ? options_.routeOptions.provenance
+                                      : obs::ProvenanceRecorder::global();
+  if (prov && !prov->enabled()) prov = nullptr;
+  SubtaskResultCache* cache = options_.cache;
+  if (cache && prov) {
+    cache->noteBypass();
+    cache = nullptr;
+  }
+
+  // Snapshot route-subtask coverage for the dependency check; the split loop
+  // needs it too when the cache is on (a traffic subtask's content key names
+  // exactly the route result files it would load).
+  struct RouteFile {
+    std::string resultKey;
+    std::optional<IpRange> coverage;
+    bool isLocal = false;
+  };
+  std::vector<RouteFile> routeFiles;
+  for (const SubtaskRecord& record : db_.all()) {
+    if (record.id.rfind("route-", 0) != 0 || record.status != SubtaskStatus::kSucceeded)
+      continue;
+    routeFiles.push_back(
+        RouteFile{record.resultKey, record.coverage, record.id == "route-local"});
+  }
+  // Dependency pruning (§3.2): a route result file is needed when its
+  // recorded coverage overlaps the subtask's destination range. The
+  // local-routes file is always needed (nexthop/loopback routes).
+  const auto ribNeeded = [&](const RouteFile& file,
+                             const std::optional<IpRange>& dstRange) {
+    return options_.loadAllRibs || file.isLocal || !file.coverage || !dstRange ||
+           dstRange->overlaps(*file.coverage);
+  };
+
+  struct TrafficOutput {
+    LinkLoadMap loads;
+    TrafficSimStats stats;
+  };
+  std::mutex outputMutex;
+  // Per-subtask outputs, merged by the master in subtask order after the
+  // workers join: float addition is not associative, so merging in worker
+  // *completion* order made link loads depend on the worker count.
+  std::map<std::string, TrafficOutput> outputs;
 
   // --- master: prepare subtasks ----------------------------------------------
   obs::Span splitSpan = tel.tracer().span("traffic.split", "dist");
@@ -309,12 +418,39 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
     const size_t begin = ordered.size() * i / subtaskCount;
     const size_t end = ordered.size() * (i + 1) / subtaskCount;
     if (begin >= end) continue;
-    std::vector<Flow> chunk(ordered.begin() + begin, ordered.begin() + end);
+    const std::span<const Flow> slice(ordered.data() + begin, end - begin);
     SubtaskRecord record;
     record.id = "traffic-" + std::to_string(subtaskIds.size());
-    record.inputKey = record.id + "/input";
-    record.resultKey = record.id + "/result";
-    store_.put(record.inputKey, std::move(chunk), approxFlowBytes(end - begin));
+    record.inputKey = options_.keyPrefix + record.id + "/input";
+    record.resultKey = options_.keyPrefix + record.id + "/result";
+    if (cache) {
+      std::optional<IpRange> dstRange;
+      for (const Flow& flow : slice) {
+        if (!dstRange)
+          dstRange = IpRange{flow.dst, flow.dst};
+        else
+          dstRange->extend(flow.dst);
+      }
+      std::vector<std::string> ribKeys;
+      for (const RouteFile& file : routeFiles)
+        if (ribNeeded(file, dstRange)) ribKeys.push_back(file.resultKey);
+      record.resultKey = cache->trafficResultKey(slice, ribKeys);
+      if (cache->lookup(record.resultKey)) {
+        const auto blob = store_->get<TrafficSubtaskResult>(record.resultKey);
+        record.status = SubtaskStatus::kSucceeded;
+        record.attempts = 0;
+        record.fromCache = true;
+        record.ribFilesLoaded = blob->ribFilesLoaded;
+        record.ribFilesTotal = blob->ribFilesTotal;
+        outputs[record.id] = TrafficOutput{blob->linkLoads, blob->stats};
+        db_.upsert(std::move(record));
+        subtaskIds.push_back("traffic-" + std::to_string(subtaskIds.size()));
+        ++result.cacheHits;
+        continue;
+      }
+    }
+    store_->put(record.inputKey, std::vector<Flow>(slice.begin(), slice.end()),
+                approxFlowBytes(end - begin));
     db_.upsert(record);
     queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kTrafficInputs, 1});
     subtaskIds.push_back(record.id);
@@ -325,37 +461,15 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   result.splitSeconds = splitSpan.seconds();
   tel.metrics().counter("dist.traffic.subtasks").add(subtaskIds.size());
 
-  // Snapshot route-subtask coverage for the dependency check.
-  struct RouteFile {
-    std::string resultKey;
-    std::optional<IpRange> coverage;
-    bool isLocal = false;
-  };
-  std::vector<RouteFile> routeFiles;
-  for (const SubtaskRecord& record : db_.all()) {
-    if (record.id.rfind("route-", 0) != 0 || record.status != SubtaskStatus::kSucceeded)
-      continue;
-    routeFiles.push_back(
-        RouteFile{record.resultKey, record.coverage, record.id == "route-local"});
-  }
-
   // --- workers -----------------------------------------------------------------
-  struct TrafficOutput {
-    LinkLoadMap loads;
-    TrafficSimStats stats;
-  };
-  std::atomic<size_t> remaining{subtaskIds.size()};
+  std::atomic<size_t> remaining{subtaskIds.size() - result.cacheHits};
+  if (remaining.load() == 0) queue.close();  // Everything came from the cache.
   std::atomic<size_t> retries{0};
   std::atomic<bool> failed{false};
-  std::mutex outputMutex;
-  // Per-subtask outputs, merged by the master in subtask order after the
-  // workers join: float addition is not associative, so merging in worker
-  // *completion* order made link loads depend on the worker count.
-  std::map<std::string, TrafficOutput> outputs;
   obs::Counter& retryCounter = tel.metrics().counter("dist.retries");
   obs::Counter& completedCounter = tel.metrics().counter("dist.subtasks.completed");
   obs::Counter& crashCounter = tel.metrics().counter("dist.subtasks.crashed");
-  obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtasks.exhausted");
+  obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtask_exhausted");
   obs::Histogram& subtaskSeconds = tel.metrics().histogram("dist.subtask_seconds");
   obs::Counter& ribFilesLoaded = tel.metrics().counter("dist.traffic.rib_files_loaded");
   obs::Counter& ribFilesSkipped = tel.metrics().counter("dist.traffic.rib_files_skipped");
@@ -378,6 +492,10 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
           tel.log().error("traffic.subtask.exhausted", {{"id", message->id}});
           exhaustedCounter.add(1);
           failed = true;
+          {
+            std::lock_guard lock(outputMutex);
+            result.failedSubtasks.push_back(message->id);
+          }
           if (remaining.fetch_sub(1) == 1) queue.close();
         } else {
           tel.log().warn("traffic.subtask.retry",
@@ -390,7 +508,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
         continue;
       }
       const auto record = db_.get(message->id);
-      const auto chunk = store_.get<std::vector<Flow>>(record->inputKey);
+      const auto chunk = store_->get<std::vector<Flow>>(record->inputKey);
       // Destination range of this subtask's flows.
       std::optional<IpRange> dstRange;
       for (const Flow& flow : *chunk) {
@@ -399,17 +517,12 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
         else
           dstRange->extend(flow.dst);
       }
-      // Dependency pruning (§3.2): load only route result files whose
-      // recorded coverage overlaps our destination range. The local-routes
-      // file is always needed (nexthop/loopback routes).
       obs::Span loadSpan = tel.tracer().span("traffic.subtask.load_ribs", "dist");
       NetworkRibs ribs;
       size_t loaded = 0;
       for (const RouteFile& file : routeFiles) {
-        const bool needed = options_.loadAllRibs || file.isLocal || !file.coverage ||
-                            !dstRange || dstRange->overlaps(*file.coverage);
-        if (!needed) continue;
-        const auto part = store_.get<NetworkRibs>(file.resultKey);
+        if (!ribNeeded(file, dstRange)) continue;
+        const auto part = store_->get<NetworkRibs>(file.resultKey);
         ribs.merge(*part);
         ++loaded;
       }
@@ -431,8 +544,12 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
         outputs[message->id] = TrafficOutput{subResult.linkLoads, subResult.stats};
       }
       obs::Span uploadSpan = tel.tracer().span("traffic.subtask.upload", "dist");
-      store_.put(record->resultKey, subResult.linkLoads,
-                 subResult.linkLoads.size() * 24);
+      const size_t resultBytes = subResult.linkLoads.size() * 24 + 128;
+      store_->put(record->resultKey,
+                  TrafficSubtaskResult{subResult.linkLoads, subResult.stats,
+                                       loaded, routeFiles.size()},
+                  resultBytes);
+      if (cache) cache->stored(record->resultKey, resultBytes);
       uploadSpan.finish();
       subtaskSpan.finish();
       subtaskSeconds.observe(subtaskSpan.seconds());
@@ -478,10 +595,10 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
     if (!record) continue;
     result.subtasks.push_back(SubtaskMetric{id, record->runtimeSeconds, record->attempts,
                                             record->ribFilesLoaded,
-                                            record->ribFilesTotal});
+                                            record->ribFilesTotal, record->fromCache});
   }
   mergeSpan.finish();
-  result.storeBytesRead = store_.bytesRead() - storeReadsBefore;
+  result.storeBytesRead = store_->bytesRead() - storeReadsBefore;
   taskSpan.finish();
   result.elapsedSeconds = taskSpan.seconds();
   tel.log().info("traffic.task.done",

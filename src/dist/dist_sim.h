@@ -23,6 +23,7 @@
 
 #include "dist/message_queue.h"
 #include "dist/object_store.h"
+#include "dist/subtask_cache.h"
 #include "dist/subtask_db.h"
 #include "net/flow.h"
 #include "net/route.h"
@@ -55,6 +56,18 @@ struct DistSimOptions {
   // and store gauges, retry counters. Null falls back to Telemetry::global()
   // (the benches' --trace-out hook), then to the disabled sink.
   obs::Telemetry* telemetry = nullptr;
+  // External object store shared across runs (the incremental engine's
+  // persistent store). Null = the simulator owns a private store, as before.
+  ObjectStore* store = nullptr;
+  // Content-addressed result cache (src/incr). Null = every subtask runs.
+  // Bypassed (with `noteBypass`) when provenance recording is active: cached
+  // subtasks cannot replay their decision events.
+  SubtaskResultCache* cache = nullptr;
+  // Namespace for this run's transient blobs (subtask inputs, provenance
+  // logs, uncached results) inside a shared store, e.g. "run7/"; the engine
+  // erases the prefix after the run. Cached result blobs are stored under
+  // their content keys, outside the prefix.
+  std::string keyPrefix;
 };
 
 struct SubtaskMetric {
@@ -63,6 +76,7 @@ struct SubtaskMetric {
   int attempts = 1;
   size_t ribFilesLoaded = 0;
   size_t ribFilesTotal = 0;
+  bool fromCache = false;  // Served from the result cache, never queued.
 };
 
 struct DistRouteResult {
@@ -74,6 +88,9 @@ struct DistRouteResult {
   double mergeSeconds = 0;  // Master: merging results + re-selection + index.
   size_t retries = 0;
   bool succeeded = true;
+  // Subtask ids that exhausted maxAttempts (paired with succeeded=false).
+  std::vector<std::string> failedSubtasks;
+  size_t cacheHits = 0;  // Subtasks served from the result cache.
 };
 
 struct DistTrafficResult {
@@ -85,6 +102,9 @@ struct DistTrafficResult {
   size_t retries = 0;
   bool succeeded = true;
   size_t storeBytesRead = 0;  // Object-store traffic (dependency-pruning win).
+  // Subtask ids that exhausted maxAttempts (paired with succeeded=false).
+  std::vector<std::string> failedSubtasks;
+  size_t cacheHits = 0;  // Subtasks served from the result cache.
 };
 
 // Runs one simulation task (route, then optionally traffic) on an in-process
@@ -102,7 +122,7 @@ class DistributedSimulator {
   DistTrafficResult runTrafficSimulation(std::span<const Flow> flows);
 
   const SubtaskDb& db() const { return db_; }
-  const ObjectStore& store() const { return store_; }
+  const ObjectStore& store() const { return *store_; }
   // The telemetry sink this run reports into (never null; possibly the
   // process-wide disabled instance).
   obs::Telemetry& telemetry() const { return *telemetry_; }
@@ -111,7 +131,8 @@ class DistributedSimulator {
   const NetworkModel& model_;
   DistSimOptions options_;
   obs::Telemetry* telemetry_;  // Resolved: options -> global -> disabled.
-  ObjectStore store_;
+  ObjectStore ownStore_;       // Used when options.store is null.
+  ObjectStore* store_;         // Resolved: options -> ownStore_.
   SubtaskDb db_;
   std::vector<std::string> routeResultKeys_;  // Ordered; last is local-routes.
 };

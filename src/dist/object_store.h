@@ -77,14 +77,48 @@ class ObjectStore {
     std::lock_guard lock(mutex_);
     return objects_.contains(key);
   }
-  void erase(const std::string& key) {
+  // Removes one blob; returns whether it existed. Live-byte accounting is
+  // decremented so residency round-trips to zero after deleting everything.
+  bool erase(const std::string& key) {
     std::lock_guard lock(mutex_);
     const auto it = objects_.find(key);
-    if (it == objects_.end()) return;
+    if (it == objects_.end()) return false;
     liveBytes_ -= it->second->bytes;
     objects_.erase(it);
     if (blobCountGauge_) blobCountGauge_->add(-1);
     if (liveBytesGauge_) liveBytesGauge_->set(static_cast<int64_t>(liveBytes_));
+    return true;
+  }
+
+  // Removes every blob whose key starts with `prefix` (the incremental
+  // engine's per-run transient namespace); returns how many were erased.
+  size_t erasePrefix(const std::string& prefix) {
+    std::lock_guard lock(mutex_);
+    size_t erased = 0;
+    for (auto it = objects_.begin(); it != objects_.end();) {
+      if (it->first.rfind(prefix, 0) == 0) {
+        liveBytes_ -= it->second->bytes;
+        it = objects_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    if (erased) {
+      if (blobCountGauge_) blobCountGauge_->set(static_cast<int64_t>(objects_.size()));
+      if (liveBytesGauge_) liveBytesGauge_->set(static_cast<int64_t>(liveBytes_));
+    }
+    return erased;
+  }
+
+  // Drops every blob. Cumulative read/write counters are preserved;
+  // residency returns to zero.
+  void clear() {
+    std::lock_guard lock(mutex_);
+    objects_.clear();
+    liveBytes_ = 0;
+    if (blobCountGauge_) blobCountGauge_->set(0);
+    if (liveBytesGauge_) liveBytesGauge_->set(0);
   }
 
   size_t bytesWritten() const {

@@ -1,0 +1,61 @@
+// The result-cache seam of the distributed simulator.
+//
+// `DistributedSimulator` consults an optional `SubtaskResultCache` at split
+// time: the cache maps each subtask's inputs to a content-addressed result
+// key; when the keyed result is already resident in the (shared, cross-run)
+// ObjectStore, the subtask is marked succeeded without being queued and the
+// master merges the stored blob — a cache read, not simulation work. The
+// implementation lives in src/incr (`incr::SubtaskCache`); dist only defines
+// the seam so the layering stays dist ← incr ← core.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "net/flow.h"
+#include "net/ip.h"
+#include "net/route.h"
+#include "sim/traffic_sim.h"
+
+namespace hoyan {
+
+// The cached payload of one traffic subtask (the store blob under its
+// content key). Route subtasks store their `NetworkRibs` under the content
+// key and their `RouteSimStats` under `<key>#stats`.
+struct TrafficSubtaskResult {
+  LinkLoadMap linkLoads;
+  TrafficSimStats stats;
+  size_t ribFilesLoaded = 0;
+  size_t ribFilesTotal = 0;
+};
+
+class SubtaskResultCache {
+ public:
+  virtual ~SubtaskResultCache() = default;
+
+  // Content-addressed result key for a route subtask over `chunk` with the
+  // recorded §3.2 coverage range.
+  virtual std::string routeResultKey(std::span<const InputRoute> chunk,
+                                     const std::optional<IpRange>& coverage) = 0;
+  // Key for the dedicated local-routes subtask.
+  virtual std::string localRoutesResultKey() = 0;
+  // Key for a traffic subtask over `chunk` that would load exactly the route
+  // result files named by `ribKeys` (content keys, in snapshot order) — route
+  // dirtiness composes into traffic keys through them.
+  virtual std::string trafficResultKey(std::span<const Flow> chunk,
+                                       std::span<const std::string> ribKeys) = 0;
+
+  // True when `key`'s result blob is resident (counted as a hit; a false
+  // return counts as a miss).
+  virtual bool lookup(const std::string& key) = 0;
+  // Tells the cache a worker stored `bytes` under `key` this run (for LRU
+  // byte accounting). Called from worker threads; must be thread-safe.
+  virtual void stored(const std::string& key, size_t bytes) = 0;
+  // The run skipped the cache entirely (e.g. provenance recording is active,
+  // which cached subtasks cannot replay).
+  virtual void noteBypass() = 0;
+};
+
+}  // namespace hoyan

@@ -38,6 +38,9 @@ struct SubtaskRecord {
   std::optional<IpRange> coverage;
   size_t ribFilesLoaded = 0;  // For traffic subtasks (Fig. 5(d)).
   size_t ribFilesTotal = 0;
+  // Result served from the incremental engine's content-addressed cache
+  // (never queued to a worker; attempts stays 0).
+  bool fromCache = false;
 };
 
 class SubtaskDb {

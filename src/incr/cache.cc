@@ -1,0 +1,137 @@
+#include "incr/cache.h"
+
+#include <iterator>
+
+#include "incr/fingerprint.h"
+
+namespace hoyan::incr {
+namespace {
+
+// Domain-separation tags so a route key can never collide with a traffic key
+// built from coincidentally equal fingerprints.
+constexpr uint64_t kTagRoute = 'R';
+constexpr uint64_t kTagLocal = 'L';
+constexpr uint64_t kTagTraffic = 'T';
+
+}  // namespace
+
+SubtaskCache::SubtaskCache(ObjectStore* store, size_t budgetBytes,
+                           obs::Telemetry* telemetry)
+    : store_(store),
+      budgetBytes_(budgetBytes),
+      hits_(obs::Telemetry::orDisabled(telemetry).metrics().counter("incr.cache.hits")),
+      misses_(
+          obs::Telemetry::orDisabled(telemetry).metrics().counter("incr.cache.misses")),
+      evictions_(obs::Telemetry::orDisabled(telemetry).metrics().counter(
+          "incr.cache.evictions")),
+      bypasses_(obs::Telemetry::orDisabled(telemetry).metrics().counter(
+          "incr.cache.bypasses")),
+      entriesGauge_(
+          obs::Telemetry::orDisabled(telemetry).metrics().gauge("incr.cache.entries")),
+      bytesGauge_(
+          obs::Telemetry::orDisabled(telemetry).metrics().gauge("incr.cache.bytes")) {}
+
+void SubtaskCache::beginRun(const CacheFingerprints& fingerprints,
+                            const ChangeImpact& impact) {
+  std::lock_guard lock(mutex_);
+  fingerprints_ = fingerprints;
+  impact_ = impact;
+}
+
+std::string SubtaskCache::routeResultKey(std::span<const InputRoute> chunk,
+                                         const std::optional<IpRange>& coverage) {
+  uint64_t modelFp;
+  uint64_t optionsFp;
+  {
+    std::lock_guard lock(mutex_);
+    // A provably clean subtask keys on the base model: the updated model
+    // yields byte-identical results for it, so the base run's entry hits.
+    modelFp = impact_.clean(coverage) ? fingerprints_.baseModel
+                                      : fingerprints_.currentModel;
+    optionsFp = fingerprints_.routeOptions;
+  }
+  Fnv1a h;
+  h.mix(kTagRoute).mix(modelFp).mix(optionsFp);
+  h.mix(fingerprintInputRouteChunk(chunk));
+  return "cas/r/" + fingerprintHex(h.digest());
+}
+
+std::string SubtaskCache::localRoutesResultKey() {
+  std::lock_guard lock(mutex_);
+  Fnv1a h;
+  h.mix(kTagLocal).mix(fingerprints_.localRouteState);
+  return "cas/l/" + fingerprintHex(h.digest());
+}
+
+std::string SubtaskCache::trafficResultKey(std::span<const Flow> chunk,
+                                           std::span<const std::string> ribKeys) {
+  Fnv1a h;
+  {
+    std::lock_guard lock(mutex_);
+    h.mix(kTagTraffic).mix(fingerprints_.forwardingState)
+        .mix(fingerprints_.trafficOptions);
+  }
+  h.mix(fingerprintFlowChunk(chunk));
+  // Route dirtiness composes in transitively: a dirty route subtask has a new
+  // content key, which changes every traffic key that loads its file.
+  h.mix(static_cast<uint64_t>(ribKeys.size()));
+  for (const std::string& key : ribKeys) h.mix(std::string_view(key));
+  return "cas/t/" + fingerprintHex(h.digest());
+}
+
+bool SubtaskCache::lookup(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  if (store_->contains(key)) {
+    auto& entry = entries_[key];
+    entry.lastUsed = ++clock_;
+    hits_.add(1);
+    return true;
+  }
+  misses_.add(1);
+  return false;
+}
+
+void SubtaskCache::stored(const std::string& key, size_t bytes) {
+  std::lock_guard lock(mutex_);
+  auto& entry = entries_[key];
+  totalBytes_ += bytes;
+  totalBytes_ -= entry.bytes;  // Re-store of the same key replaces its bytes.
+  entry.bytes = bytes;
+  entry.lastUsed = ++clock_;
+  publishGaugesLocked();
+}
+
+void SubtaskCache::noteBypass() { bypasses_.add(1); }
+
+void SubtaskCache::evictToBudget() {
+  std::lock_guard lock(mutex_);
+  if (budgetBytes_ == 0) return;
+  while (totalBytes_ > budgetBytes_ && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it)
+      if (it->second.lastUsed < victim->second.lastUsed) victim = it;
+    store_->erase(victim->first);
+    store_->erase(victim->first + "#stats");  // Route results ride with stats.
+    totalBytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    evictions_.add(1);
+  }
+  publishGaugesLocked();
+}
+
+size_t SubtaskCache::entryCount() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+size_t SubtaskCache::totalBytes() const {
+  std::lock_guard lock(mutex_);
+  return totalBytes_;
+}
+
+void SubtaskCache::publishGaugesLocked() {
+  entriesGauge_.set(static_cast<int64_t>(entries_.size()));
+  bytesGauge_.set(static_cast<int64_t>(totalBytes_));
+}
+
+}  // namespace hoyan::incr

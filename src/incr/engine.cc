@@ -1,0 +1,50 @@
+#include "incr/engine.h"
+
+#include <stdexcept>
+
+#include "incr/fingerprint.h"
+
+namespace hoyan::incr {
+
+IncrementalEngine::IncrementalEngine(IncrementalOptions options)
+    : options_(options),
+      cache_(std::make_unique<SubtaskCache>(&store_, options_.cacheBudgetBytes,
+                                            options_.telemetry)) {}
+
+void IncrementalEngine::setBaseModel(const NetworkModel& model) {
+  base_ = &model;
+  baseModelFp_ = fingerprintModel(model);
+  lastImpact_ = ChangeImpact{};
+}
+
+const ChangeImpact& IncrementalEngine::beginRun(const NetworkModel& model,
+                                                DistSimOptions& options) {
+  if (!base_)
+    throw std::logic_error("IncrementalEngine: beginRun before setBaseModel");
+  const bool isBase = &model == base_;
+  lastImpact_ = isBase ? ChangeImpact{} : analyzeChangeImpact(*base_, model);
+
+  CacheFingerprints fps;
+  fps.baseModel = baseModelFp_;
+  fps.currentModel = isBase ? baseModelFp_ : fingerprintModel(model);
+  fps.forwardingState = fingerprintForwardingState(model);
+  fps.localRouteState = fingerprintLocalRouteState(model);
+  fps.routeOptions = fingerprintRouteOptions(options.routeOptions);
+  fps.trafficOptions = fingerprintTrafficOptions(options.trafficOptions);
+  cache_->beginRun(fps, lastImpact_);
+
+  runPrefix_ = "run" + std::to_string(++runCounter_) + "/";
+  options.store = &store_;
+  options.cache = cache_.get();
+  options.keyPrefix = runPrefix_;
+  return lastImpact_;
+}
+
+void IncrementalEngine::endRun() {
+  if (runPrefix_.empty()) return;
+  store_.erasePrefix(runPrefix_);
+  runPrefix_.clear();
+  cache_->evictToBudget();
+}
+
+}  // namespace hoyan::incr

@@ -1,0 +1,74 @@
+// The incremental verification engine: owns the persistent object store and
+// the content-addressed result cache, and wires both into each simulation
+// run.
+//
+// Lifecycle (driven by core/Hoyan):
+//
+//   engine.setBaseModel(base);          // after preprocess builds the model
+//   auto& impact = engine.beginRun(model, options);  // per verification run
+//   DistributedSimulator sim(model, options);        // cache-aware run
+//   ...
+//   engine.endRun();                    // drop transients, evict to budget
+//
+// `beginRun` diffs the run's model against the base (impact.h), computes the
+// run's fingerprints, and points the DistSimOptions at the shared store and
+// cache with a fresh per-run key prefix ("run<N>/") for transient blobs —
+// subtask inputs, provenance logs, uncached results. `endRun` erases that
+// prefix (cached results live under content keys outside it) and LRU-evicts
+// the cache down to its byte budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dist/dist_sim.h"
+#include "dist/object_store.h"
+#include "incr/cache.h"
+#include "incr/impact.h"
+#include "obs/telemetry.h"
+#include "proto/network_model.h"
+
+namespace hoyan::incr {
+
+struct IncrementalOptions {
+  // Residency bound for cached subtask results; 0 = unbounded.
+  size_t cacheBudgetBytes = 512ull << 20;
+  obs::Telemetry* telemetry = nullptr;
+};
+
+class IncrementalEngine {
+ public:
+  explicit IncrementalEngine(IncrementalOptions options = {});
+
+  // The pre-change model every change plan diffs against. Must outlive the
+  // engine (core keeps it alive). Resets the impact state; cached results
+  // keyed on an older base survive only until evicted.
+  void setBaseModel(const NetworkModel& model);
+  bool hasBaseModel() const { return base_ != nullptr; }
+
+  // Prepares `options` for a cache-aware run over `model`: installs the
+  // shared store, the cache, and a fresh transient key prefix. Returns the
+  // change impact vs the base model (empty when `model` *is* the base).
+  // Throws std::logic_error if no base model is set.
+  const ChangeImpact& beginRun(const NetworkModel& model, DistSimOptions& options);
+
+  // Erases the run's transient blobs and evicts the cache to budget.
+  void endRun();
+
+  ObjectStore& store() { return store_; }
+  SubtaskCache& cache() { return *cache_; }
+  const ChangeImpact& lastImpact() const { return lastImpact_; }
+
+ private:
+  IncrementalOptions options_;
+  ObjectStore store_;
+  std::unique_ptr<SubtaskCache> cache_;
+  const NetworkModel* base_ = nullptr;
+  uint64_t baseModelFp_ = 0;
+  ChangeImpact lastImpact_;
+  uint64_t runCounter_ = 0;
+  std::string runPrefix_;
+};
+
+}  // namespace hoyan::incr

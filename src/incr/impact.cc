@@ -1,0 +1,322 @@
+#include "incr/impact.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "config/vendor.h"
+#include "incr/fingerprint.h"
+
+namespace hoyan::incr {
+namespace {
+
+IpRange spanOf(const Prefix& prefix) {
+  return IpRange{prefix.firstAddress(), prefix.lastAddress()};
+}
+
+IpRange fullV6Range() {
+  return IpRange{IpAddress::v6(0, 0), IpAddress::v6(~0ull, ~0ull)};
+}
+
+// Accumulates dirty state while walking the diff; aborts to allDirty on the
+// first delta that has no sound range bound.
+struct ImpactBuilder {
+  ChangeImpact impact;
+  std::set<NameId> dirty;
+
+  void markAllDirty(std::string reason) {
+    if (impact.allDirty) return;
+    impact.allDirty = true;
+    impact.reason = std::move(reason);
+  }
+
+  void addRange(const IpRange& range) {
+    if (!impact.allDirty) impact.dirtyRanges.push_back(range);
+  }
+
+  // The spans of every entry of a prefix list, plus the whole v6 space when
+  // the §6.1(b) VSB makes an IPv4 list match all IPv6 routes (so creating,
+  // deleting, or re-scoping the list can flip every v6 route's fate).
+  void addListSpans(const PrefixList& list, bool v4ListPermitsAllV6) {
+    for (const PrefixListEntry& entry : list.entries) addRange(spanOf(entry.prefix));
+    if (v4ListPermitsAllV6 && list.family == IpFamily::kV4) addRange(fullV6Range());
+  }
+};
+
+// Per-sequence diff of one route policy; returns the nodes present in
+// exactly one version or differing between the two.
+std::vector<const PolicyNode*> changedNodes(const RoutePolicy* before,
+                                            const RoutePolicy* after) {
+  std::map<uint32_t, const PolicyNode*> beforeNodes, afterNodes;
+  if (before)
+    for (const PolicyNode& node : before->nodes) beforeNodes[node.sequence] = &node;
+  if (after)
+    for (const PolicyNode& node : after->nodes) afterNodes[node.sequence] = &node;
+  std::vector<const PolicyNode*> out;
+  for (const auto& [sequence, node] : beforeNodes) {
+    const auto it = afterNodes.find(sequence);
+    if (it == afterNodes.end())
+      out.push_back(node);
+    else if (fingerprintPolicyNode(*node) != fingerprintPolicyNode(*it->second)) {
+      out.push_back(node);
+      out.push_back(it->second);
+    }
+  }
+  for (const auto& [sequence, node] : afterNodes)
+    if (!beforeNodes.contains(sequence)) out.push_back(node);
+  return out;
+}
+
+void diffRoutePolicies(ImpactBuilder& builder, NameId device,
+                       const DeviceConfig& before, const DeviceConfig& after,
+                       bool v4ListPermitsAllV6) {
+  std::set<NameId> names;
+  for (const auto& [name, policy] : before.routePolicies) names.insert(name);
+  for (const auto& [name, policy] : after.routePolicies) names.insert(name);
+  for (const NameId name : names) {
+    const RoutePolicy* beforePolicy = before.findRoutePolicy(name);
+    const RoutePolicy* afterPolicy = after.findRoutePolicy(name);
+    if (beforePolicy && afterPolicy &&
+        fingerprintRoutePolicy(*beforePolicy) == fingerprintRoutePolicy(*afterPolicy))
+      continue;
+    for (const PolicyNode* node : changedNodes(beforePolicy, afterPolicy)) {
+      if (builder.impact.allDirty) return;
+      if (!node->match.prefixList) {
+        // The node can match any route (community/as-path/protocol clauses
+        // only narrow by non-prefix dimensions) — no range bound.
+        builder.markAllDirty("route-policy node without prefix-list match on " +
+                             Names::str(device));
+        return;
+      }
+      const PrefixList* beforeList = before.findPrefixList(*node->match.prefixList);
+      const PrefixList* afterList = after.findPrefixList(*node->match.prefixList);
+      if (!beforeList && !afterList) {
+        // Undefined-filter semantics are vendor-specific (may match all).
+        builder.markAllDirty("route-policy node references undefined prefix list on " +
+                             Names::str(device));
+        return;
+      }
+      if (beforeList) builder.addListSpans(*beforeList, v4ListPermitsAllV6);
+      if (afterList) builder.addListSpans(*afterList, v4ListPermitsAllV6);
+    }
+  }
+}
+
+void diffPrefixLists(ImpactBuilder& builder, const DeviceConfig& before,
+                     const DeviceConfig& after, bool v4ListPermitsAllV6) {
+  std::set<NameId> names;
+  for (const auto& [name, list] : before.prefixLists) names.insert(name);
+  for (const auto& [name, list] : after.prefixLists) names.insert(name);
+  for (const NameId name : names) {
+    const PrefixList* beforeList = before.findPrefixList(name);
+    const PrefixList* afterList = after.findPrefixList(name);
+    if (beforeList && afterList &&
+        fingerprintPrefixList(*beforeList) == fingerprintPrefixList(*afterList))
+      continue;
+    // A route's fate can change only if a present-or-former entry matches it.
+    if (beforeList) builder.addListSpans(*beforeList, v4ListPermitsAllV6);
+    if (afterList) builder.addListSpans(*afterList, v4ListPermitsAllV6);
+  }
+}
+
+void diffAggregates(ImpactBuilder& builder, const BgpConfig& before,
+                    const BgpConfig& after) {
+  // Multiset diff by aggregate content; a changed aggregate affects only
+  // routes within its prefix (contributors are covered by it, and the
+  // originated route carries the aggregate prefix itself).
+  const auto fingerprintAggregate = [](const AggregateConfig& aggregate) {
+    Fnv1a h;
+    h.mix(aggregate.prefix);
+    h.mix(static_cast<uint64_t>(aggregate.vrf));
+    h.mix(static_cast<uint64_t>(aggregate.asSet));
+    h.mix(static_cast<uint64_t>(aggregate.summaryOnly));
+    return h.digest();
+  };
+  std::unordered_map<uint64_t, int> counts;
+  for (const AggregateConfig& aggregate : before.aggregates)
+    ++counts[fingerprintAggregate(aggregate)];
+  for (const AggregateConfig& aggregate : after.aggregates)
+    --counts[fingerprintAggregate(aggregate)];
+  for (const AggregateConfig& aggregate : before.aggregates)
+    if (counts[fingerprintAggregate(aggregate)] != 0)
+      builder.addRange(spanOf(aggregate.prefix));
+  for (const AggregateConfig& aggregate : after.aggregates)
+    if (counts[fingerprintAggregate(aggregate)] != 0)
+      builder.addRange(spanOf(aggregate.prefix));
+}
+
+void coalesceRanges(std::vector<IpRange>& ranges) {
+  if (ranges.size() < 2) return;
+  std::sort(ranges.begin(), ranges.end(), [](const IpRange& a, const IpRange& b) {
+    if (!(a.first == b.first)) return a.first < b.first;
+    return a.last < b.last;
+  });
+  std::vector<IpRange> merged;
+  for (const IpRange& range : ranges) {
+    if (!merged.empty() && merged.back().overlaps(range)) {
+      if (merged.back().last < range.last) merged.back().last = range.last;
+    } else {
+      merged.push_back(range);
+    }
+  }
+  ranges = std::move(merged);
+}
+
+// BFS closure over BGP sessions and shared IS-IS domains, from both models
+// (removed devices still influence their former neighbours' RIBs).
+std::vector<NameId> closeOverAdjacency(const std::set<NameId>& seeds,
+                                       const NetworkModel& base,
+                                       const NetworkModel& updated) {
+  std::unordered_map<NameId, std::vector<NameId>> edges;
+  std::unordered_map<NameId, std::vector<NameId>> domains;
+  for (const NetworkModel* model : {&base, &updated}) {
+    for (const BgpSession& session : model->sessions) {
+      edges[session.local].push_back(session.peer);
+      edges[session.peer].push_back(session.local);
+    }
+    for (const auto& [name, device] : model->topology.devices())
+      if (device.igpDomain != kInvalidName) domains[device.igpDomain].push_back(name);
+  }
+  std::unordered_map<NameId, std::vector<NameId>> domainOf;
+  for (const NetworkModel* model : {&base, &updated})
+    for (const auto& [name, device] : model->topology.devices())
+      if (device.igpDomain != kInvalidName)
+        domainOf[name].push_back(device.igpDomain);
+
+  std::set<NameId> visited(seeds.begin(), seeds.end());
+  std::vector<NameId> frontier(seeds.begin(), seeds.end());
+  while (!frontier.empty()) {
+    const NameId device = frontier.back();
+    frontier.pop_back();
+    const auto visit = [&](NameId next) {
+      if (visited.insert(next).second) frontier.push_back(next);
+    };
+    const auto edgeIt = edges.find(device);
+    if (edgeIt != edges.end())
+      for (const NameId peer : edgeIt->second) visit(peer);
+    const auto domainIt = domainOf.find(device);
+    if (domainIt != domainOf.end())
+      for (const NameId domain : domainIt->second)
+        for (const NameId member : domains[domain]) visit(member);
+  }
+  return {visited.begin(), visited.end()};
+}
+
+}  // namespace
+
+ChangeImpact analyzeChangeImpact(const NetworkModel& base, const NetworkModel& updated) {
+  ImpactBuilder builder;
+
+  // --- topology --------------------------------------------------------------
+  if (fingerprintTopology(base.topology) != fingerprintTopology(updated.topology)) {
+    // Topology deltas shift IGP paths and nexthop resolution network-wide.
+    std::set<NameId> names;
+    for (const auto& [name, device] : base.topology.devices()) names.insert(name);
+    for (const auto& [name, device] : updated.topology.devices()) names.insert(name);
+    for (const NameId name : names) {
+      const Device* before = base.topology.findDevice(name);
+      const Device* after = updated.topology.findDevice(name);
+      const auto deviceFingerprint = [](const Topology& topology, const Device& device) {
+        Fnv1a h;
+        h.mix(static_cast<uint64_t>(device.role));
+        h.mix(device.loopback);
+        h.mix(static_cast<uint64_t>(device.igpDomain));
+        h.mix(static_cast<uint64_t>(topology.deviceActive(device.name)));
+        for (const Interface& itf : device.interfaces) {
+          h.mix(static_cast<uint64_t>(itf.name));
+          h.mix(itf.address);
+          h.mix(static_cast<uint64_t>(itf.prefixLength));
+          h.mix(static_cast<uint64_t>(itf.vrf));
+          h.mix(static_cast<uint64_t>(itf.isisEnabled));
+          h.mix(static_cast<uint64_t>(itf.isisCost));
+          h.mix(static_cast<uint64_t>(itf.shutdown));
+        }
+        return h.digest();
+      };
+      if (!before || !after ||
+          deviceFingerprint(base.topology, *before) !=
+              deviceFingerprint(updated.topology, *after))
+        builder.dirty.insert(name);
+    }
+    builder.markAllDirty("topology changed");
+  }
+
+  // --- device configurations -------------------------------------------------
+  std::set<NameId> configNames;
+  for (const auto& [name, config] : base.configs.devices) configNames.insert(name);
+  for (const auto& [name, config] : updated.configs.devices) configNames.insert(name);
+  for (const NameId name : configNames) {
+    const DeviceConfig* before = base.configs.findDevice(name);
+    const DeviceConfig* after = updated.configs.findDevice(name);
+    if (!before || !after) {
+      builder.dirty.insert(name);
+      builder.markAllDirty("device config " + std::string(after ? "added" : "removed") +
+                           ": " + Names::str(name));
+      continue;
+    }
+    const ConfigSectionFingerprints beforeSections = fingerprintConfigSections(*before);
+    const ConfigSectionFingerprints afterSections = fingerprintConfigSections(*after);
+    if (beforeSections == afterSections) continue;
+    builder.dirty.insert(name);
+    const auto requireEqual = [&](uint64_t a, uint64_t b, const char* section) {
+      if (a != b)
+        builder.markAllDirty(std::string(section) + " changed on " + Names::str(name));
+    };
+    requireEqual(beforeSections.identity, afterSections.identity, "identity/isolation");
+    requireEqual(beforeSections.bgpCore, afterSections.bgpCore, "bgp sessions");
+    requireEqual(beforeSections.staticRoutes, afterSections.staticRoutes,
+                 "static routes");
+    requireEqual(beforeSections.srPolicies, afterSections.srPolicies, "sr policies");
+    requireEqual(beforeSections.communityLists, afterSections.communityLists,
+                 "community lists");
+    requireEqual(beforeSections.asPathLists, afterSections.asPathLists,
+                 "as-path lists");
+    requireEqual(beforeSections.pbrPolicies, afterSections.pbrPolicies, "pbr policies");
+    requireEqual(beforeSections.acls, afterSections.acls, "acls");
+    requireEqual(beforeSections.vrfs, afterSections.vrfs, "vrfs");
+    if (builder.impact.allDirty) continue;
+
+    // Prefix-scoped sections: bound the delta by address spans.
+    const bool v4ListPermitsAllV6 =
+        updated.vendorOf(name).ipv4PrefixListPermitsAllV6 ||
+        base.vendorOf(name).ipv4PrefixListPermitsAllV6;
+    if (beforeSections.routePolicies != afterSections.routePolicies)
+      diffRoutePolicies(builder, name, *before, *after, v4ListPermitsAllV6);
+    if (beforeSections.prefixLists != afterSections.prefixLists)
+      diffPrefixLists(builder, *before, *after, v4ListPermitsAllV6);
+    if (beforeSections.aggregates != afterSections.aggregates)
+      diffAggregates(builder, before->bgp, after->bgp);
+  }
+
+  ChangeImpact impact = std::move(builder.impact);
+  impact.dirtyDevices.assign(builder.dirty.begin(), builder.dirty.end());
+  if (impact.allDirty)
+    impact.dirtyRanges.clear();
+  else
+    coalesceRanges(impact.dirtyRanges);
+  impact.affectedDevices =
+      builder.dirty.empty() ? std::vector<NameId>{}
+                            : closeOverAdjacency(builder.dirty, base, updated);
+  if (!impact.allDirty && impact.reason.empty()) {
+    impact.reason = impact.dirtyDevices.empty()
+                        ? "no model delta"
+                        : "prefix-scoped delta on " +
+                              std::to_string(impact.dirtyDevices.size()) + " device(s)";
+  }
+  return impact;
+}
+
+std::string ChangeImpact::str() const {
+  std::string out = allDirty ? "all-dirty" : "scoped";
+  out += " (" + reason + "): " + std::to_string(dirtyDevices.size()) + " dirty, " +
+         std::to_string(affectedDevices.size()) + " affected device(s)";
+  if (!allDirty) {
+    out += ", " + std::to_string(dirtyRanges.size()) + " dirty range(s)";
+    for (const IpRange& range : dirtyRanges) out += " " + range.str();
+  }
+  return out;
+}
+
+}  // namespace hoyan::incr

@@ -1,0 +1,75 @@
+// Change-impact analysis: which subtask results can a change plan reach?
+//
+// A route subtask simulates its input-route chunk against the whole model in
+// isolation, so its result is a pure function of (model, chunk). The
+// analyzer diffs the base and updated models section by section:
+//
+//  - If every config delta is confined to *prefix-scoped* sections — route
+//    policies whose changed nodes match a prefix list, the prefix lists
+//    themselves, and BGP aggregates — the set of routes whose treatment can
+//    change is bounded by the address spans of the changed entries. A route
+//    matched by a changed prefix-list entry has its prefix covered by the
+//    entry's prefix, so its span lies inside the entry's span; an aggregate
+//    only appears in a subtask whose chunk contains a contributor, and
+//    contributors are covered by the aggregate prefix. Route subtasks whose
+//    §3.2 coverage range does not overlap any dirty span therefore produce
+//    byte-identical results on the updated model and can be served from the
+//    cache under the *base* model's fingerprint.
+//
+//  - Any other delta (topology, interfaces, BGP sessions, statics, ACL/PBR/
+//    SR, VRFs, vendor, isolation, community/as-path lists, device add or
+//    remove) marks the whole run dirty: those sections influence
+//    propagation itself, not just which prefixes match, so no range bound
+//    is sound.
+//
+// Traffic subtasks need no explicit closure here: their cache keys include
+// the content keys of the route result files they load (src/incr/cache.h),
+// so route-level dirtiness invalidates them transitively.
+//
+// The analyzer also closes the dirty device set over BGP sessions and IS-IS
+// domain co-membership into `affectedDevices` — the devices whose RIBs the
+// change can reach — for reporting and diagnosis (the control-plane analogue
+// of diag/prop_graph's provenance walk).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/names.h"
+#include "proto/network_model.h"
+
+namespace hoyan::incr {
+
+struct ChangeImpact {
+  // No range bound is sound; every subtask must re-run.
+  bool allDirty = false;
+  std::string reason;  // Why allDirty, or a one-line summary.
+
+  // Devices whose configuration or topology entry changed.
+  std::vector<NameId> dirtyDevices;
+  // Closure of dirtyDevices over BGP sessions + shared IS-IS domains: every
+  // device whose RIBs the change can reach.
+  std::vector<NameId> affectedDevices;
+  // Coalesced address spans whose routes the change can affect (empty with
+  // allDirty=false means the change cannot affect any route subtask).
+  std::vector<IpRange> dirtyRanges;
+
+  // True when a route subtask covering `coverage` is provably unaffected.
+  bool clean(const std::optional<IpRange>& coverage) const {
+    if (allDirty) return false;
+    if (dirtyRanges.empty()) return true;
+    if (!coverage) return false;
+    for (const IpRange& range : dirtyRanges)
+      if (coverage->overlaps(range)) return false;
+    return true;
+  }
+
+  std::string str() const;
+};
+
+// Diffs `base` against `updated` (both with derived state built).
+ChangeImpact analyzeChangeImpact(const NetworkModel& base, const NetworkModel& updated);
+
+}  // namespace hoyan::incr

@@ -5,6 +5,7 @@
 // as ground truth; nondeterminism would poison it.)
 #include <gtest/gtest.h>
 
+#include "core/hoyan.h"
 #include "dist/dist_sim.h"
 #include "gen/wan_gen.h"
 #include "gen/workload_gen.h"
@@ -96,6 +97,69 @@ TEST_F(DeterminismTest, ProvenanceLogIsIdenticalAcrossWorkerCounts) {
   const std::string eight = rendered(8);
   EXPECT_GT(two.size(), 0u);
   EXPECT_EQ(two, eight);
+}
+
+TEST_F(DeterminismTest, IncrementalWarmRunsAreByteIdenticalToColdRuns) {
+  // The incremental engine's cache must be invisible in the results: for a
+  // corpus with both a prefix-scoped change (partial cache reuse) and an
+  // all-dirty change (full re-run), a cache-enabled Hoyan must produce
+  // byte-identical RIB rows, matching link loads, and identical RCL verdicts
+  // to a cache-less one, at more than one worker count.
+  ChangePlan scoped;
+  scoped.name = "scoped";
+  scoped.commands =
+      "device BR-0-0\n"
+      "ip-prefix LP-DET index 10 permit 100.0.8.0/24\n"
+      "route-policy ISP-IN-0 node 800 permit\n"
+      " match ip-prefix LP-DET\n"
+      " apply local-pref 150\n";
+  ChangePlan allDirty;
+  allDirty.name = "all-dirty";
+  allDirty.commands = "device CORE-0-0\nstatic-route 77.0.0.0/8 discard\n";
+  IntentSet intents;
+  intents.rclIntents = {"not prefix = 100.0.8.0/24 => PRE = POST"};
+  intents.maxLinkUtilization = 5.0;  // Forces the traffic phase.
+
+  for (const size_t workers : {2u, 7u}) {
+    const auto makeHoyan = [&](bool incremental) {
+      auto hoyan = std::make_unique<Hoyan>(wan_.topology, wan_.configs);
+      hoyan->setInputRoutes(inputs_);
+      hoyan->setInputFlows(flows_);
+      DistSimOptions options;
+      options.workers = workers;
+      options.routeSubtasks = 16;
+      options.trafficSubtasks = 8;
+      hoyan->setSimulationOptions(options);
+      if (incremental) hoyan->enableIncremental();
+      hoyan->preprocess();
+      return hoyan;
+    };
+    auto cold = makeHoyan(false);
+    auto warm = makeHoyan(true);
+    // Repeat the scoped plan so the warm run also exercises full-hit replay.
+    for (const ChangePlan* plan : {&scoped, &allDirty, &scoped}) {
+      const ChangeVerificationResult coldResult = cold->verifyChange(*plan, intents);
+      const ChangeVerificationResult warmResult = warm->verifyChange(*plan, intents);
+      const auto coldRows = renderedRows(coldResult.updatedRibs);
+      const auto warmRows = renderedRows(warmResult.updatedRibs);
+      ASSERT_EQ(coldRows.size(), warmRows.size()) << plan->name << " w" << workers;
+      for (size_t i = 0; i < coldRows.size(); ++i)
+        ASSERT_EQ(coldRows[i], warmRows[i]) << plan->name << " w" << workers;
+      ASSERT_EQ(coldResult.updatedLinkLoads.size(), warmResult.updatedLinkLoads.size());
+      for (const auto& entry : coldResult.updatedLinkLoads.entries())
+        EXPECT_NEAR(warmResult.updatedLinkLoads.get(entry.from, entry.to), entry.bps,
+                    1e-9)
+            << plan->name << " w" << workers;
+      ASSERT_EQ(coldResult.rclOutcomes.size(), warmResult.rclOutcomes.size());
+      for (size_t i = 0; i < coldResult.rclOutcomes.size(); ++i)
+        EXPECT_EQ(coldResult.rclOutcomes[i].result.satisfied,
+                  warmResult.rclOutcomes[i].result.satisfied)
+            << plan->name << " w" << workers;
+    }
+    // The scoped plan's final repetition must actually have reused results.
+    const ChangeVerificationResult warmAgain = warm->verifyChange(scoped, intents);
+    EXPECT_GT(warmAgain.routeSubtaskCacheHits, 0u) << "w" << workers;
+  }
 }
 
 TEST_F(DeterminismTest, TrafficLoadsAreDeterministicAcrossWorkers) {

@@ -300,5 +300,111 @@ TEST_F(DistSimTest, SubtaskRuntimesAreRecorded) {
   for (const SubtaskMetric& metric : result.subtasks) EXPECT_GE(metric.seconds, 0.0);
 }
 
+TEST(ObjectStoreTest, ByteAccountingRoundTripsToZero) {
+  ObjectStore store;
+  store.put("run1/a", std::string("aa"), 100);
+  store.put("run1/b", std::string("bb"), 200);
+  store.put("cas/r/x", std::string("xx"), 300);
+  EXPECT_EQ(store.liveBytes(), 600u);
+  EXPECT_EQ(store.blobCount(), 3u);
+  // Overwrite replaces the old blob's bytes instead of double-counting.
+  store.put("cas/r/x", std::string("yy"), 50);
+  EXPECT_EQ(store.liveBytes(), 350u);
+  EXPECT_EQ(store.blobCount(), 3u);
+
+  EXPECT_FALSE(store.erase("missing"));
+  EXPECT_TRUE(store.erase("cas/r/x"));
+  EXPECT_EQ(store.liveBytes(), 300u);
+  EXPECT_EQ(store.erasePrefix("run1/"), 2u);
+  EXPECT_EQ(store.liveBytes(), 0u);
+  EXPECT_EQ(store.blobCount(), 0u);
+
+  // Cumulative traffic counters survive deletion; clear() resets residency
+  // only.
+  const size_t written = store.bytesWritten();
+  EXPECT_GT(written, 0u);
+  store.put("again", std::string("zz"), 10);
+  store.clear();
+  EXPECT_EQ(store.liveBytes(), 0u);
+  EXPECT_EQ(store.blobCount(), 0u);
+  EXPECT_EQ(store.bytesWritten(), written + 10);
+}
+
+TEST_F(DistSimTest, ExhaustedSubtasksAreSurfacedWithCounter) {
+  obs::Telemetry telemetry{{}};
+  DistSimOptions options;
+  options.workers = 2;
+  options.routeSubtasks = 4;
+  options.workerFailureProbability = 1.0;  // Always crash.
+  options.maxAttempts = 2;
+  options.telemetry = &telemetry;
+  DistributedSimulator sim(*model_, options);
+  const DistRouteResult result = sim.runRouteSimulation(inputs_);
+  EXPECT_FALSE(result.succeeded);
+  ASSERT_FALSE(result.failedSubtasks.empty());
+  EXPECT_EQ(result.failedSubtasks.size(),
+            telemetry.metrics().counter("dist.subtask_exhausted").value());
+  // Every surfaced id names a subtask that exhausted its attempts.
+  for (const std::string& id : result.failedSubtasks) {
+    const auto record = sim.db().get(id);
+    ASSERT_TRUE(record.has_value()) << id;
+    EXPECT_EQ(record->status, SubtaskStatus::kFailed) << id;
+    EXPECT_EQ(record->attempts, options.maxAttempts) << id;
+  }
+}
+
+TEST_F(DistSimTest, ExhaustedTrafficSubtasksAreSurfaced) {
+  // Route phase runs clean into a shared store; a second simulator with
+  // certain crashes then runs only the traffic phase against it.
+  ObjectStore shared;
+  DistSimOptions clean;
+  clean.workers = 2;
+  clean.routeSubtasks = 8;
+  clean.store = &shared;
+  DistributedSimulator routeSim(*model_, clean);
+  ASSERT_TRUE(routeSim.runRouteSimulation(inputs_).succeeded);
+
+  DistSimOptions crashing = clean;
+  crashing.trafficSubtasks = 4;
+  crashing.workerFailureProbability = 1.0;
+  crashing.maxAttempts = 2;
+  DistributedSimulator trafficSim(*model_, crashing);
+  const DistTrafficResult result = trafficSim.runTrafficSimulation(flows_);
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_FALSE(result.failedSubtasks.empty());
+}
+
+TEST_F(DistSimTest, RetriesEqualExtraAttemptsAtEveryWorkerCount) {
+  // Invariant linking the result-level retry count to per-subtask attempts:
+  // every retry re-queued exactly one subtask, so
+  //   retries == sum over ran subtasks of (attempts - 1),
+  // with exhausted subtasks contributing maxAttempts - 1.
+  for (const size_t workers : {1u, 3u, 6u}) {
+    DistSimOptions options;
+    options.workers = workers;
+    options.routeSubtasks = 10;
+    options.trafficSubtasks = 6;
+    options.workerFailureProbability = 0.35;
+    options.failureSeed = 11;
+    options.maxAttempts = 8;
+    DistributedSimulator sim(*model_, options);
+    const DistRouteResult route = sim.runRouteSimulation(inputs_);
+    ASSERT_TRUE(route.succeeded) << workers;
+    const DistTrafficResult traffic = sim.runTrafficSimulation(flows_);
+    ASSERT_TRUE(traffic.succeeded) << workers;
+    size_t extraAttempts = 0;
+    for (const SubtaskRecord& record : sim.db().all()) {
+      ASSERT_GE(record.attempts, 1) << record.id;
+      extraAttempts += static_cast<size_t>(record.attempts - 1);
+    }
+    EXPECT_EQ(route.retries + traffic.retries, extraAttempts) << workers;
+    // The same per-subtask attempts surface through the result metrics.
+    size_t metricExtra = 0;
+    for (const SubtaskMetric& metric : route.subtasks)
+      metricExtra += static_cast<size_t>(metric.attempts - 1);
+    EXPECT_EQ(route.retries, metricExtra) << workers;
+  }
+}
+
 }  // namespace
 }  // namespace hoyan

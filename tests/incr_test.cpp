@@ -1,0 +1,354 @@
+// Tests for the incremental verification engine: fingerprint stability and
+// sensitivity, change-impact scoping, the content-addressed result cache,
+// and end-to-end warm-vs-cold equivalence through the Hoyan facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hoyan.h"
+#include "gen/wan_gen.h"
+#include "gen/workload_gen.h"
+#include "incr/cache.h"
+#include "incr/engine.h"
+#include "incr/fingerprint.h"
+#include "incr/impact.h"
+#include "rcl/global_rib.h"
+#include "test_fixtures.h"
+
+namespace hoyan {
+namespace {
+
+using testing::buildSmallWan;
+using testing::ispRoute;
+using testing::SmallWan;
+
+std::vector<std::string> renderedRows(const NetworkRibs& ribs) {
+  const rcl::GlobalRib global = rcl::GlobalRib::fromNetworkRibs(ribs);
+  std::vector<std::string> out;
+  out.reserve(global.size());
+  for (const rcl::RibRow& row : global.rows()) out.push_back(row.str());
+  return out;
+}
+
+// Applies change commands to a copy of the small WAN and rebuilds the model.
+NetworkModel changedModel(const SmallWan& net, const std::string& commands) {
+  Topology topology = net.topology;
+  NetworkConfig configs = net.configs;
+  const auto errors = applyChangeCommands(topology, configs, commands);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0].str());
+  return NetworkModel::build(std::move(topology), std::move(configs));
+}
+
+// --- fingerprints -----------------------------------------------------------
+
+TEST(FingerprintTest, StableAcrossIdenticalRebuilds) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel first = net.model();
+  const NetworkModel second = net.model();
+  EXPECT_EQ(incr::fingerprintModel(first), incr::fingerprintModel(second));
+  EXPECT_EQ(incr::fingerprintForwardingState(first),
+            incr::fingerprintForwardingState(second));
+  EXPECT_EQ(incr::fingerprintLocalRouteState(first),
+            incr::fingerprintLocalRouteState(second));
+}
+
+TEST(FingerprintTest, SectionFingerprintsIsolateTheChangedSection) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel base = net.model();
+  const NetworkModel changed = changedModel(
+      net, "device t-BR1\nroute-policy PASS node 10 permit\n apply local-pref 150\n");
+  EXPECT_NE(incr::fingerprintModel(base), incr::fingerprintModel(changed));
+
+  const NameId br1 = Names::id("t-BR1");
+  const auto baseSections = incr::fingerprintConfigSections(base.configs.devices.at(br1));
+  const auto changedSections =
+      incr::fingerprintConfigSections(changed.configs.devices.at(br1));
+  EXPECT_NE(baseSections.routePolicies, changedSections.routePolicies);
+  EXPECT_EQ(baseSections.staticRoutes, changedSections.staticRoutes);
+  EXPECT_EQ(baseSections.bgpCore, changedSections.bgpCore);
+  EXPECT_EQ(baseSections.prefixLists, changedSections.prefixLists);
+  // Policy content is invisible to the traffic and local-routes slices.
+  EXPECT_EQ(incr::fingerprintForwardingState(base),
+            incr::fingerprintForwardingState(changed));
+  EXPECT_EQ(incr::fingerprintLocalRouteState(base),
+            incr::fingerprintLocalRouteState(changed));
+}
+
+TEST(FingerprintTest, StaticRouteChangesLocalRouteSlice) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel base = net.model();
+  const NetworkModel changed =
+      changedModel(net, "device t-C1\nstatic-route 60.0.0.0/8 discard\n");
+  EXPECT_NE(incr::fingerprintLocalRouteState(base),
+            incr::fingerprintLocalRouteState(changed));
+}
+
+TEST(FingerprintTest, ChunkFingerprintsAreOrderAndContentSensitive) {
+  const SmallWan net = buildSmallWan();
+  const std::vector<InputRoute> a{ispRoute(net, "100.1.0.0/16"),
+                                  ispRoute(net, "100.2.0.0/16")};
+  const std::vector<InputRoute> b{ispRoute(net, "100.2.0.0/16"),
+                                  ispRoute(net, "100.1.0.0/16")};
+  const std::vector<InputRoute> c{ispRoute(net, "100.1.0.0/16"),
+                                  ispRoute(net, "100.2.0.0/16", 7)};
+  EXPECT_EQ(incr::fingerprintInputRouteChunk(a), incr::fingerprintInputRouteChunk(a));
+  EXPECT_NE(incr::fingerprintInputRouteChunk(a), incr::fingerprintInputRouteChunk(b));
+  EXPECT_NE(incr::fingerprintInputRouteChunk(a), incr::fingerprintInputRouteChunk(c));
+}
+
+// --- change impact ----------------------------------------------------------
+
+TEST(ChangeImpactTest, NoDeltaIsCompletelyClean) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel base = net.model();
+  const NetworkModel same = net.model();
+  const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, same);
+  EXPECT_FALSE(impact.allDirty);
+  EXPECT_TRUE(impact.dirtyRanges.empty());
+  EXPECT_TRUE(impact.dirtyDevices.empty());
+  EXPECT_TRUE(impact.clean(IpRange{*IpAddress::parse("0.0.0.0"),
+                                   *IpAddress::parse("255.255.255.255")}));
+}
+
+TEST(ChangeImpactTest, PrefixScopedPolicyEditBoundsTheDirtyRange) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel base = net.model();
+  const NetworkModel changed = changedModel(
+      net,
+      "device t-BR1\n"
+      "ip-prefix LP-T index 10 permit 100.1.0.0/16\n"
+      "route-policy PASS node 50 permit\n"
+      " match ip-prefix LP-T\n"
+      " apply local-pref 150\n");
+  const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
+  EXPECT_FALSE(impact.allDirty) << impact.reason;
+  ASSERT_FALSE(impact.dirtyRanges.empty());
+  // A subtask covering the edited prefix must re-run; a disjoint one is clean.
+  const Prefix touched = *Prefix::parse("100.1.0.0/16");
+  EXPECT_FALSE(impact.clean(IpRange{touched.firstAddress(), touched.lastAddress()}));
+  const Prefix disjoint = *Prefix::parse("50.0.0.0/8");
+  EXPECT_TRUE(impact.clean(IpRange{disjoint.firstAddress(), disjoint.lastAddress()}));
+  // The edited device is dirty; its BGP peers are in the affected closure.
+  EXPECT_NE(std::find(impact.dirtyDevices.begin(), impact.dirtyDevices.end(), net.br1),
+            impact.dirtyDevices.end());
+  EXPECT_NE(
+      std::find(impact.affectedDevices.begin(), impact.affectedDevices.end(), net.rr1),
+      impact.affectedDevices.end());
+}
+
+TEST(ChangeImpactTest, PolicyEditWithoutPrefixMatchIsAllDirty) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel base = net.model();
+  const NetworkModel changed = changedModel(
+      net, "device t-BR1\nroute-policy PASS node 10 permit\n apply local-pref 150\n");
+  const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
+  EXPECT_TRUE(impact.allDirty);
+  EXPECT_FALSE(impact.clean(std::nullopt));
+}
+
+TEST(ChangeImpactTest, UndefinedPrefixListIsAllDirty) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel base = net.model();
+  const NetworkModel changed = changedModel(
+      net,
+      "device t-BR1\n"
+      "route-policy PASS node 60 permit\n"
+      " match ip-prefix NO-SUCH-LIST\n");
+  const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
+  EXPECT_TRUE(impact.allDirty);
+}
+
+TEST(ChangeImpactTest, NonScopedSectionsAreAllDirty) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel base = net.model();
+  for (const char* commands : {
+           "device t-C1\nstatic-route 60.0.0.0/8 discard\n",     // statics
+           "device t-BR1\nrouter bgp 64512\n redistribute static\n",  // bgp core
+       }) {
+    const NetworkModel changed = changedModel(net, commands);
+    const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
+    EXPECT_TRUE(impact.allDirty) << commands << " -> " << impact.reason;
+  }
+}
+
+TEST(ChangeImpactTest, TopologyChangeIsAllDirty) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel base = net.model();
+  Topology topology = net.topology;
+  topology.findDevice(net.c1)->interfaces[0].isisCost = 999;
+  const NetworkModel changed = NetworkModel::build(std::move(topology), net.configs);
+  const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
+  EXPECT_TRUE(impact.allDirty);
+  EXPECT_NE(std::find(impact.dirtyDevices.begin(), impact.dirtyDevices.end(), net.c1),
+            impact.dirtyDevices.end());
+}
+
+// --- engine + cache end-to-end ----------------------------------------------
+
+class IncrementalEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WanSpec spec;
+    spec.regions = 2;
+    wan_ = generateWan(spec);
+    WorkloadSpec workload;
+    workload.prefixesPerIsp = 16;
+    workload.prefixesPerDc = 8;
+    workload.v6Share = 0;
+    inputs_ = generateInputRoutes(wan_, workload);
+    flows_ = generateFlows(wan_, workload, 400);
+    intents_.rclIntents = {"not prefix = 100.0.8.0/24 => PRE = POST"};
+    intents_.maxLinkUtilization = 2.0;  // Forces the traffic phase to run.
+  }
+
+  std::unique_ptr<Hoyan> makeHoyan(bool incremental,
+                                   incr::IncrementalOptions incrOptions = {}) {
+    auto hoyan = std::make_unique<Hoyan>(wan_.topology, wan_.configs);
+    hoyan->setInputRoutes(inputs_);
+    hoyan->setInputFlows(flows_);
+    DistSimOptions options;
+    options.workers = 4;
+    options.routeSubtasks = 12;
+    options.trafficSubtasks = 6;
+    hoyan->setSimulationOptions(options);
+    if (incremental) hoyan->enableIncremental(incrOptions);
+    hoyan->preprocess();
+    return hoyan;
+  }
+
+  // A change confined to prefix-scoped sections of one border device.
+  ChangePlan scopedPlan() const {
+    ChangePlan plan;
+    plan.name = "scoped";
+    plan.commands =
+        "device BR-0-0\n"
+        "ip-prefix LP-INCR index 10 permit 100.0.8.0/24\n"
+        "route-policy ISP-IN-0 node 800 permit\n"
+        " match ip-prefix LP-INCR\n"
+        " apply local-pref 150\n";
+    return plan;
+  }
+
+  ChangePlan allDirtyPlan() const {
+    ChangePlan plan;
+    plan.name = "all-dirty";
+    plan.commands = "device CORE-0-0\nstatic-route 77.0.0.0/8 discard\n";
+    return plan;
+  }
+
+  GeneratedWan wan_;
+  std::vector<InputRoute> inputs_;
+  std::vector<Flow> flows_;
+  IntentSet intents_;
+};
+
+TEST_F(IncrementalEndToEndTest, WarmRunMatchesColdRunWithCacheHits) {
+  auto cold = makeHoyan(false);
+  auto warm = makeHoyan(true);
+  for (const ChangePlan& plan : {scopedPlan(), allDirtyPlan()}) {
+    const ChangeVerificationResult coldResult = cold->verifyChange(plan, intents_);
+    const ChangeVerificationResult warmResult = warm->verifyChange(plan, intents_);
+    EXPECT_FALSE(coldResult.incrementalUsed);
+    EXPECT_TRUE(warmResult.incrementalUsed);
+
+    // Byte-identical RIBs, matching verdicts, matching loads.
+    const auto coldRows = renderedRows(coldResult.updatedRibs);
+    const auto warmRows = renderedRows(warmResult.updatedRibs);
+    ASSERT_EQ(coldRows.size(), warmRows.size()) << plan.name;
+    for (size_t i = 0; i < coldRows.size(); ++i)
+      ASSERT_EQ(coldRows[i], warmRows[i]) << plan.name << " row " << i;
+    ASSERT_EQ(coldResult.rclOutcomes.size(), warmResult.rclOutcomes.size());
+    for (size_t i = 0; i < coldResult.rclOutcomes.size(); ++i)
+      EXPECT_EQ(coldResult.rclOutcomes[i].result.satisfied,
+                warmResult.rclOutcomes[i].result.satisfied)
+          << plan.name;
+    ASSERT_EQ(coldResult.updatedLinkLoads.size(), warmResult.updatedLinkLoads.size())
+        << plan.name;
+    for (const auto& entry : coldResult.updatedLinkLoads.entries())
+      EXPECT_NEAR(warmResult.updatedLinkLoads.get(entry.from, entry.to), entry.bps,
+                  1e-9)
+          << plan.name;
+  }
+  // The scoped plan reuses base-run route results; verify by re-running it.
+  const ChangeVerificationResult again = warm->verifyChange(scopedPlan(), intents_);
+  EXPECT_GT(again.routeSubtaskCacheHits, 0u);
+}
+
+TEST_F(IncrementalEndToEndTest, ScopedChangeHitsOnFirstWarmRun) {
+  auto warm = makeHoyan(true);
+  const ChangeVerificationResult result = warm->verifyChange(scopedPlan(), intents_);
+  // Most route subtasks don't overlap the touched /24 and are served from the
+  // base run's cache entries.
+  EXPECT_GT(result.routeSubtaskCacheHits, 0u) << result.impactSummary;
+  EXPECT_GT(result.routeSubtaskCount, result.routeSubtaskCacheHits);
+}
+
+TEST_F(IncrementalEndToEndTest, RepeatedPlanIsServedEntirelyFromCache) {
+  auto warm = makeHoyan(true);
+  const ChangePlan plan = scopedPlan();
+  warm->verifyChange(plan, intents_);
+  const ChangeVerificationResult second = warm->verifyChange(plan, intents_);
+  EXPECT_EQ(second.routeSubtaskCacheHits, second.routeSubtaskCount);
+  EXPECT_EQ(second.trafficSubtaskCacheHits, second.trafficSubtaskCount);
+  EXPECT_GT(second.trafficSubtaskCount, 0u);
+}
+
+TEST_F(IncrementalEndToEndTest, ProvenanceRecordingBypassesTheCache) {
+  auto warm = makeHoyan(true);
+  obs::ProvenanceOptions provOptions;
+  provOptions.enabled = true;
+  obs::ProvenanceRecorder recorder(provOptions);
+  warm->setProvenance(&recorder);
+  const ChangePlan plan = scopedPlan();
+  warm->verifyChange(plan, intents_);
+  const ChangeVerificationResult second = warm->verifyChange(plan, intents_);
+  EXPECT_EQ(second.routeSubtaskCacheHits, 0u);
+  EXPECT_EQ(second.trafficSubtaskCacheHits, 0u);
+}
+
+TEST_F(IncrementalEndToEndTest, EvictionKeepsResidencyWithinBudget) {
+  incr::IncrementalOptions options;
+  options.cacheBudgetBytes = 64 * 1024;  // Far below one run's results.
+  auto warm = makeHoyan(true, options);
+  warm->verifyChange(scopedPlan(), intents_);
+  warm->verifyChange(allDirtyPlan(), intents_);
+  ASSERT_NE(warm->incremental(), nullptr);
+  EXPECT_LE(warm->incremental()->cache().totalBytes(), options.cacheBudgetBytes);
+}
+
+TEST(IncrementalEngineTest, BeginRunWithoutBaseModelThrows) {
+  incr::IncrementalEngine engine;
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  DistSimOptions options;
+  EXPECT_THROW(engine.beginRun(model, options), std::logic_error);
+}
+
+TEST(IncrementalEngineTest, EndRunDropsTransientsAndKeepsCachedResults) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  incr::IncrementalEngine engine;
+  engine.setBaseModel(model);
+  DistSimOptions options;
+  options.workers = 2;
+  options.routeSubtasks = 2;
+  engine.beginRun(model, options);
+  ASSERT_EQ(options.store, &engine.store());
+  ASSERT_NE(options.cache, nullptr);
+  ASSERT_FALSE(options.keyPrefix.empty());
+
+  DistributedSimulator sim(model, options);
+  const std::vector<InputRoute> inputs{testing::ispRoute(net, "100.1.0.0/16"),
+                                       testing::ispRoute(net, "100.2.0.0/16")};
+  ASSERT_TRUE(sim.runRouteSimulation(inputs).succeeded);
+  const size_t cachedEntries = engine.cache().entryCount();
+  EXPECT_GT(cachedEntries, 0u);
+  const size_t liveBefore = engine.store().blobCount();
+  engine.endRun();
+  // Transient inputs under the run prefix are gone; content-keyed results stay.
+  EXPECT_LT(engine.store().blobCount(), liveBefore);
+  EXPECT_EQ(engine.cache().entryCount(), cachedEntries);
+}
+
+}  // namespace
+}  // namespace hoyan
