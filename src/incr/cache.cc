@@ -1,6 +1,7 @@
 #include "incr/cache.h"
 
-#include <iterator>
+#include <algorithm>
+#include <vector>
 
 #include "incr/fingerprint.h"
 
@@ -106,15 +107,22 @@ void SubtaskCache::noteBypass() { bypasses_.add(1); }
 void SubtaskCache::evictToBudget() {
   std::lock_guard lock(mutex_);
   if (budgetBytes_ == 0) return;
-  while (totalBytes_ > budgetBytes_ && !entries_.empty()) {
-    auto victim = entries_.begin();
-    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it)
-      if (it->second.lastUsed < victim->second.lastUsed) victim = it;
-    store_->erase(victim->first);
-    store_->erase(victim->first + "#stats");  // Route results ride with stats.
-    totalBytes_ -= victim->second.bytes;
-    entries_.erase(victim);
-    evictions_.add(1);
+  if (totalBytes_ > budgetBytes_) {
+    // One sort per pass instead of a linear victim scan per eviction.
+    std::vector<decltype(entries_)::iterator> byAge;
+    byAge.reserve(entries_.size());
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) byAge.push_back(it);
+    std::sort(byAge.begin(), byAge.end(), [](const auto& a, const auto& b) {
+      return a->second.lastUsed < b->second.lastUsed;
+    });
+    for (const auto& victim : byAge) {
+      if (totalBytes_ <= budgetBytes_) break;
+      store_->erase(victim->first);
+      store_->erase(victim->first + "#stats");  // Route results ride with stats.
+      totalBytes_ -= victim->second.bytes;
+      entries_.erase(victim);
+      evictions_.add(1);
+    }
   }
   publishGaugesLocked();
 }

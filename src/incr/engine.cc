@@ -21,6 +21,12 @@ const ChangeImpact& IncrementalEngine::beginRun(const NetworkModel& model,
                                                 DistSimOptions& options) {
   if (!base_)
     throw std::logic_error("IncrementalEngine: beginRun before setBaseModel");
+  // A prior run that threw before reaching endRun leaves its transient blobs
+  // behind; reclaim them before handing out a new prefix.
+  if (!runPrefix_.empty()) {
+    store_.erasePrefix(runPrefix_);
+    runPrefix_.clear();
+  }
   const bool isBase = &model == base_;
   lastImpact_ = isBase ? ChangeImpact{} : analyzeChangeImpact(*base_, model);
 

@@ -20,6 +20,32 @@ IpRange fullV6Range() {
   return IpRange{IpAddress::v6(0, 0), IpAddress::v6(~0ull, ~0ull)};
 }
 
+// The vendor evaluation semantics that decide whether a prefix-span bound on
+// a policy/list delta is sound; OR-ed across the base and updated profiles of
+// the device so a vendor change (itself all-dirty via the identity section)
+// can never weaken the analysis.
+struct VendorSemantics {
+  bool v4ListPermitsAllV6 = false;
+  // policy_eval treats a missing *or empty* referenced filter as match-ALL.
+  bool undefinedFilterMatchesAll = false;
+  // A missing/empty policy resolves via acceptWhenPolicyUndefined but a
+  // defined policy's fall-through via acceptWhenNoNodeMatches; when the two
+  // differ, creating or deleting a policy flips routes that match no node.
+  bool undefinedPolicyTailDiffers = false;
+};
+
+bool undefinedOrEmpty(const PrefixList* list) {
+  return list == nullptr || list->entries.empty();
+}
+
+// Whether any route-policy node of `config` matches on prefix list `list`.
+bool referencesPrefixList(const DeviceConfig& config, NameId list) {
+  for (const auto& [name, policy] : config.routePolicies)
+    for (const PolicyNode& node : policy.nodes)
+      if (node.match.prefixList == list) return true;
+  return false;
+}
+
 // Accumulates dirty state while walking the diff; aborts to allDirty on the
 // first delta that has no sound range bound.
 struct ImpactBuilder {
@@ -45,33 +71,41 @@ struct ImpactBuilder {
   }
 };
 
-// Per-sequence diff of one route policy; returns the nodes present in
-// exactly one version or differing between the two.
-std::vector<const PolicyNode*> changedNodes(const RoutePolicy* before,
-                                            const RoutePolicy* after) {
+// One side of a node-level policy delta: the node version plus the config it
+// evaluates against (a node's referenced filters resolve in its own model).
+struct ChangedNode {
+  const PolicyNode* node;
+  const DeviceConfig* config;
+};
+
+// Per-sequence diff of one route policy; returns the node versions present in
+// exactly one model or differing between the two, each tagged with its model.
+std::vector<ChangedNode> changedNodes(const RoutePolicy* before, const RoutePolicy* after,
+                                      const DeviceConfig& beforeConfig,
+                                      const DeviceConfig& afterConfig) {
   std::map<uint32_t, const PolicyNode*> beforeNodes, afterNodes;
   if (before)
     for (const PolicyNode& node : before->nodes) beforeNodes[node.sequence] = &node;
   if (after)
     for (const PolicyNode& node : after->nodes) afterNodes[node.sequence] = &node;
-  std::vector<const PolicyNode*> out;
+  std::vector<ChangedNode> out;
   for (const auto& [sequence, node] : beforeNodes) {
     const auto it = afterNodes.find(sequence);
     if (it == afterNodes.end())
-      out.push_back(node);
+      out.push_back({node, &beforeConfig});
     else if (fingerprintPolicyNode(*node) != fingerprintPolicyNode(*it->second)) {
-      out.push_back(node);
-      out.push_back(it->second);
+      out.push_back({node, &beforeConfig});
+      out.push_back({it->second, &afterConfig});
     }
   }
   for (const auto& [sequence, node] : afterNodes)
-    if (!beforeNodes.contains(sequence)) out.push_back(node);
+    if (!beforeNodes.contains(sequence)) out.push_back({node, &afterConfig});
   return out;
 }
 
 void diffRoutePolicies(ImpactBuilder& builder, NameId device,
                        const DeviceConfig& before, const DeviceConfig& after,
-                       bool v4ListPermitsAllV6) {
+                       const VendorSemantics& vendor) {
   std::set<NameId> names;
   for (const auto& [name, policy] : before.routePolicies) names.insert(name);
   for (const auto& [name, policy] : after.routePolicies) names.insert(name);
@@ -81,8 +115,21 @@ void diffRoutePolicies(ImpactBuilder& builder, NameId device,
     if (beforePolicy && afterPolicy &&
         fingerprintRoutePolicy(*beforePolicy) == fingerprintRoutePolicy(*afterPolicy))
       continue;
-    for (const PolicyNode* node : changedNodes(beforePolicy, afterPolicy)) {
+    // Creating, deleting, or emptying the whole policy moves routes matching
+    // no node between the acceptWhenPolicyUndefined and acceptWhenNoNodeMatches
+    // verdicts; when those differ, no range bounds the flip.
+    const bool beforeDefined = beforePolicy && !beforePolicy->nodes.empty();
+    const bool afterDefined = afterPolicy && !afterPolicy->nodes.empty();
+    if (beforeDefined != afterDefined && vendor.undefinedPolicyTailDiffers) {
+      builder.markAllDirty("route-policy " + Names::str(name) +
+                           (afterDefined ? " created" : " removed") +
+                           " flips the implicit-tail verdict on " + Names::str(device));
+      return;
+    }
+    for (const ChangedNode& changed :
+         changedNodes(beforePolicy, afterPolicy, before, after)) {
       if (builder.impact.allDirty) return;
+      const PolicyNode* node = changed.node;
       if (!node->match.prefixList) {
         // The node can match any route (community/as-path/protocol clauses
         // only narrow by non-prefix dimensions) — no range bound.
@@ -90,22 +137,27 @@ void diffRoutePolicies(ImpactBuilder& builder, NameId device,
                              Names::str(device));
         return;
       }
-      const PrefixList* beforeList = before.findPrefixList(*node->match.prefixList);
-      const PrefixList* afterList = after.findPrefixList(*node->match.prefixList);
-      if (!beforeList && !afterList) {
-        // Undefined-filter semantics are vendor-specific (may match all).
-        builder.markAllDirty("route-policy node references undefined prefix list on " +
-                             Names::str(device));
-        return;
+      const PrefixList* list = changed.config->findPrefixList(*node->match.prefixList);
+      if (undefinedOrEmpty(list)) {
+        // Table 5 "undefined policy filter": a missing-or-empty list makes
+        // this node version match ALL routes on match-all vendors (no range
+        // bound) and NO routes on match-none vendors (the node is inert in
+        // its model and contributes no spans).
+        if (vendor.undefinedFilterMatchesAll) {
+          builder.markAllDirty("route-policy node references undefined-or-empty "
+                               "prefix list " + Names::str(*node->match.prefixList) +
+                               " on " + Names::str(device));
+          return;
+        }
+        continue;
       }
-      if (beforeList) builder.addListSpans(*beforeList, v4ListPermitsAllV6);
-      if (afterList) builder.addListSpans(*afterList, v4ListPermitsAllV6);
+      builder.addListSpans(*list, vendor.v4ListPermitsAllV6);
     }
   }
 }
 
-void diffPrefixLists(ImpactBuilder& builder, const DeviceConfig& before,
-                     const DeviceConfig& after, bool v4ListPermitsAllV6) {
+void diffPrefixLists(ImpactBuilder& builder, NameId device, const DeviceConfig& before,
+                     const DeviceConfig& after, const VendorSemantics& vendor) {
   std::set<NameId> names;
   for (const auto& [name, list] : before.prefixLists) names.insert(name);
   for (const auto& [name, list] : after.prefixLists) names.insert(name);
@@ -115,9 +167,23 @@ void diffPrefixLists(ImpactBuilder& builder, const DeviceConfig& before,
     if (beforeList && afterList &&
         fingerprintPrefixList(*beforeList) == fingerprintPrefixList(*afterList))
       continue;
-    // A route's fate can change only if a present-or-former entry matches it.
-    if (beforeList) builder.addListSpans(*beforeList, v4ListPermitsAllV6);
-    if (afterList) builder.addListSpans(*afterList, v4ListPermitsAllV6);
+    // On match-all vendors a missing-or-empty list matches EVERY route, so a
+    // list crossing the defined<->undefined boundary flips routes outside its
+    // entries' spans in any model where a policy node still references it —
+    // even when no policy changed. No range bounds that.
+    const bool beforeUndefined = undefinedOrEmpty(beforeList);
+    const bool afterUndefined = undefinedOrEmpty(afterList);
+    if (vendor.undefinedFilterMatchesAll && beforeUndefined != afterUndefined &&
+        referencesPrefixList(beforeUndefined ? before : after, name)) {
+      builder.markAllDirty("prefix list " + Names::str(name) +
+                           " crossed defined/undefined while referenced on " +
+                           Names::str(device));
+      return;
+    }
+    // Otherwise a route's fate can change only if a present-or-former entry
+    // matches it.
+    if (beforeList) builder.addListSpans(*beforeList, vendor.v4ListPermitsAllV6);
+    if (afterList) builder.addListSpans(*afterList, vendor.v4ListPermitsAllV6);
   }
 }
 
@@ -278,14 +344,19 @@ ChangeImpact analyzeChangeImpact(const NetworkModel& base, const NetworkModel& u
     requireEqual(beforeSections.vrfs, afterSections.vrfs, "vrfs");
     if (builder.impact.allDirty) continue;
 
-    // Prefix-scoped sections: bound the delta by address spans.
-    const bool v4ListPermitsAllV6 =
-        updated.vendorOf(name).ipv4PrefixListPermitsAllV6 ||
-        base.vendorOf(name).ipv4PrefixListPermitsAllV6;
+    // Prefix-scoped sections: bound the delta by address spans, under the
+    // evaluation semantics of whichever vendor profile is in force.
+    VendorSemantics vendor;
+    for (const VendorProfile* profile : {&base.vendorOf(name), &updated.vendorOf(name)}) {
+      vendor.v4ListPermitsAllV6 |= profile->ipv4PrefixListPermitsAllV6;
+      vendor.undefinedFilterMatchesAll |= profile->undefinedFilterMatchesAll;
+      vendor.undefinedPolicyTailDiffers |=
+          profile->acceptWhenPolicyUndefined != profile->acceptWhenNoNodeMatches;
+    }
     if (beforeSections.routePolicies != afterSections.routePolicies)
-      diffRoutePolicies(builder, name, *before, *after, v4ListPermitsAllV6);
+      diffRoutePolicies(builder, name, *before, *after, vendor);
     if (beforeSections.prefixLists != afterSections.prefixLists)
-      diffPrefixLists(builder, *before, *after, v4ListPermitsAllV6);
+      diffPrefixLists(builder, name, *before, *after, vendor);
     if (beforeSections.aggregates != afterSections.aggregates)
       diffAggregates(builder, before->bgp, after->bgp);
   }

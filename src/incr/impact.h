@@ -14,7 +14,12 @@
 //    contributors are covered by the aggregate prefix. Route subtasks whose
 //    §3.2 coverage range does not overlap any dirty span therefore produce
 //    byte-identical results on the updated model and can be served from the
-//    cache under the *base* model's fingerprint.
+//    cache under the *base* model's fingerprint. Two Table-5 vendor
+//    behaviors escape the span bound and force all-dirty: a referenced
+//    prefix list that is missing-or-empty matches ALL routes on
+//    undefinedFilterMatchesAll vendors, and creating/deleting a whole
+//    policy flips no-node-matched routes when acceptWhenPolicyUndefined
+//    differs from acceptWhenNoNodeMatches.
 //
 //  - Any other delta (topology, interfaces, BGP sessions, statics, ACL/PBR/
 //    SR, VRFs, vendor, isolation, community/as-path lists, device add or

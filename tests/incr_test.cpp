@@ -146,16 +146,89 @@ TEST(ChangeImpactTest, PolicyEditWithoutPrefixMatchIsAllDirty) {
   EXPECT_FALSE(impact.clean(std::nullopt));
 }
 
-TEST(ChangeImpactTest, UndefinedPrefixListIsAllDirty) {
-  const SmallWan net = buildSmallWan();
-  const NetworkModel base = net.model();
-  const NetworkModel changed = changedModel(
-      net,
+TEST(ChangeImpactTest, UndefinedPrefixListFollowsVendorFilterSemantics) {
+  // policy_eval treats a missing/empty referenced list as match-ALL on
+  // match-all vendors (VendorA/C) and match-NONE on VendorB: the same edit is
+  // unbounded on the former and inert on the latter.
+  const std::string commands =
       "device t-BR1\n"
       "route-policy PASS node 60 permit\n"
-      " match ip-prefix NO-SUCH-LIST\n");
+      " match ip-prefix NO-SUCH-LIST\n";
+  {
+    const SmallWan net = buildSmallWan(vendorA().name);
+    const incr::ChangeImpact impact =
+        incr::analyzeChangeImpact(net.model(), changedModel(net, commands));
+    EXPECT_TRUE(impact.allDirty) << impact.reason;
+  }
+  {
+    const SmallWan net = buildSmallWan(vendorB().name);
+    const incr::ChangeImpact impact =
+        incr::analyzeChangeImpact(net.model(), changedModel(net, commands));
+    EXPECT_FALSE(impact.allDirty) << impact.reason;
+  }
+}
+
+TEST(ChangeImpactTest, DeletedReferencedPrefixListFollowsVendorFilterSemantics) {
+  // Base: PASS node 60 matches LP-GONE (100.9.0.0/16). Deleting the list (no
+  // policy delta) makes the node match-all on match-all vendors — routes far
+  // outside the old entries' spans flip — but only the old spans on VendorB.
+  const std::string setup =
+      "device t-BR1\n"
+      "ip-prefix LP-GONE index 10 permit 100.9.0.0/16\n"
+      "route-policy PASS node 60 permit\n"
+      " match ip-prefix LP-GONE\n";
+  for (const NameId borderVendor : {vendorA().name, vendorB().name}) {
+    const SmallWan net = buildSmallWan(borderVendor);
+    const NetworkModel base = changedModel(net, setup);
+    NetworkConfig configs = base.configs;
+    configs.devices.at(net.br1).prefixLists.erase(Names::id("LP-GONE"));
+    const NetworkModel changed = NetworkModel::build(net.topology, std::move(configs));
+    const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
+    if (borderVendor == vendorA().name) {
+      EXPECT_TRUE(impact.allDirty) << impact.reason;
+    } else {
+      EXPECT_FALSE(impact.allDirty) << impact.reason;
+      const Prefix touched = *Prefix::parse("100.9.0.0/16");
+      EXPECT_FALSE(impact.clean(IpRange{touched.firstAddress(), touched.lastAddress()}));
+      const Prefix disjoint = *Prefix::parse("50.0.0.0/8");
+      EXPECT_TRUE(impact.clean(IpRange{disjoint.firstAddress(), disjoint.lastAddress()}));
+    }
+  }
+}
+
+TEST(ChangeImpactTest, UnreferencedPrefixListCreationStaysScoped) {
+  // A brand-new list nothing referenced before is bounded by its own spans
+  // even on a match-all vendor (nothing ever evaluated it as undefined).
+  const SmallWan net = buildSmallWan(vendorA().name);
+  const NetworkModel base = net.model();
+  const NetworkModel changed = changedModel(
+      net, "device t-BR1\nip-prefix LP-NEW index 10 permit 100.7.0.0/16\n");
   const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
-  EXPECT_TRUE(impact.allDirty);
+  EXPECT_FALSE(impact.allDirty) << impact.reason;
+}
+
+TEST(ChangeImpactTest, PolicyRemovalFollowsVendorTailSemantics) {
+  // Deleting a whole policy moves no-node-matched routes from the
+  // fall-through verdict (acceptWhenNoNodeMatches) to the undefined-policy
+  // verdict (acceptWhenPolicyUndefined). Those differ on VendorA (accept vs
+  // deny) — unbounded — and agree on VendorB (deny vs deny) — span-scoped.
+  const std::string setup =
+      "device t-BR1\n"
+      "ip-prefix LP-SCOPED index 10 permit 100.8.0.0/16\n"
+      "route-policy DOOMED node 10 permit\n"
+      " match ip-prefix LP-SCOPED\n";
+  for (const NameId borderVendor : {vendorA().name, vendorB().name}) {
+    const SmallWan net = buildSmallWan(borderVendor);
+    const NetworkModel base = changedModel(net, setup);
+    NetworkConfig configs = base.configs;
+    configs.devices.at(net.br1).routePolicies.erase(Names::id("DOOMED"));
+    const NetworkModel changed = NetworkModel::build(net.topology, std::move(configs));
+    const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
+    if (borderVendor == vendorA().name)
+      EXPECT_TRUE(impact.allDirty) << impact.reason;
+    else
+      EXPECT_FALSE(impact.allDirty) << impact.reason;
+  }
 }
 
 TEST(ChangeImpactTest, NonScopedSectionsAreAllDirty) {
@@ -348,6 +421,32 @@ TEST(IncrementalEngineTest, EndRunDropsTransientsAndKeepsCachedResults) {
   // Transient inputs under the run prefix are gone; content-keyed results stay.
   EXPECT_LT(engine.store().blobCount(), liveBefore);
   EXPECT_EQ(engine.cache().entryCount(), cachedEntries);
+}
+
+TEST(IncrementalEngineTest, BeginRunReclaimsAnAbandonedRunsTransients) {
+  const SmallWan net = buildSmallWan();
+  const NetworkModel model = net.model();
+  incr::IncrementalEngine engine;
+  engine.setBaseModel(model);
+  DistSimOptions options;
+  options.workers = 2;
+  options.routeSubtasks = 2;
+  engine.beginRun(model, options);
+  DistributedSimulator sim(model, options);
+  const std::vector<InputRoute> inputs{testing::ispRoute(net, "100.1.0.0/16"),
+                                       testing::ispRoute(net, "100.2.0.0/16")};
+  ASSERT_TRUE(sim.runRouteSimulation(inputs).succeeded);
+  const size_t blobsAfterRun = engine.store().blobCount();
+  // Abandon the run without endRun (as an exception unwinding out of a failed
+  // simulation would); the next beginRun must erase the stale run prefix
+  // instead of leaking its transient blobs for the engine's lifetime.
+  DistSimOptions nextOptions;
+  nextOptions.workers = 2;
+  nextOptions.routeSubtasks = 2;
+  engine.beginRun(model, nextOptions);
+  EXPECT_LT(engine.store().blobCount(), blobsAfterRun);
+  EXPECT_NE(nextOptions.keyPrefix, options.keyPrefix);
+  engine.endRun();
 }
 
 }  // namespace
