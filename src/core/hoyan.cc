@@ -163,8 +163,15 @@ void Hoyan::preprocess() {
   } else {
     baseLoads_ = {};
   }
-  if (incremental_) incremental_->endRun();
-  baseGlobal_ = rcl::GlobalRib::fromNetworkRibs(baseRibs_);
+  if (incremental_) {
+    // Build (and seed the fragment cache for) the base global RIB before
+    // endRun, while the run's result blobs are still resident.
+    baseGlobal_ = incremental_->buildGlobalRib(baseRibs_, simulator.routeResultKeys());
+    incremental_->endRun();
+  } else {
+    baseGlobal_ = std::make_shared<const rcl::GlobalRib>(
+        rcl::GlobalRib::fromNetworkRibs(baseRibs_));
+  }
   preprocessed_ = true;
   span.finish();
   tel.log().info("core.preprocess.done",
@@ -251,18 +258,28 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
     result.trafficSimSeconds = trafficSpan.seconds();
     updatedLoads = std::move(traffic.linkLoads);
   }
-  if (incremental_) incremental_->endRun();
-
-  // 4. Intent verification.
+  // 4. Intent verification. The engine's endRun waits until after it: the
+  // fragment fast path reads this run's result blobs out of the store.
   obs::Span intentSpan = tel.tracer().span("core.check_intents", "core");
   const auto verifyStart = Clock::now();
-  const rcl::GlobalRib updatedGlobal = rcl::GlobalRib::fromNetworkRibs(updatedRibs);
-  for (const std::string& specification : intents.rclIntents) {
-    RclOutcome outcome;
-    outcome.specification = specification;
-    outcome.result =
-        rcl::checkIntentText(specification, baseGlobal_, updatedGlobal, provenance_);
-    result.rclOutcomes.push_back(std::move(outcome));
+  if (!intents.rclIntents.empty()) {
+    // Skipped entirely when no RCL intents ask for it — building the global
+    // RIB is pure rendering work with no other consumer.
+    std::shared_ptr<const rcl::GlobalRib> updatedGlobal;
+    if (incremental_) {
+      updatedGlobal =
+          incremental_->buildGlobalRib(updatedRibs, simulator.routeResultKeys());
+    } else {
+      updatedGlobal = std::make_shared<const rcl::GlobalRib>(
+          rcl::GlobalRib::fromNetworkRibs(updatedRibs));
+    }
+    for (const std::string& specification : intents.rclIntents) {
+      RclOutcome outcome;
+      outcome.specification = specification;
+      outcome.result =
+          rcl::checkIntentText(specification, *baseGlobal_, *updatedGlobal, provenance_);
+      result.rclOutcomes.push_back(std::move(outcome));
+    }
   }
   for (const PathChangeIntent& intent : intents.pathIntents) {
     auto violations = checkPathChange(*baseModel_, baseRibs_, updated, updatedRibs,
@@ -276,6 +293,7 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   }
   intentSpan.finish();
   result.verifySeconds = secondsSince(verifyStart);
+  if (incremental_) incremental_->endRun();
   result.updatedRibs = std::move(updatedRibs);
   result.updatedLinkLoads = std::move(updatedLoads);
   taskSpan.finish();
@@ -305,7 +323,7 @@ std::vector<RclOutcome> Hoyan::runAuditTasks(const std::vector<std::string>& aud
     RclOutcome outcome;
     outcome.specification = specification;
     outcome.result =
-        rcl::checkIntentText(specification, baseGlobal_, baseGlobal_, provenance_);
+        rcl::checkIntentText(specification, *baseGlobal_, *baseGlobal_, provenance_);
     tel.metrics().counter("core.audit_tasks").add(1);
     if (!outcome.result.satisfied) tel.metrics().counter("core.audit_violations").add(1);
     outcomes.push_back(std::move(outcome));

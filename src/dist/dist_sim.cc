@@ -80,21 +80,39 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
 
   // --- master: prepare subtasks -------------------------------------------
   obs::Span splitSpan = tel.tracer().span("route.split", "dist");
-  std::vector<InputRoute> ordered(inputs.begin(), inputs.end());
-  if (options_.strategy == SplitStrategy::kOrdering) {
-    // Order by the last IP address of the prefix; keep same-prefix routes
-    // adjacent (§3.2 — done offline by the input-route building service).
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [](const InputRoute& a, const InputRoute& b) {
-                       const IpAddress lastA = a.route.prefix.lastAddress();
-                       const IpAddress lastB = b.route.prefix.lastAddress();
-                       if (!(lastA == lastB)) return lastA < lastB;
-                       return a.route.prefix < b.route.prefix;
-                     });
-  } else {
-    std::mt19937_64 rng(options_.failureSeed * 7919 + 13);
-    std::shuffle(ordered.begin(), ordered.end(), rng);
+  // The sorted order is a pure function of the input set, so an unchanged set
+  // reuses the previous run's copy instead of re-sorting (ordering strategy
+  // only — the random shuffle is seeded per run).
+  SplitPlanCache* splitCache =
+      options_.strategy == SplitStrategy::kOrdering ? options_.splitCache : nullptr;
+  std::shared_ptr<const std::vector<InputRoute>> orderedShared =
+      splitCache ? splitCache->cachedRouteOrder(inputs) : nullptr;
+  std::vector<InputRoute> orderedOwned;
+  if (!orderedShared) {
+    orderedOwned.assign(inputs.begin(), inputs.end());
+    if (options_.strategy == SplitStrategy::kOrdering) {
+      // Order by the last IP address of the prefix; keep same-prefix routes
+      // adjacent (§3.2 — done offline by the input-route building service).
+      std::stable_sort(orderedOwned.begin(), orderedOwned.end(),
+                       [](const InputRoute& a, const InputRoute& b) {
+                         const IpAddress lastA = a.route.prefix.lastAddress();
+                         const IpAddress lastB = b.route.prefix.lastAddress();
+                         if (!(lastA == lastB)) return lastA < lastB;
+                         return a.route.prefix < b.route.prefix;
+                       });
+    } else {
+      std::mt19937_64 rng(options_.failureSeed * 7919 + 13);
+      std::shuffle(orderedOwned.begin(), orderedOwned.end(), rng);
+    }
+    if (splitCache) {
+      orderedShared =
+          std::make_shared<const std::vector<InputRoute>>(std::move(orderedOwned));
+      splitCache->storeRouteOrder(orderedShared);
+    }
   }
+  const std::span<const InputRoute> ordered =
+      orderedShared ? std::span<const InputRoute>(*orderedShared)
+                    : std::span<const InputRoute>(orderedOwned);
 
   const size_t subtaskCount = std::min(options_.routeSubtasks,
                                        std::max<size_t>(ordered.size(), 1));
@@ -397,16 +415,30 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
 
   // --- master: prepare subtasks ----------------------------------------------
   obs::Span splitSpan = tel.tracer().span("traffic.split", "dist");
-  std::vector<Flow> ordered(flows.begin(), flows.end());
-  if (options_.strategy == SplitStrategy::kOrdering) {
-    // Order by destination address (§3.2 — done offline by the input-flow
-    // building service).
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [](const Flow& a, const Flow& b) { return a.dst < b.dst; });
-  } else {
-    std::mt19937_64 rng(options_.failureSeed * 104729 + 41);
-    std::shuffle(ordered.begin(), ordered.end(), rng);
+  SplitPlanCache* splitCache =
+      options_.strategy == SplitStrategy::kOrdering ? options_.splitCache : nullptr;
+  std::shared_ptr<const std::vector<Flow>> orderedShared =
+      splitCache ? splitCache->cachedFlowOrder(flows) : nullptr;
+  std::vector<Flow> orderedOwned;
+  if (!orderedShared) {
+    orderedOwned.assign(flows.begin(), flows.end());
+    if (options_.strategy == SplitStrategy::kOrdering) {
+      // Order by destination address (§3.2 — done offline by the input-flow
+      // building service).
+      std::stable_sort(orderedOwned.begin(), orderedOwned.end(),
+                       [](const Flow& a, const Flow& b) { return a.dst < b.dst; });
+    } else {
+      std::mt19937_64 rng(options_.failureSeed * 104729 + 41);
+      std::shuffle(orderedOwned.begin(), orderedOwned.end(), rng);
+    }
+    if (splitCache) {
+      orderedShared = std::make_shared<const std::vector<Flow>>(std::move(orderedOwned));
+      splitCache->storeFlowOrder(orderedShared);
+    }
   }
+  const std::span<const Flow> ordered =
+      orderedShared ? std::span<const Flow>(*orderedShared)
+                    : std::span<const Flow>(orderedOwned);
 
   const size_t subtaskCount =
       std::min(options_.trafficSubtasks, std::max<size_t>(ordered.size(), 1));

@@ -63,6 +63,9 @@ struct DistSimOptions {
   // Bypassed (with `noteBypass`) when provenance recording is active: cached
   // subtasks cannot replay their decision events.
   SubtaskResultCache* cache = nullptr;
+  // Cross-run sorted-order cache for the split loops (src/incr). Null = sort
+  // per run, as before. Only consulted under SplitStrategy::kOrdering.
+  SplitPlanCache* splitCache = nullptr;
   // Namespace for this run's transient blobs (subtask inputs, provenance
   // logs, uncached results) inside a shared store, e.g. "run7/"; the engine
   // erases the prefix after the run. Cached result blobs are stored under
@@ -123,6 +126,10 @@ class DistributedSimulator {
 
   const SubtaskDb& db() const { return db_; }
   const ObjectStore& store() const { return *store_; }
+  // Result keys of the last successful route run, in merge order (the last
+  // one is the local-routes subtask). The incremental engine keys cached
+  // GlobalRib fragments off these.
+  const std::vector<std::string>& routeResultKeys() const { return routeResultKeys_; }
   // The telemetry sink this run reports into (never null; possibly the
   // process-wide disabled instance).
   obs::Telemetry& telemetry() const { return *telemetry_; }

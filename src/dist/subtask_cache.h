@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "net/flow.h"
 #include "net/ip.h"
@@ -56,6 +58,28 @@ class SubtaskResultCache {
   // The run skipped the cache entirely (e.g. provenance recording is active,
   // which cached subtasks cannot replay).
   virtual void noteBypass() = 0;
+};
+
+// Master-side split-plan cache seam: memoizes the sorted input order across
+// runs so an unchanged route/flow input set is not re-sorted (and its chunks
+// not re-fingerprinted) per run — on fully-warm runs the sort is the master's
+// largest fixed cost. Only consulted under the ordering strategy: a random
+// shuffle is seeded per run and must not be reused. Implemented in src/incr
+// (`incr::SplitCache`); dist only defines the seam.
+class SplitPlanCache {
+ public:
+  virtual ~SplitPlanCache() = default;
+
+  // Returns the cached sorted copy when `inputs` matches — by content
+  // fingerprint — the sequence the cached order was built from; null means
+  // the caller must sort and hand the result to the matching store method.
+  virtual std::shared_ptr<const std::vector<InputRoute>> cachedRouteOrder(
+      std::span<const InputRoute> inputs) = 0;
+  virtual void storeRouteOrder(
+      std::shared_ptr<const std::vector<InputRoute>> ordered) = 0;
+  virtual std::shared_ptr<const std::vector<Flow>> cachedFlowOrder(
+      std::span<const Flow> flows) = 0;
+  virtual void storeFlowOrder(std::shared_ptr<const std::vector<Flow>> ordered) = 0;
 };
 
 }  // namespace hoyan

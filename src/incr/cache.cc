@@ -51,9 +51,13 @@ std::string SubtaskCache::routeResultKey(std::span<const InputRoute> chunk,
                                       : fingerprints_.currentModel;
     optionsFp = fingerprints_.routeOptions;
   }
+  uint64_t chunkFp = 0;
+  std::optional<uint64_t> memo;
+  if (splitCache_) memo = splitCache_->routeChunkFingerprint(chunk);
+  chunkFp = memo ? *memo : fingerprintInputRouteChunk(chunk);
   Fnv1a h;
   h.mix(kTagRoute).mix(modelFp).mix(optionsFp);
-  h.mix(fingerprintInputRouteChunk(chunk));
+  h.mix(chunkFp);
   return "cas/r/" + fingerprintHex(h.digest());
 }
 
@@ -72,7 +76,9 @@ std::string SubtaskCache::trafficResultKey(std::span<const Flow> chunk,
     h.mix(kTagTraffic).mix(fingerprints_.forwardingState)
         .mix(fingerprints_.trafficOptions);
   }
-  h.mix(fingerprintFlowChunk(chunk));
+  std::optional<uint64_t> memo;
+  if (splitCache_) memo = splitCache_->flowChunkFingerprint(chunk);
+  h.mix(memo ? *memo : fingerprintFlowChunk(chunk));
   // Route dirtiness composes in transitively: a dirty route subtask has a new
   // content key, which changes every traffic key that loads its file.
   h.mix(static_cast<uint64_t>(ribKeys.size()));
@@ -104,23 +110,42 @@ void SubtaskCache::stored(const std::string& key, size_t bytes) {
 
 void SubtaskCache::noteBypass() { bypasses_.add(1); }
 
+bool SubtaskCache::touch(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  if (!store_->contains(key)) return false;
+  entries_[key].lastUsed = ++clock_;
+  return true;
+}
+
 void SubtaskCache::evictToBudget() {
   std::lock_guard lock(mutex_);
   if (budgetBytes_ == 0) return;
   if (totalBytes_ > budgetBytes_) {
-    // One sort per pass instead of a linear victim scan per eviction.
-    std::vector<decltype(entries_)::iterator> byAge;
-    byAge.reserve(entries_.size());
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) byAge.push_back(it);
-    std::sort(byAge.begin(), byAge.end(), [](const auto& a, const auto& b) {
-      return a->second.lastUsed < b->second.lastUsed;
-    });
-    for (const auto& victim : byAge) {
-      if (totalBytes_ <= budgetBytes_) break;
-      store_->erase(victim->first);
-      store_->erase(victim->first + "#stats");  // Route results ride with stats.
-      totalBytes_ -= victim->second.bytes;
-      entries_.erase(victim);
+    // Min-heap over last-use ages: building it is O(n), and each eviction
+    // pops in O(log n) — the full sort only paid off when most entries were
+    // victims. Map node pointers stay stable across erases of other keys.
+    struct Victim {
+      uint64_t lastUsed;
+      const std::string* key;
+      size_t bytes;
+    };
+    std::vector<Victim> heap;
+    heap.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_)
+      heap.push_back(Victim{entry.lastUsed, &key, entry.bytes});
+    const auto older = [](const Victim& a, const Victim& b) {
+      return a.lastUsed > b.lastUsed;  // Min-heap: oldest at the top.
+    };
+    std::make_heap(heap.begin(), heap.end(), older);
+    while (totalBytes_ > budgetBytes_ && !heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), older);
+      const Victim victim = heap.back();
+      heap.pop_back();
+      const std::string key = *victim.key;  // Outlive the node erase below.
+      store_->erase(key);
+      store_->erase(key + "#stats");  // Route results ride with stats.
+      totalBytes_ -= victim.bytes;
+      entries_.erase(key);
       evictions_.add(1);
     }
   }

@@ -35,6 +35,8 @@
 
 namespace hoyan::incr {
 
+class SplitCache;  // incr/fingerprint.h
+
 // Fingerprints of the run-wide inputs; per-subtask chunks are hashed at key
 // time. Computed once per run by the engine.
 struct CacheFingerprints {
@@ -56,6 +58,11 @@ class SubtaskCache final : public SubtaskResultCache {
   // before each simulation run.
   void beginRun(const CacheFingerprints& fingerprints, const ChangeImpact& impact);
 
+  // Optional split-plan cache: chunk fingerprints over its cached sorted
+  // vectors are memoized there, so warm-run key computation skips the
+  // per-chunk re-hash. Must outlive the cache (the engine owns both).
+  void setSplitCache(SplitCache* splitCache) { splitCache_ = splitCache; }
+
   // SubtaskResultCache ------------------------------------------------------
   std::string routeResultKey(std::span<const InputRoute> chunk,
                              const std::optional<IpRange>& coverage) override;
@@ -66,8 +73,15 @@ class SubtaskCache final : public SubtaskResultCache {
   void stored(const std::string& key, size_t bytes) override;
   void noteBypass() override;
 
-  // LRU-evicts cached results until residency fits the byte budget. Called
-  // between runs (never mid-run: a run may still read keys it was promised).
+  // Residency probe for engine-derived blobs (cached GlobalRib fragments):
+  // bumps the entry's LRU age without touching the hit/miss counters, which
+  // track subtask-level caching only.
+  bool touch(const std::string& key);
+
+  // LRU-evicts cached results until residency fits the byte budget, using a
+  // min-heap over last-use ages — O(n + k log n) for k evictions instead of a
+  // full sort per pass. Called between runs (never mid-run: a run may still
+  // read keys it was promised).
   void evictToBudget();
 
   size_t entryCount() const;
@@ -83,6 +97,7 @@ class SubtaskCache final : public SubtaskResultCache {
 
   ObjectStore* store_;
   size_t budgetBytes_;
+  SplitCache* splitCache_ = nullptr;
 
   mutable std::mutex mutex_;
   CacheFingerprints fingerprints_;

@@ -1,15 +1,45 @@
 #include "incr/engine.h"
 
 #include <stdexcept>
+#include <vector>
 
 #include "incr/fingerprint.h"
+#include "sim/route_sim.h"
 
 namespace hoyan::incr {
+namespace {
+
+constexpr uint64_t kTagFragment = 'g';
+constexpr uint64_t kTagWholeTable = 'G';
+
+// Normalises a subtask's result blob the way the master's merge would when no
+// other subtask contributes to its groups (dedupe, then re-selection), and
+// renders it. Makes an exclusive group's fragment rows byte-identical to the
+// merged table's.
+rcl::RibFragment buildFragment(const NetworkRibs& blob) {
+  NetworkRibs normalised = blob;
+  dedupeRoutes(normalised);
+  reselectAll(normalised);
+  return rcl::renderRibFragment(normalised);
+}
+
+}  // namespace
 
 IncrementalEngine::IncrementalEngine(IncrementalOptions options)
     : options_(options),
       cache_(std::make_unique<SubtaskCache>(&store_, options_.cacheBudgetBytes,
-                                            options_.telemetry)) {}
+                                            options_.telemetry)),
+      fragmentHits_(obs::Telemetry::orDisabled(options_.telemetry)
+                        .metrics()
+                        .counter("incr.rib.fragment_hits")),
+      fragmentMisses_(obs::Telemetry::orDisabled(options_.telemetry)
+                          .metrics()
+                          .counter("incr.rib.fragment_misses")),
+      rowsSkipped_(obs::Telemetry::orDisabled(options_.telemetry)
+                       .metrics()
+                       .counter("incr.rib.rows_skipped")) {
+  cache_->setSplitCache(&splitCache_);
+}
 
 void IncrementalEngine::setBaseModel(const NetworkModel& model) {
   base_ = &model;
@@ -42,7 +72,9 @@ const ChangeImpact& IncrementalEngine::beginRun(const NetworkModel& model,
   runPrefix_ = "run" + std::to_string(++runCounter_) + "/";
   options.store = &store_;
   options.cache = cache_.get();
+  options.splitCache = &splitCache_;
   options.keyPrefix = runPrefix_;
+  lastAssembly_ = RibAssemblyStats{};
   return lastImpact_;
 }
 
@@ -51,6 +83,82 @@ void IncrementalEngine::endRun() {
   store_.erasePrefix(runPrefix_);
   runPrefix_.clear();
   cache_->evictToBudget();
+}
+
+std::shared_ptr<const rcl::GlobalRib> IncrementalEngine::buildGlobalRib(
+    const NetworkRibs& merged, std::span<const std::string> resultKeys) {
+  lastAssembly_ = RibAssemblyStats{};
+  lastAssembly_.used = true;
+
+  // Fragments are sound only for content-addressed results: a provenance run
+  // stores under transient `run<N>/` keys, whose blobs are not tied to the
+  // content fingerprint the fragment key would need.
+  bool contentAddressed = !resultKeys.empty();
+  for (const std::string& key : resultKeys)
+    if (key.rfind("cas/", 0) != 0) contentAddressed = false;
+  if (!contentAddressed) {
+    lastAssembly_.bypassed = true;
+    auto full = std::make_shared<rcl::GlobalRib>(rcl::GlobalRib::fromNetworkRibs(merged));
+    return full;
+  }
+
+  // Whole-table key over the ordered result keys: two runs merging the same
+  // blobs in the same order render the same table.
+  Fnv1a wholeHash;
+  wholeHash.mix(kTagWholeTable).mix(static_cast<uint64_t>(resultKeys.size()));
+  for (const std::string& key : resultKeys) wholeHash.mix(std::string_view(key));
+  const std::string wholeKey = "cas/G/" + fingerprintHex(wholeHash.digest());
+  if (cache_->touch(wholeKey)) {
+    lastAssembly_.wholeTableHit = true;
+    auto table = store_.get<rcl::GlobalRib>(wholeKey);
+    lastAssembly_.rowsReused = table->size();
+    rowsSkipped_.add(static_cast<int64_t>(table->size()));
+    return table;
+  }
+
+  std::vector<std::shared_ptr<const rcl::RibFragment>> fragments;
+  fragments.reserve(resultKeys.size());
+  for (const std::string& resultKey : resultKeys) {
+    Fnv1a h;
+    h.mix(kTagFragment).mix(std::string_view(resultKey));
+    const std::string fragmentKey = "cas/g/" + fingerprintHex(h.digest());
+    if (cache_->touch(fragmentKey)) {
+      ++lastAssembly_.fragmentHits;
+      fragmentHits_.add(1);
+      fragments.push_back(store_.get<rcl::RibFragment>(fragmentKey));
+      continue;
+    }
+    ++lastAssembly_.fragmentMisses;
+    fragmentMisses_.add(1);
+    if (!store_.contains(resultKey)) {
+      // The result blob itself was evicted between the run and verification;
+      // nothing sound to build from — fall back to a full render.
+      lastAssembly_.bypassed = true;
+      auto full =
+          std::make_shared<rcl::GlobalRib>(rcl::GlobalRib::fromNetworkRibs(merged));
+      return full;
+    }
+    rcl::RibFragment fragment = buildFragment(*store_.get<NetworkRibs>(resultKey));
+    const size_t bytes = fragment.approxBytes();
+    store_.put(fragmentKey, std::move(fragment), bytes);
+    cache_->stored(fragmentKey, bytes);
+    fragments.push_back(store_.get<rcl::RibFragment>(fragmentKey));
+  }
+
+  std::vector<const rcl::RibFragment*> fragmentPtrs;
+  fragmentPtrs.reserve(fragments.size());
+  for (const auto& fragment : fragments) fragmentPtrs.push_back(fragment.get());
+  rcl::FragmentAssemblyStats assemblyStats;
+  rcl::GlobalRib assembled =
+      rcl::GlobalRib::assembleFromFragments(fragmentPtrs, merged, &assemblyStats);
+  lastAssembly_.rowsReused = assemblyStats.rowsReused;
+  lastAssembly_.rowsRendered = assemblyStats.rowsRendered;
+  rowsSkipped_.add(static_cast<int64_t>(assemblyStats.rowsReused));
+
+  const size_t tableBytes = assembled.size() * 280;
+  store_.put(wholeKey, std::move(assembled), tableBytes);
+  cache_->stored(wholeKey, tableBytes);
+  return store_.get<rcl::GlobalRib>(wholeKey);
 }
 
 }  // namespace hoyan::incr

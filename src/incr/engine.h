@@ -20,14 +20,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "dist/dist_sim.h"
 #include "dist/object_store.h"
 #include "incr/cache.h"
+#include "incr/fingerprint.h"
 #include "incr/impact.h"
 #include "obs/telemetry.h"
 #include "proto/network_model.h"
+#include "rcl/global_rib.h"
 
 namespace hoyan::incr {
 
@@ -35,6 +38,17 @@ struct IncrementalOptions {
   // Residency bound for cached subtask results; 0 = unbounded.
   size_t cacheBudgetBytes = 512ull << 20;
   obs::Telemetry* telemetry = nullptr;
+};
+
+// How the last buildGlobalRib call produced its table.
+struct RibAssemblyStats {
+  bool used = false;          // buildGlobalRib ran this run.
+  bool bypassed = false;      // Non-content result keys (provenance run) — full render.
+  bool wholeTableHit = false; // The assembled table itself was cached.
+  size_t fragmentHits = 0;
+  size_t fragmentMisses = 0;
+  size_t rowsReused = 0;      // Copied from fragments, render skipped.
+  size_t rowsRendered = 0;    // Shared groups, rendered from the merged table.
 };
 
 class IncrementalEngine {
@@ -53,22 +67,45 @@ class IncrementalEngine {
   // Throws std::logic_error if no base model is set.
   const ChangeImpact& beginRun(const NetworkModel& model, DistSimOptions& options);
 
-  // Erases the run's transient blobs and evicts the cache to budget.
+  // Erases the run's transient blobs and evicts the cache to budget. Call
+  // *after* intent verification: buildGlobalRib reads the run's result blobs.
   void endRun();
+
+  // Builds the global RIB for `merged` — the RIBs a route run over
+  // `resultKeys` (DistributedSimulator::routeResultKeys()) produced — from
+  // cached per-subtask fragments plus freshly rendered dirty ones, instead of
+  // re-rendering every row. Caches fragments under `cas/g/<key fp>` and the
+  // assembled table under `cas/G/<keys fp>`; byte-identical to
+  // `GlobalRib::fromNetworkRibs(merged)` by construction, falling back to
+  // exactly that whenever any key is not content-addressed (provenance runs
+  // store under transient `run<N>/` keys) or a needed blob was evicted.
+  // The returned table is finalized. `lastRibAssembly()` reports what
+  // happened; `incr.rib.{fragment_hits,fragment_misses,rows_skipped}` count
+  // across runs.
+  std::shared_ptr<const rcl::GlobalRib> buildGlobalRib(
+      const NetworkRibs& merged, std::span<const std::string> resultKeys);
+  const RibAssemblyStats& lastRibAssembly() const { return lastAssembly_; }
 
   ObjectStore& store() { return store_; }
   SubtaskCache& cache() { return *cache_; }
+  SplitCache& splitCache() { return splitCache_; }
   const ChangeImpact& lastImpact() const { return lastImpact_; }
 
  private:
   IncrementalOptions options_;
   ObjectStore store_;
   std::unique_ptr<SubtaskCache> cache_;
+  SplitCache splitCache_;
   const NetworkModel* base_ = nullptr;
   uint64_t baseModelFp_ = 0;
   ChangeImpact lastImpact_;
+  RibAssemblyStats lastAssembly_;
   uint64_t runCounter_ = 0;
   std::string runPrefix_;
+
+  obs::Counter& fragmentHits_;
+  obs::Counter& fragmentMisses_;
+  obs::Counter& rowsSkipped_;
 };
 
 }  // namespace hoyan::incr

@@ -30,8 +30,41 @@ bool evalCompare(CompareOp op, const Scalar& a, const Scalar& b) {
 
 bool Predicate::eval(const RibRow& row) const {
   switch (kind) {
-    case Kind::kFieldCompare:
+    case Kind::kFieldCompare: {
+      // Equality guards run per row while filtering whole tables; compare in
+      // place instead of materialising a Scalar (and, for prefix/nexthop, a
+      // rendered string) for every row. Prefix/address text that is not the
+      // canonical form never equals a row's canonical render, matching the
+      // string-compare semantics of the slow path.
+      if ((op == CompareOp::kEq || op == CompareOp::kNe) && !value.isNumber) {
+        const bool want = op == CompareOp::kEq;
+        switch (field) {
+          case Field::kDevice: return (row.device == value.text) == want;
+          case Field::kVrf: return (row.vrf == value.text) == want;
+          case Field::kAsPath: return (row.asPath == value.text) == want;
+          case Field::kPrefix: {
+            if (!eqCache.init) {
+              eqCache.prefix = Prefix::parse(value.text);
+              if (eqCache.prefix && eqCache.prefix->str() != value.text)
+                eqCache.prefix.reset();
+              eqCache.init = true;
+            }
+            return (eqCache.prefix && row.prefix == *eqCache.prefix) == want;
+          }
+          case Field::kNexthop: {
+            if (!eqCache.init) {
+              eqCache.address = IpAddress::parse(value.text);
+              if (eqCache.address && eqCache.address->str() != value.text)
+                eqCache.address.reset();
+              eqCache.init = true;
+            }
+            return (eqCache.address && row.nexthop == *eqCache.address) == want;
+          }
+          default: break;
+        }
+      }
       return evalCompare(op, row.fieldValue(field), value);
+    }
     case Kind::kContains:
       return row.setFieldContains(field, value);
     case Kind::kInSet:
@@ -93,8 +126,13 @@ std::string Transform::str() const {
     case Kind::kPost: return "POST";
     case Kind::kFilter:
       return inner->str() + " || (" + predicate->str() + ")";
-    case Kind::kConcat:
-      return "(" + inner->str() + " ++ " + right->str() + ")";
+    case Kind::kConcat: {
+      // Filters chain left-associatively, so a filter as the right operand
+      // needs its own parentheses to reparse with the same shape.
+      const std::string rhs =
+          right->kind == Kind::kFilter ? "(" + right->str() + ")" : right->str();
+      return "(" + inner->str() + " ++ " + rhs + ")";
+    }
   }
   return "?";
 }
@@ -139,6 +177,19 @@ size_t Evaluation::internalNodes() const {
   return 0;
 }
 
+namespace {
+
+// forall and guarded intents scope everything to their right, so as the left
+// operand of a binary connective they need their own parentheses for the
+// printed form to reparse with the same shape.
+std::string leftOperandStr(const Intent& intent) {
+  const bool openEnded =
+      intent.kind == Intent::Kind::kForall || intent.kind == Intent::Kind::kGuarded;
+  return openEnded ? "(" + intent.str() + ")" : intent.str();
+}
+
+}  // namespace
+
 std::string Intent::str() const {
   switch (kind) {
     case Kind::kRibCompare:
@@ -152,9 +203,12 @@ std::string Intent::str() const {
       if (forallValues) out += " in " + forallValues->render();
       return out + ": " + left->str();
     }
-    case Kind::kAnd: return "(" + left->str() + " and " + right->str() + ")";
-    case Kind::kOr: return "(" + left->str() + " or " + right->str() + ")";
-    case Kind::kImply: return "(" + left->str() + " imply " + right->str() + ")";
+    case Kind::kAnd:
+      return "(" + leftOperandStr(*left) + " and " + right->str() + ")";
+    case Kind::kOr:
+      return "(" + leftOperandStr(*left) + " or " + right->str() + ")";
+    case Kind::kImply:
+      return "(" + leftOperandStr(*left) + " imply " + right->str() + ")";
     case Kind::kNot: return "not (" + left->str() + ")";
   }
   return "?";

@@ -51,6 +51,15 @@ struct Predicate {
   PredicatePtr left;
   PredicatePtr right;
 
+  // Lazily-parsed form of `value` for the allocation-free equality fast path
+  // in eval (filled on first use; intent checking is single-threaded).
+  struct EqCache {
+    bool init = false;
+    std::optional<Prefix> prefix;
+    std::optional<IpAddress> address;
+  };
+  mutable EqCache eqCache;
+
   bool eval(const RibRow& row) const;
   std::string str() const;
   size_t internalNodes() const;

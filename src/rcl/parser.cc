@@ -339,31 +339,57 @@ class Parser {
   }
 
   // An operand is either a plain transform (PRE/POST with filters) or an
-  // evaluation (literal / aggregate / arithmetic).
+  // evaluation (literal / aggregate / arithmetic). `(PRE |> count() + 1)`
+  // also starts with '(' and PRE, so on a failed transform parse we backtrack
+  // into the evaluation grammar rather than reporting the transform error.
   std::pair<TransformPtr, EvaluationPtr> parseOperand() {
     if (checkIdent("PRE") || checkIdent("POST") ||
         (check(TokenKind::kLParen) && startsTransform(pos_ + 1))) {
-      const bool parenthesised = check(TokenKind::kLParen);
-      if (parenthesised) ++pos_;
-      TransformPtr transform = parseTransform();
-      if (parenthesised) expect(TokenKind::kRParen, "expected ')' after transform");
-      if (check(TokenKind::kApply)) {
-        ++pos_;
-        EvaluationPtr eval = parseAggregate(transform);
-        return {nullptr, parseArithmeticTail(eval)};
+      const size_t start = pos_;
+      try {
+        const bool parenthesised = check(TokenKind::kLParen);
+        if (parenthesised) ++pos_;
+        TransformPtr transform = parseTransform();
+        if (parenthesised) {
+          expect(TokenKind::kRParen, "expected ')' after transform");
+          // Filters/concats may chain onto a parenthesised transform:
+          // `(PRE ++ POST) || (p)` is the printer's form of a filtered concat.
+          transform = parseTransformChain(std::move(transform));
+        }
+        if (check(TokenKind::kApply)) {
+          ++pos_;
+          EvaluationPtr eval = parseAggregate(transform);
+          return {nullptr, parseArithmeticTail(eval)};
+        }
+        return {transform, nullptr};
+      } catch (const ParseError&) {
+        pos_ = start;
       }
-      return {transform, nullptr};
     }
     return {nullptr, parseEvaluation()};
   }
 
   bool startsTransform(size_t at) const {
-    return tokens_[at].kind == TokenKind::kIdent &&
+    // Look through opening parens: `((PRE ++ POST) || p)` starts a transform.
+    while (at < tokens_.size() && tokens_[at].kind == TokenKind::kLParen) ++at;
+    return at < tokens_.size() && tokens_[at].kind == TokenKind::kIdent &&
            (tokens_[at].text == "PRE" || tokens_[at].text == "POST");
   }
 
-  // A primary transform: the PRE/POST selector.
+  // A primary transform: the PRE/POST selector, or a parenthesised transform
+  // (the printer's form of a concat operand, e.g. `POST ++ (PRE ++ PRE)`).
   TransformPtr parsePrimaryTransform() {
+    if (check(TokenKind::kLParen) && startsTransform(pos_ + 1)) {
+      const size_t start = pos_;
+      try {
+        ++pos_;
+        TransformPtr inner = parseTransform();
+        expect(TokenKind::kRParen, "expected ')' after transform");
+        return inner;
+      } catch (const ParseError&) {
+        pos_ = start;
+      }
+    }
     auto node = std::make_shared<Transform>();
     if (matchIdent("PRE")) {
       node->kind = Transform::Kind::kPre;
@@ -378,7 +404,10 @@ class Parser {
   // Filters and concatenations chain left-associatively:
   // `PRE ++ POST || p` reads as `(PRE ++ POST) || p`.
   TransformPtr parseTransform() {
-    TransformPtr current = parsePrimaryTransform();
+    return parseTransformChain(parsePrimaryTransform());
+  }
+
+  TransformPtr parseTransformChain(TransformPtr current) {
     while (check(TokenKind::kFilter) || check(TokenKind::kConcat)) {
       if (check(TokenKind::kFilter)) {
         ++pos_;
@@ -439,10 +468,33 @@ class Parser {
   }
 
   EvaluationPtr parseEvalTerm() {
-    if (checkIdent("PRE") || checkIdent("POST")) {
-      TransformPtr transform = parseTransform();
-      expect(TokenKind::kApply, "expected |> after transform in evaluation");
-      return parseAggregate(transform);
+    if (checkIdent("PRE") || checkIdent("POST") ||
+        (check(TokenKind::kLParen) && startsTransform(pos_ + 1))) {
+      // `(PRE ++ POST) |> count()` also starts with '('; backtrack into the
+      // parenthesised-evaluation branch when the transform read fails.
+      const size_t start = pos_;
+      try {
+        TransformPtr transform = parseTransform();
+        expect(TokenKind::kApply, "expected |> after transform in evaluation");
+        return parseAggregate(transform);
+      } catch (const ParseError&) {
+        pos_ = start;
+        if (!check(TokenKind::kLParen)) throw;
+      }
+    }
+    // Parenthesised evaluation — the printer's form of arithmetic, e.g.
+    // `(PRE |> count() + 1)`. Backtracks so '(' can still open a scalar set
+    // error path or fall through to the literal diagnostics below.
+    if (check(TokenKind::kLParen)) {
+      const size_t start = pos_;
+      try {
+        ++pos_;
+        EvaluationPtr eval = parseEvaluation();
+        expect(TokenKind::kRParen, "expected ')' after evaluation");
+        return eval;
+      } catch (const ParseError&) {
+        pos_ = start;
+      }
     }
     auto node = std::make_shared<Evaluation>();
     node->kind = Evaluation::Kind::kLiteral;

@@ -292,6 +292,42 @@ void attachProvenance(std::vector<Violation>& violations,
   }
 }
 
+// Finds a `field = <text>` conjunct on an indexed field (device/prefix) by
+// walking `and` chains. Only positive conjuncts are sound to prune on: a row
+// failing the conjunct fails the whole conjunction, so rows outside the
+// field's bucket can never pass the guard.
+const Predicate* findIndexableConjunct(const Predicate& predicate) {
+  if (predicate.kind == Predicate::Kind::kAnd) {
+    if (const Predicate* hit = findIndexableConjunct(*predicate.left)) return hit;
+    return findIndexableConjunct(*predicate.right);
+  }
+  if (predicate.kind != Predicate::Kind::kFieldCompare) return nullptr;
+  if (predicate.op != CompareOp::kEq) return nullptr;
+  if (predicate.value.isNumber) return nullptr;
+  if (predicate.field != Field::kDevice && predicate.field != Field::kPrefix)
+    return nullptr;
+  return &predicate;
+}
+
+// The initial view for one side of the check. For a top-level guarded intent
+// over a finalized table, seed from the prefilter bucket of an indexed
+// equality conjunct instead of every row — the guard is still applied in
+// full, so this only skips rows the guard would drop anyway.
+RibView seedView(const Intent& intent, const GlobalRib& rib) {
+  if (intent.kind == Intent::Kind::kGuarded && rib.finalized()) {
+    if (const Predicate* conjunct = findIndexableConjunct(*intent.guard)) {
+      if (const std::vector<uint32_t>* bucket =
+              rib.fieldBucket(conjunct->field, conjunct->value.render())) {
+        RibView view;
+        view.rib = &rib;
+        view.rows = *bucket;
+        return view;
+      }
+    }
+  }
+  return RibView::all(rib);
+}
+
 }  // namespace
 
 std::string CheckResult::summary() const {
@@ -313,8 +349,8 @@ CheckResult checkIntent(const Intent& intent, const GlobalRib& base,
   CheckResult result;
   EvalContext context;
   context.violations = &result.violations;
-  const RibView m = RibView::all(base);
-  const RibView n = RibView::all(updated);
+  const RibView m = seedView(intent, base);
+  const RibView n = seedView(intent, updated);
   result.satisfied = evalIntent(intent, m, n, context);
   g_concatScratch.clear();
   if (result.satisfied) result.violations.clear();

@@ -5,6 +5,8 @@
 // as ground truth; nondeterminism would poison it.)
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "core/hoyan.h"
 #include "dist/dist_sim.h"
 #include "gen/wan_gen.h"
@@ -159,6 +161,92 @@ TEST_F(DeterminismTest, IncrementalWarmRunsAreByteIdenticalToColdRuns) {
     // The scoped plan's final repetition must actually have reused results.
     const ChangeVerificationResult warmAgain = warm->verifyChange(scoped, intents);
     EXPECT_GT(warmAgain.routeSubtaskCacheHits, 0u) << "w" << workers;
+  }
+}
+
+TEST_F(DeterminismTest, RandomizedChangePlansMatchWarmVsCold) {
+  // Randomized differential: a seeded stream of change plans — prefix-scoped
+  // policy edits on random border routers interleaved with all-dirty static
+  // routes on random cores — verified by a cache-enabled and a cache-less
+  // pipeline. Every observable (RIB rows, RCL counterexample text, loads)
+  // must be byte-identical; plans repeat so the warm side also replays
+  // whole-table and full-hit paths.
+  std::mt19937 rng(20250806);
+  std::vector<ChangePlan> plans;
+  for (int i = 0; i < 6; ++i) {
+    ChangePlan plan;
+    const unsigned region = rng() % 3;
+    if (rng() % 10 < 7) {
+      const unsigned octet = rng() % 24;
+      plan.name = "rand-scoped-" + std::to_string(i);
+      plan.commands = "device BR-" + std::to_string(region) +
+                      "-0\n"
+                      "ip-prefix LP-RAND-" +
+                      std::to_string(i) + " index 10 permit 100." +
+                      std::to_string(region) + "." + std::to_string(octet) +
+                      ".0/24\n"
+                      "route-policy ISP-IN-" +
+                      std::to_string(region) + " node " +
+                      std::to_string(800 + i) +
+                      " permit\n"
+                      " match ip-prefix LP-RAND-" +
+                      std::to_string(i) +
+                      "\n"
+                      " apply local-pref " +
+                      std::to_string(110 + 10 * (rng() % 9)) + "\n";
+    } else {
+      plan.name = "rand-all-dirty-" + std::to_string(i);
+      plan.commands = "device CORE-" + std::to_string(region) +
+                      "-0\nstatic-route 7" + std::to_string(i) +
+                      ".0.0.0/8 discard\n";
+    }
+    plans.push_back(plan);
+  }
+  // Repeat one scoped plan verbatim: full cache replay on the warm side.
+  plans.push_back(plans[0]);
+
+  IntentSet intents;
+  intents.rclIntents = {"not prefix = 100.0.8.0/24 => PRE = POST",
+                        "device = BR-0-0 => PRE |> distCnt(prefix) >= 0",
+                        "forall device: POST |> count() >= 0"};
+  intents.maxLinkUtilization = 5.0;
+  const auto makeHoyan = [&](bool incremental) {
+    auto hoyan = std::make_unique<Hoyan>(wan_.topology, wan_.configs);
+    hoyan->setInputRoutes(inputs_);
+    hoyan->setInputFlows(flows_);
+    DistSimOptions options;
+    options.workers = 3;
+    options.routeSubtasks = 16;
+    options.trafficSubtasks = 8;
+    hoyan->setSimulationOptions(options);
+    if (incremental) hoyan->enableIncremental();
+    hoyan->preprocess();
+    return hoyan;
+  };
+  auto cold = makeHoyan(false);
+  auto warm = makeHoyan(true);
+  for (const ChangePlan& plan : plans) {
+    const ChangeVerificationResult coldResult = cold->verifyChange(plan, intents);
+    const ChangeVerificationResult warmResult = warm->verifyChange(plan, intents);
+    const auto coldRows = renderedRows(coldResult.updatedRibs);
+    const auto warmRows = renderedRows(warmResult.updatedRibs);
+    ASSERT_EQ(coldRows.size(), warmRows.size()) << plan.name;
+    for (size_t i = 0; i < coldRows.size(); ++i)
+      ASSERT_EQ(coldRows[i], warmRows[i]) << plan.name << " row " << i;
+    ASSERT_EQ(coldResult.rclOutcomes.size(), warmResult.rclOutcomes.size());
+    for (size_t i = 0; i < coldResult.rclOutcomes.size(); ++i) {
+      EXPECT_EQ(coldResult.rclOutcomes[i].result.satisfied,
+                warmResult.rclOutcomes[i].result.satisfied)
+          << plan.name << " " << coldResult.rclOutcomes[i].specification;
+      EXPECT_EQ(coldResult.rclOutcomes[i].result.summary(),
+                warmResult.rclOutcomes[i].result.summary())
+          << plan.name;
+    }
+    ASSERT_EQ(coldResult.updatedLinkLoads.size(), warmResult.updatedLinkLoads.size());
+    for (const auto& entry : coldResult.updatedLinkLoads.entries())
+      EXPECT_NEAR(warmResult.updatedLinkLoads.get(entry.from, entry.to), entry.bps,
+                  1e-9)
+          << plan.name;
   }
 }
 

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "core/hoyan.h"
 #include "gen/wan_gen.h"
@@ -387,6 +391,87 @@ TEST_F(IncrementalEndToEndTest, EvictionKeepsResidencyWithinBudget) {
   warm->verifyChange(allDirtyPlan(), intents_);
   ASSERT_NE(warm->incremental(), nullptr);
   EXPECT_LE(warm->incremental()->cache().totalBytes(), options.cacheBudgetBytes);
+}
+
+TEST(SubtaskCacheTest, EvictionAtScaleIsFastExactAndInLruOrder) {
+  // 10^5 entries, half over budget: eviction must stay far from quadratic
+  // (the old full-scan-per-victim pass took minutes here), keep exactly the
+  // most recently used half, and keep byte accounting exact.
+  constexpr size_t kEntries = 100000;
+  constexpr size_t kBytesEach = 100;
+  ObjectStore store;
+  incr::SubtaskCache cache(&store, kEntries / 2 * kBytesEach, nullptr);
+  std::vector<std::string> keys;
+  keys.reserve(kEntries);
+  for (size_t i = 0; i < kEntries; ++i) {
+    keys.push_back("cas/r/scale-" + std::to_string(i));
+    store.put(keys.back(), static_cast<int>(i), kBytesEach);
+    cache.stored(keys.back(), kBytesEach);
+  }
+  ASSERT_EQ(cache.entryCount(), kEntries);
+  ASSERT_EQ(cache.totalBytes(), kEntries * kBytesEach);
+  // Re-touch the first half so the *insertion-order oldest* become newest.
+  for (size_t i = 0; i < kEntries / 2; ++i) ASSERT_TRUE(cache.touch(keys[i]));
+
+  const auto start = std::chrono::steady_clock::now();
+  cache.evictToBudget();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(seconds, 5.0) << "eviction pass is superlinear";
+  EXPECT_EQ(cache.entryCount(), kEntries / 2);
+  EXPECT_EQ(cache.totalBytes(), kEntries / 2 * kBytesEach);
+  for (size_t i = 0; i < kEntries; ++i)
+    EXPECT_EQ(cache.touch(keys[i]), i < kEntries / 2) << i;
+}
+
+TEST(SubtaskCacheTest, EvictionByteAccountingRoundTripsToZero) {
+  constexpr size_t kEntries = 100000;
+  ObjectStore store;
+  incr::SubtaskCache cache(&store, 1, nullptr);  // Nothing fits the budget.
+  for (size_t i = 0; i < kEntries; ++i) {
+    const std::string key = "cas/r/zero-" + std::to_string(i);
+    store.put(key, static_cast<int>(i), 64);
+    cache.stored(key, 64);
+  }
+  cache.evictToBudget();
+  EXPECT_EQ(cache.entryCount(), 0u);
+  EXPECT_EQ(cache.totalBytes(), 0u);
+}
+
+TEST(SplitCacheTest, ReusesSortedOrdersAndMemoizesChunkFingerprints) {
+  const SmallWan net = buildSmallWan();
+  std::vector<InputRoute> inputs{ispRoute(net, "100.2.0.0/16"),
+                                 ispRoute(net, "100.1.0.0/16"),
+                                 ispRoute(net, "100.3.0.0/16")};
+  incr::SplitCache cache;
+  // Cold probe: no cached order yet; store one.
+  ASSERT_EQ(cache.cachedRouteOrder(inputs), nullptr);
+  std::vector<InputRoute> sorted = inputs;
+  std::sort(sorted.begin(), sorted.end(), [](const InputRoute& a, const InputRoute& b) {
+    return a.route.prefix.firstAddress() < b.route.prefix.firstAddress();
+  });
+  cache.storeRouteOrder(std::make_shared<const std::vector<InputRoute>>(sorted));
+
+  // Warm probe with the same (unsorted) inputs: the stored order comes back.
+  const auto cached = cache.cachedRouteOrder(inputs);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cache.routeOrderReuses(), 1u);
+  ASSERT_EQ(cached->size(), sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i)
+    EXPECT_EQ((*cached)[i].route.prefix.str(), sorted[i].route.prefix.str());
+
+  // Chunk fingerprints over the cached buffer memoize and agree with the
+  // direct hash; spans outside the cached buffer are not claimed.
+  const std::span<const InputRoute> chunk(cached->data(), 2);
+  const auto memoized = cache.routeChunkFingerprint(chunk);
+  ASSERT_TRUE(memoized.has_value());
+  EXPECT_EQ(*memoized, incr::fingerprintInputRouteChunk(chunk));
+  EXPECT_EQ(*cache.routeChunkFingerprint(chunk), *memoized);
+  EXPECT_FALSE(cache.routeChunkFingerprint(inputs).has_value());
+
+  // A different input set misses and invalidates nothing until stored.
+  std::vector<InputRoute> other{ispRoute(net, "100.9.0.0/16")};
+  EXPECT_EQ(cache.cachedRouteOrder(other), nullptr);
 }
 
 TEST(IncrementalEngineTest, BeginRunWithoutBaseModelThrows) {

@@ -176,5 +176,252 @@ TEST(RclGrammarTest, SetsCompareOnlyWithEquality) {
   EXPECT_FALSE(result.satisfied);
 }
 
+// --- printer/parser round trip ----------------------------------------------
+
+// Generates random grammar-shaped ASTs whose printed form must reparse to an
+// equivalent AST. Scalars stick to forms that re-lex canonically: integers
+// (non-integer doubles render as "1.500000", which is not a numeric token),
+// identifier-safe names, and canonical prefixes/addresses/communities.
+class AstGen {
+ public:
+  explicit AstGen(unsigned seed) : rng_(seed) {}
+
+  IntentPtr intent(int depth) {
+    auto node = std::make_shared<Intent>();
+    switch (pick(depth > 0 ? 8 : 2)) {
+      case 0:
+        node->kind = Intent::Kind::kRibCompare;
+        node->transformLeft = transform(depth);
+        node->transformRight = transform(depth);
+        node->ribEqual = pick(2) == 0;
+        break;
+      case 1:
+        node->kind = Intent::Kind::kEvalCompare;
+        node->evalLeft = evaluation(depth);
+        node->evalRight = evaluation(depth);
+        node->op = compareOp();
+        break;
+      case 2:
+        node->kind = Intent::Kind::kGuarded;
+        node->guard = predicate(depth - 1);
+        node->left = intent(depth - 1);
+        break;
+      case 3: {
+        node->kind = Intent::Kind::kForall;
+        node->forallField = field();
+        if (pick(2) == 0) {
+          ScalarSet values;
+          values.insert(Scalar::str("R1"));
+          values.insert(Scalar::str("R2"));
+          node->forallValues = values;
+        }
+        node->left = intent(depth - 1);
+        break;
+      }
+      case 4:
+      case 5:
+      case 6:
+        node->kind = pick(3) == 0   ? Intent::Kind::kAnd
+                     : pick(2) == 0 ? Intent::Kind::kOr
+                                    : Intent::Kind::kImply;
+        node->left = intent(depth - 1);
+        node->right = intent(depth - 1);
+        break;
+      default:
+        node->kind = Intent::Kind::kNot;
+        node->left = intent(depth - 1);
+        break;
+    }
+    return node;
+  }
+
+ private:
+  size_t pick(size_t n) { return rng_() % n; }
+
+  Field field() {
+    static const Field kFields[] = {Field::kDevice,    Field::kVrf,
+                                    Field::kPrefix,    Field::kNexthop,
+                                    Field::kLocalPref, Field::kMed,
+                                    Field::kAsPath,    Field::kProtocol};
+    return kFields[pick(std::size(kFields))];
+  }
+
+  CompareOp compareOp() {
+    static const CompareOp kOps[] = {CompareOp::kGt, CompareOp::kGe, CompareOp::kEq,
+                                     CompareOp::kNe, CompareOp::kLt, CompareOp::kLe};
+    return kOps[pick(std::size(kOps))];
+  }
+
+  Scalar scalar() {
+    switch (pick(4)) {
+      case 0: return Scalar::num(static_cast<double>(pick(1000)));
+      case 1: return Scalar::str("R" + std::to_string(pick(9)));
+      case 2:
+        return Scalar::str("10." + std::to_string(pick(200)) + ".0.0/16");
+      default:
+        return Scalar::str(std::to_string(100 + pick(100)) + ":" +
+                           std::to_string(pick(10)));
+    }
+  }
+
+  PredicatePtr predicate(int depth) {
+    auto node = std::make_shared<Predicate>();
+    switch (pick(depth > 0 ? 7 : 4)) {
+      case 0:
+        node->kind = Predicate::Kind::kFieldCompare;
+        node->field = field();
+        node->op = compareOp();
+        node->value = scalar();
+        break;
+      case 1:
+        node->kind = Predicate::Kind::kContains;
+        node->field = Field::kCommunities;
+        node->value = Scalar::str("100:" + std::to_string(pick(5)));
+        break;
+      case 2:
+        node->kind = Predicate::Kind::kInSet;
+        node->field = field();
+        for (size_t i = 0, n = pick(3) + 1; i < n; ++i)
+          node->valueSet.insert(scalar());
+        break;
+      case 3:
+        node->kind = Predicate::Kind::kMatches;
+        node->field = field();
+        node->regex = "R[0-9]+";
+        break;
+      case 4:
+      case 5:
+        node->kind = pick(3) == 0   ? Predicate::Kind::kAnd
+                     : pick(2) == 0 ? Predicate::Kind::kOr
+                                    : Predicate::Kind::kImply;
+        node->left = predicate(depth - 1);
+        node->right = predicate(depth - 1);
+        break;
+      default:
+        node->kind = Predicate::Kind::kNot;
+        node->left = predicate(depth - 1);
+        break;
+    }
+    return node;
+  }
+
+  TransformPtr transform(int depth) {
+    auto node = std::make_shared<Transform>();
+    switch (pick(depth > 0 ? 4 : 2)) {
+      case 0: node->kind = Transform::Kind::kPre; break;
+      case 1: node->kind = Transform::Kind::kPost; break;
+      case 2:
+        node->kind = Transform::Kind::kFilter;
+        node->inner = transform(depth - 1);
+        node->predicate = predicate(depth - 1);
+        break;
+      default:
+        node->kind = Transform::Kind::kConcat;
+        node->inner = transform(depth - 1);
+        node->right = transform(depth - 1);
+        break;
+    }
+    return node;
+  }
+
+  EvaluationPtr evaluation(int depth) {
+    auto node = std::make_shared<Evaluation>();
+    switch (pick(depth > 0 ? 4 : 3)) {
+      case 0:
+        node->kind = Evaluation::Kind::kLiteral;
+        node->literal = Value::fromScalar(Scalar::num(static_cast<double>(pick(100))));
+        break;
+      case 1: {
+        node->kind = Evaluation::Kind::kLiteral;
+        ScalarSet set;
+        for (size_t i = 0, n = pick(3); i < n; ++i) set.insert(scalar());
+        node->literal = Value::fromSet(std::move(set));
+        break;
+      }
+      case 2:
+        node->kind = Evaluation::Kind::kAggregate;
+        node->transform = transform(depth - 1);
+        node->func = static_cast<AggFunc>(pick(3));
+        node->field = field();
+        break;
+      default:
+        node->kind = Evaluation::Kind::kArithmetic;
+        node->arithOp = "+-*/"[pick(4)];
+        node->left = evaluation(depth - 1);
+        node->right = evaluation(depth - 1);
+        break;
+    }
+    return node;
+  }
+
+  std::mt19937 rng_;
+};
+
+// Property: print -> parse -> print is the identity, and the reparsed AST has
+// the same internal-node count (the Fig. 8 size metric).
+TEST(RclRoundTripTest, PrintedIntentsReparseToEquivalentAsts) {
+  for (unsigned seed = 1; seed <= 200; ++seed) {
+    AstGen gen(seed);
+    const IntentPtr original = gen.intent(4);
+    const std::string text = original->str();
+    const ParseOutcome outcome = parseIntent(text);
+    ASSERT_TRUE(outcome.ok()) << "seed " << seed << ": " << text << "\n  error: "
+                              << outcome.error;
+    EXPECT_EQ(outcome.intent->str(), text) << "seed " << seed;
+    EXPECT_EQ(outcome.intent->internalNodes(), original->internalNodes())
+        << "seed " << seed << ": " << text;
+  }
+}
+
+// Malformed-input corpus: deterministic mutations of valid specifications
+// (truncations, deletions, substitutions, insertions) must either parse or
+// report a ParseError through the outcome — never crash or throw past
+// parseIntent.
+TEST(RclFuzzTest, MutatedSpecificationsNeverCrashTheParser) {
+  std::vector<std::string> corpus = {
+      "device = R1 => PRE = POST",
+      "forall device in {R1, R2}: PRE |> count() = POST |> count()",
+      "not (PRE || (prefix = 10.0.0.0/16) |> distCnt(nexthop) >= 2)",
+      "(PRE ++ POST) || (communities contains 100:1) |> count() = 0",
+      "POST |> distVals(nexthop) = {1.1.1.1, 2.2.2.2}",
+      "aspath matches \"R[0-9]+\" => (PRE |> count() + 1) * 2 >= 0",
+  };
+  for (unsigned seed = 1; seed <= 20; ++seed)
+    corpus.push_back(AstGen(seed).intent(3)->str());
+
+  const std::string alphabet = "()|>=!<{}:,.\"* +-/R10 \t";
+  size_t parsed = 0, rejected = 0;
+  for (const std::string& base : corpus) {
+    for (size_t i = 0; i < base.size(); i += 1 + i / 8) {
+      std::vector<std::string> mutants;
+      mutants.push_back(base.substr(0, i));                      // truncate
+      mutants.push_back(base.substr(0, i) + base.substr(i + 1)); // delete
+      std::string sub = base;
+      sub[i] = alphabet[i % alphabet.size()];                    // substitute
+      mutants.push_back(sub);
+      std::string ins = base;
+      ins.insert(i, 1, alphabet[(i * 7) % alphabet.size()]);     // insert
+      mutants.push_back(ins);
+      for (const std::string& mutant : mutants) {
+        try {
+          const ParseOutcome outcome = parseIntent(mutant);
+          if (outcome.ok()) {
+            ++parsed;
+            EXPECT_FALSE(outcome.intent->str().empty());
+          } else {
+            ++rejected;
+            EXPECT_FALSE(outcome.error.empty()) << mutant;
+          }
+        } catch (...) {
+          FAIL() << "parser threw on: " << mutant;
+        }
+      }
+    }
+  }
+  // The corpus must exercise both accepting and rejecting paths.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
 }  // namespace
 }  // namespace hoyan::rcl
