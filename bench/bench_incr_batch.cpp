@@ -8,11 +8,16 @@
 // JSON artifact for CI.
 //
 // Flags (also readable from the environment, bench_util-style):
-//   --json-out=<file>   JSON artifact path (HOYAN_INCR_JSON, default
-//                       incr_batch.json)
-//   --incr=off          skip the incremental engine: run the cold pipeline
-//                       only (baseline mode; no hit-rate gate)
-//   --plans=<n>         corpus size (default 50)
+//   --json-out=<file>      JSON artifact path (HOYAN_INCR_JSON, default
+//                          incr_batch.json); common BenchJson schema
+//                          ({bench, config{}, metrics{}, seconds{}})
+//   --incr=off             skip the incremental engine: run the cold pipeline
+//                          only (baseline mode; no hit-rate gate)
+//   --plans=<n>            corpus size (default 50)
+//   --journal-cold=<file>  write the cold pipeline's RunJournal JSONL
+//                          (HOYAN_JOURNAL_COLD); feed to `hoyan_inspect diff`
+//   --journal-warm=<file>  same for the incremental pipeline
+//                          (HOYAN_JOURNAL_WARM)
 //
 // Exit code: with the engine on, nonzero if the aggregate subtask cache hit
 // rate falls below 0.7 — the cache regressing to misses is a correctness
@@ -33,14 +38,8 @@ namespace {
 
 std::string flagValue(const std::string& name, const char* envVar,
                       const std::string& fallback) {
-  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
-  std::string arg;
-  const std::string prefix = "--" + name + "=";
-  while (std::getline(cmdline, arg, '\0'))
-    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
-  if (envVar)
-    if (const char* env = std::getenv(envVar)) return env;
-  return fallback;
+  const std::string value = benchFlag(name, envVar);
+  return value.empty() ? fallback : value;
 }
 
 // A corpus plan: one border router gains a prefix-scoped local-pref bump on
@@ -86,6 +85,8 @@ int main(int argc, char** argv) {
       flagValue("json-out", "HOYAN_INCR_JSON", "incr_batch.json");
   const size_t planCount =
       std::stoul(flagValue("plans", "HOYAN_INCR_PLANS", "50"));
+  const std::string journalColdPath = benchFlag("journal-cold", "HOYAN_JOURNAL_COLD");
+  const std::string journalWarmPath = benchFlag("journal-warm", "HOYAN_JOURNAL_WARM");
 
   WanSpec wan;
   wan.regions = 4;
@@ -109,18 +110,31 @@ int main(int argc, char** argv) {
 
   const GeneratedWan generated = generateWan(wan);
   const std::vector<InputRoute> inputs = generateInputRoutes(generated, workload);
-  const std::vector<Flow> flows = generateFlows(generated, workload, 200000);
+  constexpr size_t kFlowCount = 200000;
+  const std::vector<Flow> flows = generateFlows(generated, workload, kFlowCount);
 
   DistSimOptions simOptions;
   simOptions.workers = 4;
   simOptions.routeSubtasks = 96;   // Fine chunks keep a miss's re-run small.
   simOptions.trafficSubtasks = 64;
 
-  const auto makeHoyan = [&](bool withEngine) {
+  // Per-instance telemetry so the cold and warm pipelines record into
+  // separate journals — the pair is what `hoyan_inspect diff` consumes.
+  const auto makeTelemetry = [](const std::string& journalPath) {
+    if (journalPath.empty()) return std::unique_ptr<obs::Telemetry>();
+    obs::TelemetryOptions options;
+    options.journal = true;
+    return std::make_unique<obs::Telemetry>(options);
+  };
+  const auto coldTelemetry = makeTelemetry(journalColdPath);
+  const auto warmTelemetry = makeTelemetry(journalWarmPath);
+
+  const auto makeHoyan = [&](bool withEngine, obs::Telemetry* telemetry) {
     auto hoyan = std::make_unique<Hoyan>(generated.topology, generated.configs);
     hoyan->setInputRoutes(inputs);
     hoyan->setInputFlows(flows);
     hoyan->setSimulationOptions(simOptions);
+    if (telemetry) hoyan->setTelemetry(telemetry);
     if (withEngine) hoyan->enableIncremental();
     Stopwatch stopwatch;
     hoyan->preprocess();
@@ -129,9 +143,9 @@ int main(int argc, char** argv) {
     return hoyan;
   };
 
-  auto cold = makeHoyan(false);
+  auto cold = makeHoyan(false, coldTelemetry.get());
   std::unique_ptr<Hoyan> warm;
-  if (incremental) warm = makeHoyan(true);
+  if (incremental) warm = makeHoyan(true, warmTelemetry.get());
 
   std::vector<CorpusEntry> corpus;
   for (size_t i = 0; i < planCount; ++i)
@@ -261,33 +275,41 @@ int main(int argc, char** argv) {
                 totalHits, totalSubtasks, coldVerify, warmVerify);
   std::printf("; %zu unsatisfied (expect 0)\n", unsatisfied);
 
-  std::string json = "{\n  \"incremental\": ";
-  json += incremental ? "true" : "false";
-  json += ",\n  \"plans\": " + std::to_string(timings.size());
-  json += ",\n  \"cold_total_seconds\": " + fmt(coldTotal, "%.6g");
-  json += ",\n  \"warm_total_seconds\": " + fmt(warmTotal, "%.6g");
-  json += ",\n  \"median_sim_speedup\": " + fmt(medianSimSpeedup, "%.6g");
-  json += ",\n  \"median_e2e_speedup\": " + fmt(medianE2eSpeedup, "%.6g");
-  json += ",\n  \"cold_verify_seconds\": " + fmt(coldVerify, "%.6g");
-  json += ",\n  \"warm_verify_seconds\": " + fmt(warmVerify, "%.6g");
-  json += ",\n  \"cache_hit_rate\": " + fmt(hitRate, "%.6g");
-  json += ",\n  \"cache_hits\": " + std::to_string(totalHits);
-  json += ",\n  \"cache_lookups\": " + std::to_string(totalSubtasks);
-  json += ",\n  \"unsatisfied\": " + std::to_string(unsatisfied);
-  json += ",\n  \"per_plan\": [\n";
-  for (size_t i = 0; i < timings.size(); ++i) {
-    json += "    {\"name\": \"" + timings[i].name + "\", \"cold_seconds\": " +
-            fmt(timings[i].coldSeconds, "%.6g") + ", \"warm_seconds\": " +
-            fmt(timings[i].warmSeconds, "%.6g") + ", \"cache_hits\": " +
-            std::to_string(timings[i].hits) + ", \"subtasks\": " +
-            std::to_string(timings[i].subtasks) + "}";
-    json += i + 1 < timings.size() ? ",\n" : "\n";
-  }
-  json += "  ]\n}\n";
-  if (obs::writeFile(jsonPath, json))
+  BenchJson artifact("incr_batch");
+  artifact.config("incremental", incremental ? "on" : "off");
+  artifact.config("plans", static_cast<double>(timings.size()));
+  artifact.config("workers", static_cast<double>(simOptions.workers));
+  artifact.config("route_subtasks", static_cast<double>(simOptions.routeSubtasks));
+  artifact.config("traffic_subtasks", static_cast<double>(simOptions.trafficSubtasks));
+  artifact.config("flows", static_cast<double>(kFlowCount));
+  artifact.metric("median_sim_speedup", medianSimSpeedup);
+  artifact.metric("median_e2e_speedup", medianE2eSpeedup);
+  artifact.metric("cache_hit_rate", hitRate);
+  artifact.metric("cache_hits", static_cast<double>(totalHits));
+  artifact.metric("cache_lookups", static_cast<double>(totalSubtasks));
+  artifact.metric("unsatisfied", static_cast<double>(unsatisfied));
+  artifact.seconds("cold_total", coldTotal);
+  artifact.seconds("warm_total", warmTotal);
+  artifact.seconds("cold_route", coldRoute);
+  artifact.seconds("warm_route", warmRoute);
+  artifact.seconds("cold_traffic", coldTraffic);
+  artifact.seconds("warm_traffic", warmTraffic);
+  artifact.seconds("cold_verify", coldVerify);
+  artifact.seconds("warm_verify", warmVerify);
+  if (obs::writeFile(jsonPath, artifact.str()))
     std::printf("json -> %s\n", jsonPath.c_str());
   else
     std::fprintf(stderr, "failed to write %s\n", jsonPath.c_str());
+
+  const auto writeJournal = [](const std::string& path, obs::Telemetry* telemetry) {
+    if (path.empty() || !telemetry) return;
+    if (obs::writeFile(path, telemetry->journal().toJsonl()))
+      std::printf("journal -> %s\n", path.c_str());
+    else
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  };
+  writeJournal(journalColdPath, coldTelemetry.get());
+  writeJournal(journalWarmPath, warmTelemetry.get());
 
   if (unsatisfied > 0) return 1;
   if (incremental && hitRate < 0.7) {

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,24 +29,41 @@
 
 namespace hoyan::bench {
 
-// Opt-in tracing for every benchmark, with no per-bench changes: pass
-// `--trace-out=<file>` (or set HOYAN_TRACE_OUT=<file>) and the run's spans
-// are dumped as Chrome-trace JSON to <file> on exit, plus a metrics snapshot
-// to <file>.metrics.json. Implemented as a header-inline global whose
-// constructor installs a tracing `obs::Telemetry` as the process default
+// Reads `--<name>=<value>` from /proc/self/cmdline (argv[] NUL-separated;
+// absent outside Linux) falling back to the `env` variable. Works before
+// main() and without touching each bench's argv handling (google benchmark
+// ignores unknown flags).
+inline std::string benchFlag(const std::string& name, const char* env = nullptr) {
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  std::string arg;
+  const std::string prefix = "--" + name + "=";
+  while (std::getline(cmdline, arg, '\0'))
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  if (env)
+    if (const char* value = std::getenv(env)) return value;
+  return {};
+}
+
+// Opt-in telemetry artifacts for every benchmark, with no per-bench changes:
+//   --trace-out=<file>    (HOYAN_TRACE_OUT)    Chrome-trace spans + a metrics
+//                                              snapshot at <file>.metrics.json
+//   --metrics-out=<file>  (HOYAN_METRICS_OUT)  metrics snapshot alone
+//   --journal-out=<file>  (HOYAN_JOURNAL_OUT)  run flight-recorder JSONL
+// Any one of them installs an `obs::Telemetry` as the process default
 // (`Telemetry::global()`), which `DistributedSimulator` and the diag entry
-// points fall back to. The flag is read from /proc/self/cmdline so it works
-// before main() and without touching each bench's argv handling (google
-// benchmark ignores the unknown flag).
+// points fall back to; tracing/journaling are enabled only when their flag
+// asks for the artifact. Implemented as a header-inline global so the hook
+// runs before main() and dumps on exit.
 class TraceOutHook {
  public:
   TraceOutHook() {
-    path_ = fromCommandLine();
-    if (path_.empty())
-      if (const char* env = std::getenv("HOYAN_TRACE_OUT")) path_ = env;
-    if (path_.empty()) return;
+    tracePath_ = benchFlag("trace-out", "HOYAN_TRACE_OUT");
+    metricsPath_ = benchFlag("metrics-out", "HOYAN_METRICS_OUT");
+    journalPath_ = benchFlag("journal-out", "HOYAN_JOURNAL_OUT");
+    if (tracePath_.empty() && metricsPath_.empty() && journalPath_.empty()) return;
     obs::TelemetryOptions options;
-    options.tracing = true;
+    options.tracing = !tracePath_.empty();
+    options.journal = !journalPath_.empty();
     telemetry_ = std::make_unique<obs::Telemetry>(options);
     obs::Telemetry::setGlobal(telemetry_.get());
   }
@@ -52,30 +71,36 @@ class TraceOutHook {
   ~TraceOutHook() {
     if (!telemetry_) return;
     obs::Telemetry::setGlobal(nullptr);
-    if (obs::writeFile(path_, telemetry_->tracer().toChromeTraceJson()))
-      std::fprintf(stderr, "trace: %zu spans -> %s (open in chrome://tracing or "
-                   "https://ui.perfetto.dev)\n",
-                   telemetry_->tracer().eventCount(), path_.c_str());
-    else
-      std::fprintf(stderr, "trace: failed to write %s\n", path_.c_str());
-    const std::string metricsPath = path_ + ".metrics.json";
-    if (obs::writeFile(metricsPath, telemetry_->metrics().toJson()))
-      std::fprintf(stderr, "metrics snapshot -> %s\n", metricsPath.c_str());
+    if (!tracePath_.empty()) {
+      if (obs::writeFile(tracePath_, telemetry_->tracer().toChromeTraceJson()))
+        std::fprintf(stderr, "trace: %zu spans -> %s (open in chrome://tracing or "
+                     "https://ui.perfetto.dev)\n",
+                     telemetry_->tracer().eventCount(), tracePath_.c_str());
+      else
+        std::fprintf(stderr, "trace: failed to write %s\n", tracePath_.c_str());
+      const std::string metricsPath = tracePath_ + ".metrics.json";
+      if (obs::writeFile(metricsPath, telemetry_->metrics().toJson()))
+        std::fprintf(stderr, "metrics snapshot -> %s\n", metricsPath.c_str());
+    }
+    if (!metricsPath_.empty()) {
+      if (obs::writeFile(metricsPath_, telemetry_->metrics().toJson()))
+        std::fprintf(stderr, "metrics snapshot -> %s\n", metricsPath_.c_str());
+      else
+        std::fprintf(stderr, "metrics: failed to write %s\n", metricsPath_.c_str());
+    }
+    if (!journalPath_.empty()) {
+      if (obs::writeFile(journalPath_, telemetry_->journal().toJsonl()))
+        std::fprintf(stderr, "journal: %zu events -> %s\n",
+                     telemetry_->journal().eventCount(), journalPath_.c_str());
+      else
+        std::fprintf(stderr, "journal: failed to write %s\n", journalPath_.c_str());
+    }
   }
 
  private:
-  static std::string fromCommandLine() {
-    // argv[] NUL-separated; absent outside Linux, where only the env works.
-    std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
-    std::string arg;
-    while (std::getline(cmdline, arg, '\0')) {
-      const std::string prefix = "--trace-out=";
-      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
-    }
-    return {};
-  }
-
-  std::string path_;
+  std::string tracePath_;
+  std::string metricsPath_;
+  std::string journalPath_;
   std::unique_ptr<obs::Telemetry> telemetry_;
 };
 
@@ -223,6 +248,88 @@ inline std::string fmt(double value, const char* format = "%.3g") {
   std::snprintf(buffer, sizeof(buffer), format, value);
   return buffer;
 }
+
+// The common machine-readable result artifact: every bench that reports
+// numbers emits the same shape behind `--json-out=<file>` (env
+// HOYAN_BENCH_JSON), so CI regression gates and ad-hoc tooling parse one
+// schema instead of one per bench:
+//
+//   {"bench":"<name>",
+//    "config":{...},     // What the run was (flags, sizes, seeds).
+//    "metrics":{...},    // Dimensionless results (counts, rates, speedups).
+//    "seconds":{...}}    // Every duration, in seconds.
+//
+// Keys within each section sort lexicographically (std::map), so the
+// artifact is byte-deterministic for a deterministic run.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void config(const std::string& name, const std::string& value) {
+    config_[name] = quoted(value);
+  }
+  void config(const std::string& name, double value) { config_[name] = number(value); }
+  void metric(const std::string& name, double value) { metrics_[name] = number(value); }
+  void seconds(const std::string& name, double value) { seconds_[name] = number(value); }
+
+  std::string str() const {
+    std::string out = "{\"bench\":" + quoted(bench_);
+    out += ",\"config\":" + section(config_);
+    out += ",\"metrics\":" + section(metrics_);
+    out += ",\"seconds\":" + section(seconds_);
+    out += "}\n";
+    return out;
+  }
+
+  // The path `--json-out=` / HOYAN_BENCH_JSON asks for; empty when absent.
+  static std::string requestedPath() { return benchFlag("json-out", "HOYAN_BENCH_JSON"); }
+
+  // Writes the artifact when one was requested. Returns false only on I/O
+  // failure (no request is success).
+  bool writeIfRequested() const {
+    const std::string path = requestedPath();
+    if (path.empty()) return true;
+    const bool ok = obs::writeFile(path, str());
+    std::fprintf(stderr, ok ? "bench json -> %s\n" : "bench json: failed to write %s\n",
+                 path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string quoted(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string number(double value) {
+    if (!std::isfinite(value)) return "0";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+  }
+
+  static std::string section(const std::map<std::string, std::string>& fields) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, value] : fields) {
+      if (!first) out += ',';
+      first = false;
+      out += quoted(name) + ":" + value;
+    }
+    out += '}';
+    return out;
+  }
+
+  std::string bench_;
+  std::map<std::string, std::string> config_;
+  std::map<std::string, std::string> metrics_;
+  std::map<std::string, std::string> seconds_;
+};
 
 }  // namespace hoyan::bench
 

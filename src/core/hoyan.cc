@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "incr/fingerprint.h"
+
 namespace hoyan {
 namespace {
 
@@ -10,6 +12,25 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Fingerprint of everything that shapes how a run executes — stamped on the
+// journal's run_begin so journals from differently-configured runs are never
+// diffed silently.
+// Worker count is deliberately left out: it is pure scheduling — results and
+// the canonical journal are identical for any worker count — so cold/warm
+// journals from differently-threaded hosts still diff cleanly.
+uint64_t distOptionsFingerprint(const DistSimOptions& options) {
+  incr::Fnv1a h;
+  h.mix(static_cast<uint64_t>(options.routeSubtasks))
+      .mix(static_cast<uint64_t>(options.trafficSubtasks))
+      .mix(static_cast<uint64_t>(options.strategy))
+      .mix(static_cast<uint64_t>(options.loadAllRibs ? 1 : 0))
+      .mix(static_cast<uint64_t>(options.maxAttempts))
+      .mix(options.failureSeed)
+      .mix(incr::fingerprintRouteOptions(options.routeOptions))
+      .mix(incr::fingerprintTrafficOptions(options.trafficOptions));
+  return h.digest();
 }
 
 }  // namespace
@@ -142,8 +163,11 @@ void Hoyan::setInputFlows(std::vector<Flow> flows) {
 }
 
 void Hoyan::preprocess() {
-  obs::Telemetry& tel = obs::Telemetry::orDisabled(telemetry_);
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(
+      telemetry_ ? telemetry_ : obs::Telemetry::global());
   obs::Span span = tel.tracer().span("core.preprocess", "core");
+  obs::RunJournal& journal = tel.journal();
+  journal.runBegin("preprocess", distOptionsFingerprint(distOptions_));
   DistSimOptions runOptions = distOptions_;
   if (incremental_) {
     // The base run seeds the cache: its subtask results are what later clean
@@ -174,6 +198,7 @@ void Hoyan::preprocess() {
   }
   preprocessed_ = true;
   span.finish();
+  journal.runEnd("preprocess", span.seconds());
   tel.log().info("core.preprocess.done",
                  {{"seconds", std::to_string(span.seconds())},
                   {"routes", std::to_string(baseRibs_.routeCount())}});
@@ -199,9 +224,12 @@ NetworkModel Hoyan::buildUpdatedModel(const ChangePlan& plan,
 ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
                                              const IntentSet& intents) {
   requirePreprocessed();
-  obs::Telemetry& tel = obs::Telemetry::orDisabled(telemetry_);
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(
+      telemetry_ ? telemetry_ : obs::Telemetry::global());
   obs::Span taskSpan = tel.tracer().span("core.verify_change", "core");
   taskSpan.arg("plan", plan.name);
+  obs::RunJournal& journal = tel.journal();
+  journal.runBegin(plan.name, distOptionsFingerprint(distOptions_));
   tel.metrics().counter("core.changes_verified").add(1);
   // Fresh provenance log per verification: the explain chains and violation
   // attachments below must describe *this* change's simulation.
@@ -209,9 +237,11 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   ChangeVerificationResult result;
 
   // 1. Updated network model (incremental: base model + parsed commands).
+  journal.phaseBegin("model_build");
   obs::Span modelSpan = tel.tracer().span("core.build_updated_model", "core");
   NetworkModel updated = buildUpdatedModel(plan, &result.commandErrors);
   modelSpan.finish();
+  journal.phaseEnd("model_build", modelSpan.seconds());
 
   // 2. Updated input set.
   std::vector<InputRoute> updatedInputs = inputRoutes_;
@@ -260,6 +290,7 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   }
   // 4. Intent verification. The engine's endRun waits until after it: the
   // fragment fast path reads this run's result blobs out of the store.
+  journal.phaseBegin("intent_verify");
   obs::Span intentSpan = tel.tracer().span("core.check_intents", "core");
   const auto verifyStart = Clock::now();
   if (!intents.rclIntents.empty()) {
@@ -292,11 +323,13 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
         checkLinkLoads(updated.topology, updatedLoads, *intents.maxLinkUtilization);
   }
   intentSpan.finish();
+  journal.phaseEnd("intent_verify", intentSpan.seconds());
   result.verifySeconds = secondsSince(verifyStart);
   if (incremental_) incremental_->endRun();
   result.updatedRibs = std::move(updatedRibs);
   result.updatedLinkLoads = std::move(updatedLoads);
   taskSpan.finish();
+  journal.runEnd(plan.name, taskSpan.seconds());
   if (!result.satisfied()) tel.metrics().counter("core.changes_violated").add(1);
   tel.log().info("core.verify_change.done",
                  {{"plan", plan.name},
@@ -315,7 +348,8 @@ std::vector<ChangeVerificationResult> Hoyan::verifyChangeBatch(
 
 std::vector<RclOutcome> Hoyan::runAuditTasks(const std::vector<std::string>& auditSpecs) {
   requirePreprocessed();
-  obs::Telemetry& tel = obs::Telemetry::orDisabled(telemetry_);
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(
+      telemetry_ ? telemetry_ : obs::Telemetry::global());
   obs::Span span = tel.tracer().span("core.audit", "core");
   span.arg("tasks", std::to_string(auditSpecs.size()));
   std::vector<RclOutcome> outcomes;

@@ -13,6 +13,13 @@
 namespace hoyan {
 namespace {
 
+// Bucket upper bounds for the per-phase subtask duration histograms
+// (`dist.subtask_duration_ms.<phase>`): 0.1ms .. 30s, log-spaced.
+std::vector<double> subtaskDurationBoundsMs() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+          1000, 2500, 5000, 10000, 30000};
+}
+
 // Deterministic per-(subtask, attempt) crash decision for fault injection.
 bool injectCrash(const DistSimOptions& options, const std::string& id, int attempt) {
   if (options.workerFailureProbability <= 0) return false;
@@ -70,15 +77,27 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
                                       ? options_.routeOptions.provenance
                                       : obs::ProvenanceRecorder::global();
   if (prov && !prov->enabled()) prov = nullptr;
-  // Result cache: provenance-recording runs bypass it — a cached subtask
-  // cannot replay the decision events its original execution emitted.
+  // Result cache: recording runs participate too. Every executed subtask
+  // stores its compressed event log under `<result key>#prov`, so a later
+  // hit *replays* the original execution's events at merge time. A hit is
+  // only served when a blob recorded under the same filter/caps is resident;
+  // otherwise the subtask re-runs (never replaying mismatched events).
   SubtaskResultCache* cache = options_.cache;
-  if (cache && prov) {
-    cache->noteBypass();
-    cache = nullptr;
-  }
+  obs::RunJournal& journal = tel.journal();
+  const uint64_t provFp =
+      prov ? obs::provenanceOptionsFingerprint(prov->options()) : 0;
+  // True when serving a hit on `resultKey` would not lose or corrupt this
+  // run's provenance. A missing *result* blob is a plain miss, not a bypass.
+  const auto provReplayable = [&](const std::string& resultKey) {
+    if (!prov) return true;
+    if (!store_->contains(resultKey)) return true;
+    const std::string provKey = resultKey + "#prov";
+    return store_->contains(provKey) &&
+           store_->get<obs::CompressedRouteEvents>(provKey)->filterFp == provFp;
+  };
 
   // --- master: prepare subtasks -------------------------------------------
+  journal.phaseBegin("route.split");
   obs::Span splitSpan = tel.tracer().span("route.split", "dist");
   // The sorted order is a pure function of the input set, so an unchanged set
   // reuses the previous run's copy instead of re-sorting (ordering strategy
@@ -143,9 +162,15 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
     record.coverage = range;
     if (cache) {
       record.resultKey = cache->routeResultKey(slice, record.coverage);
-      if (cache->lookup(record.resultKey)) {
+      const bool provOk = provReplayable(record.resultKey);
+      if (!provOk) {
+        cache->noteBypass();
+        journal.cacheBypass("prov_filter_mismatch", record.id, record.resultKey);
+      }
+      if (provOk && cache->lookup(record.resultKey)) {
         // Served from the store at merge time — a cache read, not sim work.
         // The chunk is never materialized: nobody will load its inputs.
+        journal.cacheHit("route", record.id, record.resultKey);
         record.status = SubtaskStatus::kSucceeded;
         record.attempts = 0;
         record.fromCache = true;
@@ -154,12 +179,14 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         ++result.cacheHits;
         continue;
       }
+      if (provOk) journal.cacheMiss("route", record.id, record.resultKey);
     }
     store_->put(record.inputKey,
                 std::vector<InputRoute>(slice.begin(), slice.end()),
                 approxRouteBytes(end - begin));
     db_.upsert(record);
     queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kRouteInputs, 1});
+    journal.subtaskEnqueue("route", record.id);
     subtaskIds.push_back(record.id);
   }
   // The dedicated local-routes subtask (direct/static/IS-IS).
@@ -168,21 +195,33 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
     record.id = "route-local";
     record.resultKey = cache ? cache->localRoutesResultKey()
                              : options_.keyPrefix + record.id + "/result";
-    if (cache && cache->lookup(record.resultKey)) {
+    bool provOk = true;
+    if (cache) {
+      provOk = provReplayable(record.resultKey);
+      if (!provOk) {
+        cache->noteBypass();
+        journal.cacheBypass("prov_filter_mismatch", record.id, record.resultKey);
+      }
+    }
+    if (cache && provOk && cache->lookup(record.resultKey)) {
+      journal.cacheHit("route", record.id, record.resultKey);
       record.status = SubtaskStatus::kSucceeded;
       record.attempts = 0;
       record.fromCache = true;
       db_.upsert(std::move(record));
       ++result.cacheHits;
     } else {
+      if (cache && provOk) journal.cacheMiss("route", record.id, record.resultKey);
       db_.upsert(record);
       queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kLocalRoutes, 1});
+      journal.subtaskEnqueue("route", record.id);
     }
     subtaskIds.push_back("route-local");
   }
   splitSpan.arg("subtasks", std::to_string(subtaskIds.size()));
   splitSpan.finish();
   result.splitSeconds = splitSpan.seconds();
+  journal.phaseEnd("route.split", splitSpan.seconds());
   tel.metrics().counter("dist.route.subtasks").add(subtaskIds.size());
 
   // --- workers --------------------------------------------------------------
@@ -196,11 +235,14 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   obs::Counter& crashCounter = tel.metrics().counter("dist.subtasks.crashed");
   obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtask_exhausted");
   obs::Histogram& subtaskSeconds = tel.metrics().histogram("dist.subtask_seconds");
-  const auto workerLoop = [&] {
+  obs::Histogram& subtaskDurationMs = tel.metrics().histogram(
+      "dist.subtask_duration_ms.route", subtaskDurationBoundsMs());
+  const auto workerLoop = [&](int workerId) {
     while (auto message = queue.pop()) {
       obs::Span subtaskSpan = tel.tracer().span("route.subtask", "dist");
       subtaskSpan.arg("id", message->id);
       subtaskSpan.arg("attempt", std::to_string(message->attempt));
+      journal.subtaskStart("route", message->id, message->attempt, workerId);
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kRunning;
         r.attempts = message->attempt;
@@ -214,6 +256,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         if (message->attempt >= options_.maxAttempts) {
           tel.log().error("route.subtask.exhausted", {{"id", message->id}});
           exhaustedCounter.add(1);
+          journal.subtaskExhaust("route", message->id, message->attempt);
           failed = true;
           {
             std::lock_guard lock(statsMutex);
@@ -226,6 +269,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
                           {"attempt", std::to_string(message->attempt)}});
           retries.fetch_add(1);
           retryCounter.add(1);
+          journal.subtaskRetry("route", message->id, message->attempt);
           queue.push(SubtaskMessage{message->id, message->kind, message->attempt + 1});
         }
         continue;
@@ -257,21 +301,30 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       const auto record = db_.get(message->id);
       const size_t resultBytes = approxRibBytes(ribs);
       store_->put(record->resultKey, std::move(ribs), resultBytes);
+      size_t provBytes = 0;
+      if (prov) {
+        // Compressed event log rides along under `<result key>#prov` so a
+        // future recording run's hit replays these exact events.
+        const std::vector<obs::RouteEvent> events = subProv.snapshot();
+        obs::CompressedRouteEvents blob;
+        blob.filterFp = provFp;
+        blob.eventCount = events.size();
+        blob.bytes = obs::compressRouteEvents(events);
+        provBytes = blob.bytes.size() + 32;
+        store_->put(record->resultKey + "#prov", std::move(blob), provBytes);
+      }
       if (cache) {
         // Replayable stats ride along so a future hit merges identically.
         constexpr size_t kStatsBytes = 128;
         store_->put(record->resultKey + "#stats", stats, kStatsBytes);
-        cache->stored(record->resultKey, resultBytes + kStatsBytes);
-      }
-      if (prov) {
-        std::vector<obs::RouteEvent> events = subProv.snapshot();
-        const size_t eventBytes = events.size() * 128;
-        store_->put(options_.keyPrefix + record->id + "/prov", std::move(events),
-                    eventBytes);
+        cache->stored(record->resultKey, resultBytes + kStatsBytes + provBytes);
       }
       uploadSpan.finish();
       subtaskSpan.finish();
       subtaskSeconds.observe(subtaskSpan.seconds());
+      subtaskDurationMs.observe(subtaskSpan.seconds() * 1e3);
+      journal.subtaskFinish("route", message->id, message->attempt, workerId,
+                            subtaskSpan.seconds());
       completedCounter.add(1);
       // The span both *is* the trace record and feeds the public metric.
       db_.update(message->id, [&](SubtaskRecord& r) {
@@ -295,15 +348,23 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
     }
   };
 
+  journal.phaseBegin("route.exec");
+  const auto execStart = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(options_.workers);
-  for (size_t i = 0; i < options_.workers; ++i) workers.emplace_back(workerLoop);
+  for (size_t i = 0; i < options_.workers; ++i)
+    workers.emplace_back(workerLoop, static_cast<int>(i));
   for (std::thread& worker : workers) worker.join();
+  journal.phaseEnd("route.exec",
+                   std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 execStart)
+                       .count());
 
   result.retries = retries.load();
   result.succeeded = !failed.load();
 
   // --- master: collect results ----------------------------------------------
+  journal.phaseBegin("route.merge");
   obs::Span mergeSpan = tel.tracer().span("route.merge", "dist");
   for (const std::string& id : subtaskIds) {
     const auto record = db_.get(id);
@@ -329,10 +390,13 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       }
     }
     // Ordered provenance merge: append each subtask's event log in subtask-id
-    // order (not worker completion order), re-sequencing as we go.
-    const std::string provKey = options_.keyPrefix + id + "/prov";
-    if (prov && store_->contains(provKey))
-      prov->append(*store_->get<std::vector<obs::RouteEvent>>(provKey));
+    // order (not worker completion order), re-sequencing as we go. Cache hits
+    // replay the blob their original execution stored.
+    const std::string provKey = record->resultKey + "#prov";
+    if (prov && store_->contains(provKey)) {
+      const auto blob = store_->get<obs::CompressedRouteEvents>(provKey);
+      prov->append(obs::decompressRouteEvents(blob->bytes));
+    }
     result.subtasks.push_back(SubtaskMetric{id, record->runtimeSeconds,
                                             record->attempts, 0, 0,
                                             record->fromCache});
@@ -345,6 +409,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   result.ribs.buildForwardingIndex();
   mergeSpan.finish();
   result.mergeSeconds = mergeSpan.seconds();
+  journal.phaseEnd("route.merge", mergeSpan.seconds());
   result.stats.installedRoutes = result.ribs.routeCount();
   result.stats.inputRoutes = inputs.size();
   taskSpan.finish();
@@ -366,18 +431,11 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
                                         {"workers", std::to_string(options_.workers)}});
   DistTrafficResult result;
   const size_t storeReadsBefore = store_->bytesRead();
-  // Result cache: mirror the route phase's provenance bypass. With recording
-  // active the route results sit under transient per-run keys, and composing
-  // those into traffic content keys would poison the cache.
-  obs::ProvenanceRecorder* prov = options_.routeOptions.provenance
-                                      ? options_.routeOptions.provenance
-                                      : obs::ProvenanceRecorder::global();
-  if (prov && !prov->enabled()) prov = nullptr;
+  // Result cache: traffic subtasks record no provenance events, and with the
+  // route phase keeping its content keys under recording (events replay from
+  // `#prov` blobs), traffic content keys stay stable too — no bypass needed.
   SubtaskResultCache* cache = options_.cache;
-  if (cache && prov) {
-    cache->noteBypass();
-    cache = nullptr;
-  }
+  obs::RunJournal& journal = tel.journal();
 
   // Snapshot route-subtask coverage for the dependency check; the split loop
   // needs it too when the cache is on (a traffic subtask's content key names
@@ -414,6 +472,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   std::map<std::string, TrafficOutput> outputs;
 
   // --- master: prepare subtasks ----------------------------------------------
+  journal.phaseBegin("traffic.split");
   obs::Span splitSpan = tel.tracer().span("traffic.split", "dist");
   SplitPlanCache* splitCache =
       options_.strategy == SplitStrategy::kOrdering ? options_.splitCache : nullptr;
@@ -468,6 +527,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
         if (ribNeeded(file, dstRange)) ribKeys.push_back(file.resultKey);
       record.resultKey = cache->trafficResultKey(slice, ribKeys);
       if (cache->lookup(record.resultKey)) {
+        journal.cacheHit("traffic", record.id, record.resultKey);
         const auto blob = store_->get<TrafficSubtaskResult>(record.resultKey);
         record.status = SubtaskStatus::kSucceeded;
         record.attempts = 0;
@@ -480,17 +540,20 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
         ++result.cacheHits;
         continue;
       }
+      journal.cacheMiss("traffic", record.id, record.resultKey);
     }
     store_->put(record.inputKey, std::vector<Flow>(slice.begin(), slice.end()),
                 approxFlowBytes(end - begin));
     db_.upsert(record);
     queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kTrafficInputs, 1});
+    journal.subtaskEnqueue("traffic", record.id);
     subtaskIds.push_back(record.id);
   }
 
   splitSpan.arg("subtasks", std::to_string(subtaskIds.size()));
   splitSpan.finish();
   result.splitSeconds = splitSpan.seconds();
+  journal.phaseEnd("traffic.split", splitSpan.seconds());
   tel.metrics().counter("dist.traffic.subtasks").add(subtaskIds.size());
 
   // --- workers -----------------------------------------------------------------
@@ -503,14 +566,17 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   obs::Counter& crashCounter = tel.metrics().counter("dist.subtasks.crashed");
   obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtask_exhausted");
   obs::Histogram& subtaskSeconds = tel.metrics().histogram("dist.subtask_seconds");
+  obs::Histogram& subtaskDurationMs = tel.metrics().histogram(
+      "dist.subtask_duration_ms.traffic", subtaskDurationBoundsMs());
   obs::Counter& ribFilesLoaded = tel.metrics().counter("dist.traffic.rib_files_loaded");
   obs::Counter& ribFilesSkipped = tel.metrics().counter("dist.traffic.rib_files_skipped");
 
-  const auto workerLoop = [&] {
+  const auto workerLoop = [&](int workerId) {
     while (auto message = queue.pop()) {
       obs::Span subtaskSpan = tel.tracer().span("traffic.subtask", "dist");
       subtaskSpan.arg("id", message->id);
       subtaskSpan.arg("attempt", std::to_string(message->attempt));
+      journal.subtaskStart("traffic", message->id, message->attempt, workerId);
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kRunning;
         r.attempts = message->attempt;
@@ -523,6 +589,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
         if (message->attempt >= options_.maxAttempts) {
           tel.log().error("traffic.subtask.exhausted", {{"id", message->id}});
           exhaustedCounter.add(1);
+          journal.subtaskExhaust("traffic", message->id, message->attempt);
           failed = true;
           {
             std::lock_guard lock(outputMutex);
@@ -535,6 +602,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
                           {"attempt", std::to_string(message->attempt)}});
           retries.fetch_add(1);
           retryCounter.add(1);
+          journal.subtaskRetry("traffic", message->id, message->attempt);
           queue.push(SubtaskMessage{message->id, message->kind, message->attempt + 1});
         }
         continue;
@@ -585,6 +653,9 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
       uploadSpan.finish();
       subtaskSpan.finish();
       subtaskSeconds.observe(subtaskSpan.seconds());
+      subtaskDurationMs.observe(subtaskSpan.seconds() * 1e3);
+      journal.subtaskFinish("traffic", message->id, message->attempt, workerId,
+                            subtaskSpan.seconds());
       completedCounter.add(1);
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kSucceeded;
@@ -596,14 +667,22 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
     }
   };
 
+  journal.phaseBegin("traffic.exec");
+  const auto execStart = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(options_.workers);
-  for (size_t i = 0; i < options_.workers; ++i) workers.emplace_back(workerLoop);
+  for (size_t i = 0; i < options_.workers; ++i)
+    workers.emplace_back(workerLoop, static_cast<int>(i));
   for (std::thread& worker : workers) worker.join();
+  journal.phaseEnd("traffic.exec",
+                   std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 execStart)
+                       .count());
 
   result.retries = retries.load();
   result.succeeded = !failed.load();
   // --- master: merge in fixed subtask order (determinism) -------------------
+  journal.phaseBegin("traffic.merge");
   obs::Span mergeSpan = tel.tracer().span("traffic.merge", "dist");
   for (const std::string& id : subtaskIds) {
     const auto it = outputs.find(id);
@@ -630,6 +709,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
                                             record->ribFilesTotal, record->fromCache});
   }
   mergeSpan.finish();
+  journal.phaseEnd("traffic.merge", mergeSpan.seconds());
   result.storeBytesRead = store_->bytesRead() - storeReadsBefore;
   taskSpan.finish();
   result.elapsedSeconds = taskSpan.seconds();

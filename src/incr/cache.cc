@@ -20,6 +20,7 @@ SubtaskCache::SubtaskCache(ObjectStore* store, size_t budgetBytes,
                            obs::Telemetry* telemetry)
     : store_(store),
       budgetBytes_(budgetBytes),
+      journal_(&obs::Telemetry::orDisabled(telemetry).journal()),
       hits_(obs::Telemetry::orDisabled(telemetry).metrics().counter("incr.cache.hits")),
       misses_(
           obs::Telemetry::orDisabled(telemetry).metrics().counter("incr.cache.misses")),
@@ -143,10 +144,12 @@ void SubtaskCache::evictToBudget() {
       heap.pop_back();
       const std::string key = *victim.key;  // Outlive the node erase below.
       store_->erase(key);
-      store_->erase(key + "#stats");  // Route results ride with stats.
+      store_->erase(key + "#stats");  // Route results ride with stats
+      store_->erase(key + "#prov");   // and recording runs with event logs.
       totalBytes_ -= victim.bytes;
       entries_.erase(key);
       evictions_.add(1);
+      journal_->cacheEvict(key, victim.bytes);
     }
   }
   publishGaugesLocked();

@@ -97,6 +97,7 @@ class SubtaskCache final : public SubtaskResultCache {
 
   ObjectStore* store_;
   size_t budgetBytes_;
+  obs::RunJournal* journal_;  // Never null (the disabled instance's journal).
   SplitCache* splitCache_ = nullptr;
 
   mutable std::mutex mutex_;

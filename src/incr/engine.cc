@@ -75,6 +75,12 @@ const ChangeImpact& IncrementalEngine::beginRun(const NetworkModel& model,
   options.splitCache = &splitCache_;
   options.keyPrefix = runPrefix_;
   lastAssembly_ = RibAssemblyStats{};
+  obs::RunJournal& journal = obs::Telemetry::orDisabled(options_.telemetry).journal();
+  if (journal.enabled()) {
+    const char* verdict = isBase ? "base" : lastImpact_.allDirty ? "all_dirty" : "scoped";
+    journal.impact(verdict, isBase ? "base model run" : lastImpact_.reason,
+                   lastImpact_.dirtyDevices.size(), lastImpact_.dirtyRanges.size());
+  }
   return lastImpact_;
 }
 
@@ -89,16 +95,20 @@ std::shared_ptr<const rcl::GlobalRib> IncrementalEngine::buildGlobalRib(
     const NetworkRibs& merged, std::span<const std::string> resultKeys) {
   lastAssembly_ = RibAssemblyStats{};
   lastAssembly_.used = true;
+  obs::RunJournal& journal = obs::Telemetry::orDisabled(options_.telemetry).journal();
 
-  // Fragments are sound only for content-addressed results: a provenance run
+  // Fragments are sound only for content-addressed results: a cacheless run
   // stores under transient `run<N>/` keys, whose blobs are not tied to the
-  // content fingerprint the fragment key would need.
+  // content fingerprint the fragment key would need. (Provenance-recording
+  // runs keep their content keys — events replay from `#prov` blobs — so
+  // they assemble like any other run.)
   bool contentAddressed = !resultKeys.empty();
   for (const std::string& key : resultKeys)
     if (key.rfind("cas/", 0) != 0) contentAddressed = false;
   if (!contentAddressed) {
     lastAssembly_.bypassed = true;
     auto full = std::make_shared<rcl::GlobalRib>(rcl::GlobalRib::fromNetworkRibs(merged));
+    journal.ribAssembly("bypassed", 0, 0, 0, full->size());
     return full;
   }
 
@@ -113,6 +123,7 @@ std::shared_ptr<const rcl::GlobalRib> IncrementalEngine::buildGlobalRib(
     auto table = store_.get<rcl::GlobalRib>(wholeKey);
     lastAssembly_.rowsReused = table->size();
     rowsSkipped_.add(static_cast<int64_t>(table->size()));
+    journal.ribAssembly("whole_table_hit", 0, 0, table->size(), 0);
     return table;
   }
 
@@ -136,6 +147,8 @@ std::shared_ptr<const rcl::GlobalRib> IncrementalEngine::buildGlobalRib(
       lastAssembly_.bypassed = true;
       auto full =
           std::make_shared<rcl::GlobalRib>(rcl::GlobalRib::fromNetworkRibs(merged));
+      journal.ribAssembly("bypassed", lastAssembly_.fragmentHits,
+                          lastAssembly_.fragmentMisses, 0, full->size());
       return full;
     }
     rcl::RibFragment fragment = buildFragment(*store_.get<NetworkRibs>(resultKey));
@@ -155,6 +168,9 @@ std::shared_ptr<const rcl::GlobalRib> IncrementalEngine::buildGlobalRib(
   lastAssembly_.rowsRendered = assemblyStats.rowsRendered;
   rowsSkipped_.add(static_cast<int64_t>(assemblyStats.rowsReused));
 
+  journal.ribAssembly("assembled", lastAssembly_.fragmentHits,
+                      lastAssembly_.fragmentMisses, lastAssembly_.rowsReused,
+                      lastAssembly_.rowsRendered);
   const size_t tableBytes = assembled.size() * 280;
   store_.put(wholeKey, std::move(assembled), tableBytes);
   cache_->stored(wholeKey, tableBytes);

@@ -8,7 +8,9 @@ namespace hoyan::obs {
 Telemetry::Telemetry(const TelemetryOptions& options)
     : tracer_(options.tracing),
       log_(options.logFromEnv && std::getenv("HOYAN_LOG") ? logLevelFromEnv()
-                                                          : options.logLevel) {}
+                                                          : options.logLevel),
+      journal_(JournalOptions{.enabled = options.journal,
+                              .capacity = options.journalCapacity}) {}
 
 Telemetry& Telemetry::disabled() {
   static Telemetry instance{TelemetryOptions{.tracing = false,

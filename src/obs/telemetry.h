@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -26,6 +27,8 @@ struct TelemetryOptions {
   bool tracing = false;      // Record spans (Chrome-trace exportable).
   LogLevel logLevel = LogLevel::kOff;
   bool logFromEnv = true;    // HOYAN_LOG overrides logLevel when set.
+  bool journal = false;      // Record run lifecycle events (JSONL exportable).
+  size_t journalCapacity = 1 << 16;
 };
 
 class Telemetry {
@@ -38,6 +41,8 @@ class Telemetry {
   const Tracer& tracer() const { return tracer_; }
   Logger& log() { return log_; }
   const Logger& log() const { return log_; }
+  RunJournal& journal() { return journal_; }
+  const RunJournal& journal() const { return journal_; }
 
   // Process-wide no-op sink (tracing + logging off). Never exported.
   static Telemetry& disabled();
@@ -53,6 +58,7 @@ class Telemetry {
   MetricsRegistry metrics_;
   Tracer tracer_;
   Logger log_;
+  RunJournal journal_;
 };
 
 // Writes `contents` to `path`; returns false on I/O failure. Used by the

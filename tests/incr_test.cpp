@@ -370,17 +370,55 @@ TEST_F(IncrementalEndToEndTest, RepeatedPlanIsServedEntirelyFromCache) {
   EXPECT_GT(second.trafficSubtaskCount, 0u);
 }
 
-TEST_F(IncrementalEndToEndTest, ProvenanceRecordingBypassesTheCache) {
+TEST_F(IncrementalEndToEndTest, ProvenanceReplayServesCacheHitsAndEvents) {
+  // Recording runs store each route subtask's events as a compressed
+  // `<result key>#prov` blob, so a later identical run takes cache hits and
+  // replays the events instead of bypassing the cache (the old behavior).
   auto warm = makeHoyan(true);
   obs::ProvenanceOptions provOptions;
   provOptions.enabled = true;
   obs::ProvenanceRecorder recorder(provOptions);
   warm->setProvenance(&recorder);
   const ChangePlan plan = scopedPlan();
+  // The base-run cache entries carry no provenance blobs, so this run
+  // re-executes every route subtask and seeds the blobs.
   warm->verifyChange(plan, intents_);
+  const size_t recordedEvents = recorder.eventCount();
+  EXPECT_GT(recordedEvents, 0u);
+
+  recorder.clear();
   const ChangeVerificationResult second = warm->verifyChange(plan, intents_);
-  EXPECT_EQ(second.routeSubtaskCacheHits, 0u);
-  EXPECT_EQ(second.trafficSubtaskCacheHits, 0u);
+  EXPECT_EQ(second.routeSubtaskCacheHits, second.routeSubtaskCount);
+  EXPECT_GT(second.routeSubtaskCount, 0u);
+  // Replayed events match the recorded run (same subtask-id merge order).
+  EXPECT_EQ(recorder.eventCount(), recordedEvents);
+}
+
+TEST_F(IncrementalEndToEndTest, ProvenanceFilterChangeInvalidatesReplay) {
+  // Stored #prov blobs carry the recording options' fingerprint. A run whose
+  // filter differs cannot serve its recorder from them, so the route phase
+  // bypasses the cache and re-records under the new filter.
+  auto warm = makeHoyan(true);
+  obs::ProvenanceOptions wide;
+  wide.enabled = true;
+  obs::ProvenanceRecorder wideRecorder(wide);
+  warm->setProvenance(&wideRecorder);
+  const ChangePlan plan = scopedPlan();
+  warm->verifyChange(plan, intents_);
+
+  obs::ProvenanceOptions narrow = wide;
+  narrow.prefixes.push_back(*Prefix::parse("100.0.8.0/24"));
+  obs::ProvenanceRecorder narrowRecorder(narrow);
+  warm->setProvenance(&narrowRecorder);
+  const ChangeVerificationResult result = warm->verifyChange(plan, intents_);
+  EXPECT_EQ(result.routeSubtaskCacheHits, 0u);
+  // Traffic subtasks record no provenance; their cached results stay valid.
+  EXPECT_EQ(result.trafficSubtaskCacheHits, result.trafficSubtaskCount);
+  EXPECT_GT(result.trafficSubtaskCount, 0u);
+  // The narrow run re-recorded: only events inside the watched /24 appear.
+  for (const obs::RouteEvent& event : narrowRecorder.snapshot())
+    EXPECT_TRUE(Prefix::parse("100.0.8.0/24")->contains(event.prefix))
+        << event.prefix.str();
 }
 
 TEST_F(IncrementalEndToEndTest, EvictionKeepsResidencyWithinBudget) {

@@ -215,19 +215,24 @@ TEST_F(RclIncrTest, EvictedResultBlobFallsBackToFullRender) {
   engine.endRun();
 }
 
-TEST_F(RclIncrTest, ProvenanceRecordingRunBypassesFragmentAssembly) {
+TEST_F(RclIncrTest, ProvenanceRecordingRunStillAssemblesFragments) {
   incr::IncrementalEngine engine;
   engine.setBaseModel(*baseModel_);
   runAndCompare(engine, *baseModel_, 4, "warmup");
 
-  // A provenance run stores results under transient run-prefixed keys; the
-  // fragment path must refuse them and render from scratch.
+  // Provenance runs store results under the same content-addressed keys as
+  // plain runs (events ride in `#prov` side blobs), so the fragment path
+  // serves them like any other run instead of refusing and re-rendering.
+  // Same model as the warmup: the assembled table itself is already cached.
   obs::ProvenanceOptions provOptions;
   provOptions.enabled = true;
   obs::ProvenanceRecorder recorder(provOptions);
   runAndCompare(engine, *baseModel_, 4, "provenance", &recorder);
-  EXPECT_TRUE(engine.lastRibAssembly().bypassed);
-  EXPECT_FALSE(engine.lastRibAssembly().wholeTableHit);
+  EXPECT_FALSE(engine.lastRibAssembly().bypassed);
+  EXPECT_TRUE(engine.lastRibAssembly().wholeTableHit);
+  // The recorder still saw the run: the warmup's cached results carried no
+  // event blobs, so the route subtasks re-executed and recorded live.
+  EXPECT_GT(recorder.eventCount(), 0u);
 }
 
 // --- RCL prefilter index ----------------------------------------------------
