@@ -19,12 +19,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/wan_gen.h"
 #include "gen/workload_gen.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/run_registry.h"
+#include "obs/statusd.h"
 #include "obs/telemetry.h"
 
 namespace hoyan::bench {
@@ -163,6 +166,69 @@ class ExplainHook {
 };
 
 inline ExplainHook g_explainHook;  // One per bench binary (header-inline).
+
+// Opt-in live monitoring for every benchmark: pass `--serve=<port>` (or set
+// HOYAN_SERVE=<port>; port 0 binds an ephemeral one) and the hook installs a
+// process-global `obs::RunRegistry` plus an embedded `obs::StatusServer` on
+// 127.0.0.1, so `/healthz`, `/metrics`, `/runs`, `/runs/<id>`, and `/explain`
+// answer while the bench runs. When no other hook installed a global
+// Telemetry, the hook installs its own (metrics only) so `/metrics` is live
+// without `--trace-out`. Extras for harnesses:
+//   --serve-port-file=<path>  (HOYAN_SERVE_PORT_FILE)  write the bound port,
+//                             so CI can discover an ephemeral one
+//   --serve-linger=<seconds>  (HOYAN_SERVE_LINGER)     keep serving that long
+//                             after the bench finishes, for trailing scrapes
+// Declared after TraceOutHook/ExplainHook so this hook destroys *first*: the
+// server stops before the telemetry it scrapes is torn down.
+class ServeHook {
+ public:
+  ServeHook() {
+    const std::string spec = benchFlag("serve", "HOYAN_SERVE");
+    if (spec.empty()) return;
+    if (!obs::Telemetry::global()) {
+      telemetry_ = std::make_unique<obs::Telemetry>();
+      obs::Telemetry::setGlobal(telemetry_.get());
+    }
+    registry_ = std::make_unique<obs::RunRegistry>();
+    obs::RunRegistry::setGlobal(registry_.get());
+    obs::StatusServerOptions options;
+    options.port = static_cast<uint16_t>(std::atoi(spec.c_str()));
+    server_ = std::make_unique<obs::StatusServer>(options);
+    if (!server_->start()) {
+      std::fprintf(stderr, "serve: failed to bind 127.0.0.1:%s\n", spec.c_str());
+      obs::RunRegistry::setGlobal(nullptr);
+      if (telemetry_) obs::Telemetry::setGlobal(nullptr);
+      server_.reset();
+      registry_.reset();
+      telemetry_.reset();
+      return;
+    }
+    std::fprintf(stderr, "serve: live status on http://127.0.0.1:%u\n",
+                 static_cast<unsigned>(server_->port()));
+    const std::string portFile = benchFlag("serve-port-file", "HOYAN_SERVE_PORT_FILE");
+    if (!portFile.empty())
+      obs::writeFile(portFile, std::to_string(server_->port()) + "\n");
+  }
+
+  ~ServeHook() {
+    if (!server_) return;
+    const std::string linger = benchFlag("serve-linger", "HOYAN_SERVE_LINGER");
+    if (const int seconds = std::atoi(linger.c_str()); seconds > 0) {
+      std::fprintf(stderr, "serve: lingering %ds for trailing scrapes\n", seconds);
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    }
+    server_->stop();
+    obs::RunRegistry::setGlobal(nullptr);
+    if (telemetry_) obs::Telemetry::setGlobal(nullptr);
+  }
+
+ private:
+  std::unique_ptr<obs::Telemetry> telemetry_;  // Only when we installed it.
+  std::unique_ptr<obs::RunRegistry> registry_;
+  std::unique_ptr<obs::StatusServer> server_;
+};
+
+inline ServeHook g_serveHook;  // One per bench binary (header-inline).
 
 inline WanSpec wanSpec() {
   WanSpec spec;

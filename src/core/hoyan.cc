@@ -148,6 +148,7 @@ void Hoyan::enableIncremental(incr::IncrementalOptions options) {
   // facade's bundle, then the process-global sink (bench hooks).
   if (!options.telemetry)
     options.telemetry = telemetry_ ? telemetry_ : obs::Telemetry::global();
+  if (!options.runRegistry) options.runRegistry = runRegistry_;
   incremental_ = std::make_unique<incr::IncrementalEngine>(options);
   if (preprocessed_) incremental_->setBaseModel(*baseModel_);
 }
@@ -168,6 +169,9 @@ void Hoyan::preprocess() {
   obs::Span span = tel.tracer().span("core.preprocess", "core");
   obs::RunJournal& journal = tel.journal();
   journal.runBegin("preprocess", distOptionsFingerprint(distOptions_));
+  obs::RunRegistry* registry =
+      runRegistry_ ? runRegistry_ : obs::RunRegistry::global();
+  const uint64_t liveRunId = registry ? registry->runBegin("preprocess") : 0;
   DistSimOptions runOptions = distOptions_;
   if (incremental_) {
     // The base run seeds the cache: its subtask results are what later clean
@@ -199,6 +203,7 @@ void Hoyan::preprocess() {
   preprocessed_ = true;
   span.finish();
   journal.runEnd("preprocess", span.seconds());
+  if (registry) registry->runEnd(liveRunId, span.seconds());
   tel.log().info("core.preprocess.done",
                  {{"seconds", std::to_string(span.seconds())},
                   {"routes", std::to_string(baseRibs_.routeCount())}});
@@ -230,6 +235,9 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   taskSpan.arg("plan", plan.name);
   obs::RunJournal& journal = tel.journal();
   journal.runBegin(plan.name, distOptionsFingerprint(distOptions_));
+  obs::RunRegistry* registry =
+      runRegistry_ ? runRegistry_ : obs::RunRegistry::global();
+  const uint64_t liveRunId = registry ? registry->runBegin(plan.name) : 0;
   tel.metrics().counter("core.changes_verified").add(1);
   // Fresh provenance log per verification: the explain chains and violation
   // attachments below must describe *this* change's simulation.
@@ -238,6 +246,7 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
 
   // 1. Updated network model (incremental: base model + parsed commands).
   journal.phaseBegin("model_build");
+  if (registry) registry->phase("model_build");
   obs::Span modelSpan = tel.tracer().span("core.build_updated_model", "core");
   NetworkModel updated = buildUpdatedModel(plan, &result.commandErrors);
   modelSpan.finish();
@@ -291,6 +300,7 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   // 4. Intent verification. The engine's endRun waits until after it: the
   // fragment fast path reads this run's result blobs out of the store.
   journal.phaseBegin("intent_verify");
+  if (registry) registry->phase("intent_verify");
   obs::Span intentSpan = tel.tracer().span("core.check_intents", "core");
   const auto verifyStart = Clock::now();
   if (!intents.rclIntents.empty()) {
@@ -330,6 +340,7 @@ ChangeVerificationResult Hoyan::verifyChange(const ChangePlan& plan,
   result.updatedLinkLoads = std::move(updatedLoads);
   taskSpan.finish();
   journal.runEnd(plan.name, taskSpan.seconds());
+  if (registry) registry->runEnd(liveRunId, taskSpan.seconds());
   if (!result.satisfied()) tel.metrics().counter("core.changes_violated").add(1);
   tel.log().info("core.verify_change.done",
                  {{"plan", plan.name},

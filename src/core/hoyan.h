@@ -19,6 +19,7 @@
 #include "incr/engine.h"
 #include "net/flow.h"
 #include "obs/provenance.h"
+#include "obs/run_registry.h"
 #include "obs/telemetry.h"
 #include "net/route.h"
 #include "proto/network_model.h"
@@ -120,8 +121,19 @@ class Hoyan {
     if (!options.telemetry) options.telemetry = telemetry_;
     if (!options.routeOptions.provenance)
       options.routeOptions.provenance = provenance_;
+    if (!options.runRegistry) options.runRegistry = runRegistry_;
     distOptions_ = std::move(options);
   }
+
+  // Live run-status registry for the status server (statusd.h): this facade
+  // publishes run/phase lifecycle, the simulator subtask progress, the
+  // incremental engine change impact. Null falls back to
+  // RunRegistry::global() (the benches' --serve hook).
+  void setRunRegistry(obs::RunRegistry* registry) {
+    runRegistry_ = registry;
+    distOptions_.runRegistry = registry;
+  }
+  obs::RunRegistry* runRegistry() const { return runRegistry_; }
 
   // Telemetry for the whole pipeline (preprocessing, simulation, intent
   // checking): builds an owned bundle from `options` and threads it through
@@ -205,6 +217,7 @@ class Hoyan {
   obs::Telemetry* telemetry_ = nullptr;
   std::unique_ptr<obs::ProvenanceRecorder> ownedProvenance_;
   obs::ProvenanceRecorder* provenance_ = nullptr;
+  obs::RunRegistry* runRegistry_ = nullptr;
   std::unique_ptr<incr::IncrementalEngine> incremental_;
   bool preprocessed_ = false;
 

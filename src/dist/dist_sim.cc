@@ -53,11 +53,14 @@ DistributedSimulator::DistributedSimulator(const NetworkModel& model,
   if (options_.trafficSubtasks == 0) options_.trafficSubtasks = 1;
   telemetry_ = options_.telemetry ? options_.telemetry : obs::Telemetry::global();
   if (!telemetry_) telemetry_ = &obs::Telemetry::disabled();
+  registry_ = options_.runRegistry ? options_.runRegistry : obs::RunRegistry::global();
   store_ = options_.store ? options_.store : &ownStore_;
   obs::MetricsRegistry& metrics = telemetry_->metrics();
-  store_->bindTelemetry(&metrics.gauge("store.blobs"), &metrics.gauge("store.live_bytes"),
-                        &metrics.counter("store.bytes_read"),
-                        &metrics.counter("store.bytes_written"));
+  store_->bindTelemetry(
+      &metrics.gauge("store.blobs", "Live blobs in the object store."),
+      &metrics.gauge("store.live_bytes", "Bytes held by live object-store blobs."),
+      &metrics.counter("store.bytes_read", "Bytes read from the object store."),
+      &metrics.counter("store.bytes_written", "Bytes written to the object store."));
 }
 
 DistRouteResult DistributedSimulator::runRouteSimulation(
@@ -98,6 +101,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
 
   // --- master: prepare subtasks -------------------------------------------
   journal.phaseBegin("route.split");
+  if (registry_) registry_->phase("route.split");
   obs::Span splitSpan = tel.tracer().span("route.split", "dist");
   // The sorted order is a pure function of the input set, so an unchanged set
   // reuses the previous run's copy instead of re-sorting (ordering strategy
@@ -136,8 +140,10 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   const size_t subtaskCount = std::min(options_.routeSubtasks,
                                        std::max<size_t>(ordered.size(), 1));
   MessageQueue<SubtaskMessage> queue;
-  queue.bindTelemetry(&tel.metrics().gauge("mq.depth"),
-                      &tel.metrics().histogram("mq.wait_seconds"));
+  queue.bindTelemetry(
+      &tel.metrics().gauge("mq.depth", "Subtask messages queued, not yet claimed."),
+      &tel.metrics().histogram("mq.wait_seconds", {},
+                               "Seconds a subtask message waited in the queue."));
   std::vector<std::string> subtaskIds;
   size_t cursor = 0;
   for (size_t i = 0; i < subtaskCount; ++i) {
@@ -166,11 +172,16 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       if (!provOk) {
         cache->noteBypass();
         journal.cacheBypass("prov_filter_mismatch", record.id, record.resultKey);
+        if (registry_) registry_->cacheBypass();
       }
       if (provOk && cache->lookup(record.resultKey)) {
         // Served from the store at merge time — a cache read, not sim work.
         // The chunk is never materialized: nobody will load its inputs.
         journal.cacheHit("route", record.id, record.resultKey);
+        if (registry_) {
+          registry_->cacheHit();
+          registry_->subtaskCached();
+        }
         record.status = SubtaskStatus::kSucceeded;
         record.attempts = 0;
         record.fromCache = true;
@@ -179,7 +190,10 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         ++result.cacheHits;
         continue;
       }
-      if (provOk) journal.cacheMiss("route", record.id, record.resultKey);
+      if (provOk) {
+        journal.cacheMiss("route", record.id, record.resultKey);
+        if (registry_) registry_->cacheMiss();
+      }
     }
     store_->put(record.inputKey,
                 std::vector<InputRoute>(slice.begin(), slice.end()),
@@ -187,6 +201,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
     db_.upsert(record);
     queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kRouteInputs, 1});
     journal.subtaskEnqueue("route", record.id);
+    if (registry_) registry_->subtaskEnqueued();
     subtaskIds.push_back(record.id);
   }
   // The dedicated local-routes subtask (direct/static/IS-IS).
@@ -201,20 +216,29 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       if (!provOk) {
         cache->noteBypass();
         journal.cacheBypass("prov_filter_mismatch", record.id, record.resultKey);
+        if (registry_) registry_->cacheBypass();
       }
     }
     if (cache && provOk && cache->lookup(record.resultKey)) {
       journal.cacheHit("route", record.id, record.resultKey);
+      if (registry_) {
+        registry_->cacheHit();
+        registry_->subtaskCached();
+      }
       record.status = SubtaskStatus::kSucceeded;
       record.attempts = 0;
       record.fromCache = true;
       db_.upsert(std::move(record));
       ++result.cacheHits;
     } else {
-      if (cache && provOk) journal.cacheMiss("route", record.id, record.resultKey);
+      if (cache && provOk) {
+        journal.cacheMiss("route", record.id, record.resultKey);
+        if (registry_) registry_->cacheMiss();
+      }
       db_.upsert(record);
       queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kLocalRoutes, 1});
       journal.subtaskEnqueue("route", record.id);
+      if (registry_) registry_->subtaskEnqueued();
     }
     subtaskIds.push_back("route-local");
   }
@@ -230,7 +254,8 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   std::atomic<size_t> retries{0};
   std::atomic<bool> failed{false};
   std::mutex statsMutex;
-  obs::Counter& retryCounter = tel.metrics().counter("dist.retries");
+  obs::Counter& retryCounter = tel.metrics().counter(
+      "dist.retries", "Subtask attempts re-enqueued after a worker crash.");
   obs::Counter& completedCounter = tel.metrics().counter("dist.subtasks.completed");
   obs::Counter& crashCounter = tel.metrics().counter("dist.subtasks.crashed");
   obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtask_exhausted");
@@ -243,6 +268,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       subtaskSpan.arg("id", message->id);
       subtaskSpan.arg("attempt", std::to_string(message->attempt));
       journal.subtaskStart("route", message->id, message->attempt, workerId);
+      if (registry_) registry_->subtaskStarted(workerId, message->id);
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kRunning;
         r.attempts = message->attempt;
@@ -251,12 +277,14 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         // The working server dies mid-subtask; the master re-queues (§3.2).
         subtaskSpan.arg("outcome", "crashed");
         crashCounter.add(1);
+        if (registry_) registry_->subtaskCrashed(workerId);
         db_.update(message->id,
                    [](SubtaskRecord& r) { r.status = SubtaskStatus::kFailed; });
         if (message->attempt >= options_.maxAttempts) {
           tel.log().error("route.subtask.exhausted", {{"id", message->id}});
           exhaustedCounter.add(1);
           journal.subtaskExhaust("route", message->id, message->attempt);
+          if (registry_) registry_->subtaskExhausted();
           failed = true;
           {
             std::lock_guard lock(statsMutex);
@@ -270,6 +298,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
           retries.fetch_add(1);
           retryCounter.add(1);
           journal.subtaskRetry("route", message->id, message->attempt);
+          if (registry_) registry_->subtaskRetried();
           queue.push(SubtaskMessage{message->id, message->kind, message->attempt + 1});
         }
         continue;
@@ -325,6 +354,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
       subtaskDurationMs.observe(subtaskSpan.seconds() * 1e3);
       journal.subtaskFinish("route", message->id, message->attempt, workerId,
                             subtaskSpan.seconds());
+      if (registry_) registry_->subtaskFinished(workerId, subtaskSpan.seconds());
       completedCounter.add(1);
       // The span both *is* the trace record and feeds the public metric.
       db_.update(message->id, [&](SubtaskRecord& r) {
@@ -349,6 +379,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   };
 
   journal.phaseBegin("route.exec");
+  if (registry_) registry_->phase("route.exec");
   const auto execStart = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(options_.workers);
@@ -365,6 +396,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
 
   // --- master: collect results ----------------------------------------------
   journal.phaseBegin("route.merge");
+  if (registry_) registry_->phase("route.merge");
   obs::Span mergeSpan = tel.tracer().span("route.merge", "dist");
   for (const std::string& id : subtaskIds) {
     const auto record = db_.get(id);
@@ -473,6 +505,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
 
   // --- master: prepare subtasks ----------------------------------------------
   journal.phaseBegin("traffic.split");
+  if (registry_) registry_->phase("traffic.split");
   obs::Span splitSpan = tel.tracer().span("traffic.split", "dist");
   SplitPlanCache* splitCache =
       options_.strategy == SplitStrategy::kOrdering ? options_.splitCache : nullptr;
@@ -502,8 +535,10 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   const size_t subtaskCount =
       std::min(options_.trafficSubtasks, std::max<size_t>(ordered.size(), 1));
   MessageQueue<SubtaskMessage> queue;
-  queue.bindTelemetry(&tel.metrics().gauge("mq.depth"),
-                      &tel.metrics().histogram("mq.wait_seconds"));
+  queue.bindTelemetry(
+      &tel.metrics().gauge("mq.depth", "Subtask messages queued, not yet claimed."),
+      &tel.metrics().histogram("mq.wait_seconds", {},
+                               "Seconds a subtask message waited in the queue."));
   std::vector<std::string> subtaskIds;
   for (size_t i = 0; i < subtaskCount; ++i) {
     const size_t begin = ordered.size() * i / subtaskCount;
@@ -528,6 +563,10 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
       record.resultKey = cache->trafficResultKey(slice, ribKeys);
       if (cache->lookup(record.resultKey)) {
         journal.cacheHit("traffic", record.id, record.resultKey);
+        if (registry_) {
+          registry_->cacheHit();
+          registry_->subtaskCached();
+        }
         const auto blob = store_->get<TrafficSubtaskResult>(record.resultKey);
         record.status = SubtaskStatus::kSucceeded;
         record.attempts = 0;
@@ -541,12 +580,14 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
         continue;
       }
       journal.cacheMiss("traffic", record.id, record.resultKey);
+      if (registry_) registry_->cacheMiss();
     }
     store_->put(record.inputKey, std::vector<Flow>(slice.begin(), slice.end()),
                 approxFlowBytes(end - begin));
     db_.upsert(record);
     queue.push(SubtaskMessage{record.id, SubtaskMessage::Kind::kTrafficInputs, 1});
     journal.subtaskEnqueue("traffic", record.id);
+    if (registry_) registry_->subtaskEnqueued();
     subtaskIds.push_back(record.id);
   }
 
@@ -561,7 +602,8 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   if (remaining.load() == 0) queue.close();  // Everything came from the cache.
   std::atomic<size_t> retries{0};
   std::atomic<bool> failed{false};
-  obs::Counter& retryCounter = tel.metrics().counter("dist.retries");
+  obs::Counter& retryCounter = tel.metrics().counter(
+      "dist.retries", "Subtask attempts re-enqueued after a worker crash.");
   obs::Counter& completedCounter = tel.metrics().counter("dist.subtasks.completed");
   obs::Counter& crashCounter = tel.metrics().counter("dist.subtasks.crashed");
   obs::Counter& exhaustedCounter = tel.metrics().counter("dist.subtask_exhausted");
@@ -577,6 +619,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
       subtaskSpan.arg("id", message->id);
       subtaskSpan.arg("attempt", std::to_string(message->attempt));
       journal.subtaskStart("traffic", message->id, message->attempt, workerId);
+      if (registry_) registry_->subtaskStarted(workerId, message->id);
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kRunning;
         r.attempts = message->attempt;
@@ -584,12 +627,14 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
       if (injectCrash(options_, message->id, message->attempt)) {
         subtaskSpan.arg("outcome", "crashed");
         crashCounter.add(1);
+        if (registry_) registry_->subtaskCrashed(workerId);
         db_.update(message->id,
                    [](SubtaskRecord& r) { r.status = SubtaskStatus::kFailed; });
         if (message->attempt >= options_.maxAttempts) {
           tel.log().error("traffic.subtask.exhausted", {{"id", message->id}});
           exhaustedCounter.add(1);
           journal.subtaskExhaust("traffic", message->id, message->attempt);
+          if (registry_) registry_->subtaskExhausted();
           failed = true;
           {
             std::lock_guard lock(outputMutex);
@@ -603,6 +648,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
           retries.fetch_add(1);
           retryCounter.add(1);
           journal.subtaskRetry("traffic", message->id, message->attempt);
+          if (registry_) registry_->subtaskRetried();
           queue.push(SubtaskMessage{message->id, message->kind, message->attempt + 1});
         }
         continue;
@@ -656,6 +702,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
       subtaskDurationMs.observe(subtaskSpan.seconds() * 1e3);
       journal.subtaskFinish("traffic", message->id, message->attempt, workerId,
                             subtaskSpan.seconds());
+      if (registry_) registry_->subtaskFinished(workerId, subtaskSpan.seconds());
       completedCounter.add(1);
       db_.update(message->id, [&](SubtaskRecord& r) {
         r.status = SubtaskStatus::kSucceeded;
@@ -668,6 +715,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   };
 
   journal.phaseBegin("traffic.exec");
+  if (registry_) registry_->phase("traffic.exec");
   const auto execStart = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(options_.workers);
@@ -683,6 +731,7 @@ DistTrafficResult DistributedSimulator::runTrafficSimulation(
   result.succeeded = !failed.load();
   // --- master: merge in fixed subtask order (determinism) -------------------
   journal.phaseBegin("traffic.merge");
+  if (registry_) registry_->phase("traffic.merge");
   obs::Span mergeSpan = tel.tracer().span("traffic.merge", "dist");
   for (const std::string& id : subtaskIds) {
     const auto it = outputs.find(id);

@@ -27,6 +27,7 @@
 #include "dist/subtask_db.h"
 #include "net/flow.h"
 #include "net/route.h"
+#include "obs/run_registry.h"
 #include "obs/telemetry.h"
 #include "proto/network_model.h"
 #include "sim/route_sim.h"
@@ -56,6 +57,10 @@ struct DistSimOptions {
   // and store gauges, retry counters. Null falls back to Telemetry::global()
   // (the benches' --trace-out hook), then to the disabled sink.
   obs::Telemetry* telemetry = nullptr;
+  // Live run-status sink (the status server's data source, statusd.h). Null
+  // falls back to RunRegistry::global() (the benches' --serve hook); both
+  // null = no publication, costing one branch per event.
+  obs::RunRegistry* runRegistry = nullptr;
   // External object store shared across runs (the incremental engine's
   // persistent store). Null = the simulator owns a private store, as before.
   ObjectStore* store = nullptr;
@@ -138,6 +143,7 @@ class DistributedSimulator {
   const NetworkModel& model_;
   DistSimOptions options_;
   obs::Telemetry* telemetry_;  // Resolved: options -> global -> disabled.
+  obs::RunRegistry* registry_; // Resolved: options -> global -> null (off).
   ObjectStore ownStore_;       // Used when options.store is null.
   ObjectStore* store_;         // Resolved: options -> ownStore_.
   SubtaskDb db_;

@@ -39,6 +39,20 @@ IncrementalEngine::IncrementalEngine(IncrementalOptions options)
                        .metrics()
                        .counter("incr.rib.rows_skipped")) {
   cache_->setSplitCache(&splitCache_);
+  // Bind the persistent store's gauges at construction, not first simulator
+  // run: engine-side mutations (erasePrefix in beginRun/endRun, fragment and
+  // whole-table puts in buildGlobalRib) must update store.blobs /
+  // store.live_bytes at mutation time so a live /metrics scrape between
+  // simulator runs never serves stale residency. A simulator constructed
+  // over this store later re-binds to its own resolved telemetry, which is
+  // the same registry whenever both resolve through the usual fallbacks.
+  obs::MetricsRegistry& metrics =
+      obs::Telemetry::orDisabled(options_.telemetry).metrics();
+  store_.bindTelemetry(
+      &metrics.gauge("store.blobs", "Live blobs in the object store."),
+      &metrics.gauge("store.live_bytes", "Bytes held by live object-store blobs."),
+      &metrics.counter("store.bytes_read", "Bytes read from the object store."),
+      &metrics.counter("store.bytes_written", "Bytes written to the object store."));
 }
 
 void IncrementalEngine::setBaseModel(const NetworkModel& model) {
@@ -81,6 +95,9 @@ const ChangeImpact& IncrementalEngine::beginRun(const NetworkModel& model,
     journal.impact(verdict, isBase ? "base model run" : lastImpact_.reason,
                    lastImpact_.dirtyDevices.size(), lastImpact_.dirtyRanges.size());
   }
+  obs::RunRegistry* registry =
+      options_.runRegistry ? options_.runRegistry : obs::RunRegistry::global();
+  if (registry) registry->impact(isBase ? "base model run" : lastImpact_.str());
   return lastImpact_;
 }
 

@@ -28,6 +28,7 @@
 #include "incr/cache.h"
 #include "incr/fingerprint.h"
 #include "incr/impact.h"
+#include "obs/run_registry.h"
 #include "obs/telemetry.h"
 #include "proto/network_model.h"
 #include "rcl/global_rib.h"
@@ -38,6 +39,10 @@ struct IncrementalOptions {
   // Residency bound for cached subtask results; 0 = unbounded.
   size_t cacheBudgetBytes = 512ull << 20;
   obs::Telemetry* telemetry = nullptr;
+  // Live run-status sink: beginRun publishes the change-impact verdict into
+  // it (statusd's /runs/<id> "impact" field). Null falls back to
+  // RunRegistry::global().
+  obs::RunRegistry* runRegistry = nullptr;
 };
 
 // How the last buildGlobalRib call produced its table.

@@ -46,6 +46,21 @@ std::string prometheusLabelEscape(const std::string& value) {
   return out;
 }
 
+// HELP text runs to end of line; only backslash and newline need escaping
+// (double quotes are legal in HELP, unlike in label values).
+std::string prometheusHelpEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = defaultLatencyBounds();
   std::sort(bounds_.begin(), bounds_.end());
@@ -90,28 +105,42 @@ std::vector<double> Histogram::defaultLatencyBounds() {
           0.5,   1.0,    2.5,   5.0,  10.0,  25.0, 50.0, 100.0};
 }
 
-Counter& MetricsRegistry::counter(const std::string& name) {
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
   std::lock_guard lock(mutex_);
-  for (auto& entry : counters_)
-    if (entry.name == name) return entry.instrument;
-  counters_.emplace_back(name);
+  for (auto& entry : counters_) {
+    if (entry.name == name) {
+      if (entry.help.empty()) entry.help = help;
+      return entry.instrument;
+    }
+  }
+  counters_.emplace_back(name, help);
   return counters_.back().instrument;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name) {
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
   std::lock_guard lock(mutex_);
-  for (auto& entry : gauges_)
-    if (entry.name == name) return entry.instrument;
-  gauges_.emplace_back(name);
+  for (auto& entry : gauges_) {
+    if (entry.name == name) {
+      if (entry.help.empty()) entry.help = help;
+      return entry.instrument;
+    }
+  }
+  gauges_.emplace_back(name, help);
   return gauges_.back().instrument;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
-                                      std::vector<double> bounds) {
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
   std::lock_guard lock(mutex_);
-  for (auto& entry : histograms_)
-    if (entry.name == name) return entry.instrument;
-  histograms_.emplace_back(name, std::move(bounds));
+  for (auto& entry : histograms_) {
+    if (entry.name == name) {
+      if (entry.help.empty()) entry.help = help;
+      return entry.instrument;
+    }
+  }
+  histograms_.emplace_back(name, help, std::move(bounds));
   return histograms_.back().instrument;
 }
 
@@ -163,13 +192,28 @@ std::string MetricsRegistry::toJson() const {
 std::string MetricsRegistry::toPrometheusText() const {
   std::lock_guard lock(mutex_);
   std::string out;
+  // Every family gets a HELP line (scrapers and linters expect one): the
+  // registered help when a call site provided it, else the dotted registry
+  // name — still useful, since sanitisation may have rewritten the family
+  // name.
+  const auto helpLine = [](const std::string& promName,
+                           const std::string& help, const std::string& dotted,
+                           const char* kind) {
+    return "# HELP " + promName + " " +
+           prometheusHelpEscape(help.empty() ? "Hoyan " + std::string(kind) +
+                                                   " '" + dotted + "'."
+                                             : help) +
+           "\n";
+  };
   for (const auto& entry : counters_) {
     const std::string name = prometheusMetricName(entry.name);
+    out += helpLine(name, entry.help, entry.name, "counter");
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(entry.instrument.value()) + "\n";
   }
   for (const auto& entry : gauges_) {
     const std::string name = prometheusMetricName(entry.name);
+    out += helpLine(name, entry.help, entry.name, "gauge");
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + std::to_string(entry.instrument.value()) + "\n";
     out += name + "_max " + std::to_string(entry.instrument.maxValue()) + "\n";
@@ -177,6 +221,7 @@ std::string MetricsRegistry::toPrometheusText() const {
   for (const auto& entry : histograms_) {
     const std::string name = prometheusMetricName(entry.name);
     const Histogram& histogram = entry.instrument;
+    out += helpLine(name, entry.help, entry.name, "histogram");
     out += "# TYPE " + name + " histogram\n";
     const auto counts = histogram.bucketCounts();
     uint64_t cumulative = 0;
@@ -188,6 +233,8 @@ std::string MetricsRegistry::toPrometheusText() const {
     }
     out += name + "_sum " + numberToJson(histogram.sum()) + "\n";
     out += name + "_count " + std::to_string(histogram.count()) + "\n";
+    out += "# HELP " + name + "_quantile Nearest-rank quantiles of '" +
+           prometheusHelpEscape(entry.name) + "' (bucket upper bounds).\n";
     out += "# TYPE " + name + "_quantile gauge\n";
     for (size_t q = 0; q < std::size(kSummaryQuantiles); ++q) {
       out += name + "_quantile{quantile=\"" +

@@ -103,9 +103,14 @@ class Histogram {
 // returns the same instrument, so call sites can cache the reference.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+  // `help` becomes the metric's `# HELP` line in the Prometheus exposition.
+  // First non-empty help wins: registering an existing name with help fills
+  // an empty slot but never overwrites, so any call site can document a
+  // metric without coordinating with the others.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {},
+                       const std::string& help = "");
 
   // {"counters":{name:value,...},"gauges":{name:{"value":v,"max":m},...},
   //  "histograms":{name:{"count":c,"sum":s,
@@ -123,9 +128,11 @@ class MetricsRegistry {
   template <typename T>
   struct Named {
     template <typename... Args>
-    explicit Named(std::string n, Args&&... args)
-        : name(std::move(n)), instrument(std::forward<Args>(args)...) {}
+    explicit Named(std::string n, std::string h, Args&&... args)
+        : name(std::move(n)), help(std::move(h)),
+          instrument(std::forward<Args>(args)...) {}
     std::string name;
+    std::string help;
     T instrument;
   };
 
@@ -137,8 +144,10 @@ class MetricsRegistry {
 
 // Prometheus text-format helpers (exposed for tests). Metric names must
 // match [a-zA-Z_:][a-zA-Z0-9_:]*; anything else maps to '_'. Label values
-// escape backslash, double-quote, and newline per the exposition format.
+// escape backslash, double-quote, and newline per the exposition format;
+// HELP text escapes only backslash and newline (quotes are legal there).
 std::string prometheusMetricName(const std::string& name);
 std::string prometheusLabelEscape(const std::string& value);
+std::string prometheusHelpEscape(const std::string& value);
 
 }  // namespace hoyan::obs

@@ -1,0 +1,169 @@
+// Live run-status registry: the publication side of the embedded status
+// server (statusd.h). Where the journal (journal.h) is the *post-mortem*
+// record of a run, the registry is its *live* mirror — `Hoyan`,
+// `DistributedSimulator`, and `IncrementalEngine` publish phase transitions
+// and subtask progress into it as they happen, and the HTTP endpoints
+// (`/runs`, `/runs/<id>`, `/healthz`) snapshot it on every scrape.
+//
+// Cost model, matching the rest of src/obs: with no registry attached the
+// publisher side is one pointer null-check per event — nothing else runs, so
+// the table1 disabled-overhead bar (<2%) holds. Attached, the per-subtask
+// hot path is relaxed atomic counter bumps plus, for start/finish, one
+// uncontended per-worker mutex protecting the "what is worker w running"
+// slot (single writer: the worker itself; readers are scrape threads).
+// Phase/impact strings change a handful of times per run and sit behind a
+// per-run mutex. Snapshots copy everything out under the registry mutex, so
+// scrape threads never hold a lock a worker wants for more than a few loads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hoyan::obs {
+
+// One in-flight subtask as seen by a scrape: which worker runs what, for how
+// long so far. `straggler` applies the same heuristic `hoyan_inspect
+// stragglers` uses post-mortem, against the run's mean finished duration.
+struct ActiveSubtask {
+  std::string id;
+  int worker = -1;
+  double seconds = 0;
+  bool straggler = false;
+};
+
+// The per-run scrape payload (`GET /runs/<id>`).
+struct RunSnapshot {
+  uint64_t id = 0;
+  std::string name;
+  std::string state;  // "running" | "succeeded" | "failed".
+  std::string phase;  // Current phase; last phase after the run ends.
+  std::string impact; // Change-impact one-liner (incremental runs).
+  double elapsedSeconds = 0;  // Live while running, final afterwards.
+  uint64_t version = 0;       // Bumps on phase/state transitions.
+  // Subtask lifecycle counts. pending + running + succeeded + failed need
+  // not telescope mid-scrape (counters are independent atomics), but settle
+  // once the run ends. `succeeded` includes cache-served subtasks.
+  uint64_t pending = 0;
+  uint64_t running = 0;
+  uint64_t succeeded = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;
+  uint64_t exhausted = 0;
+  // Incremental-cache decisions observed so far.
+  uint64_t cacheHits = 0;
+  uint64_t cacheMisses = 0;
+  uint64_t cacheBypasses = 0;
+  std::vector<ActiveSubtask> active;
+};
+
+// The per-run row of the `GET /runs` listing.
+struct RunSummary {
+  uint64_t id = 0;
+  std::string name;
+  std::string state;
+  std::string phase;
+  double elapsedSeconds = 0;
+  uint64_t succeeded = 0;
+  uint64_t failed = 0;
+  uint64_t pending = 0;
+  uint64_t running = 0;
+};
+
+class RunRegistry {
+ public:
+  // `maxWorkers` bounds the active-subtask table (worker ids at or above it
+  // are counted but not attributed); `keepRuns` bounds how many finished
+  // runs the listing retains (oldest dropped first; the current run and the
+  // newest `keepRuns` survive).
+  explicit RunRegistry(size_t maxWorkers = 64, size_t keepRuns = 256);
+
+  // --- run lifecycle (master thread) ---------------------------------------
+  // Opens a run and makes it current; all publication below lands on the
+  // current run (verification runs are sequential per process). Returns the
+  // run id `runEnd`/`snapshot` take.
+  uint64_t runBegin(std::string_view name);
+  // Closes the run: state becomes "failed" when any subtask exhausted its
+  // retries, "succeeded" otherwise; `seconds` freezes the elapsed clock.
+  void runEnd(uint64_t id, double seconds);
+  void phase(std::string_view phase);
+  void impact(std::string_view summary);
+
+  // --- subtask lifecycle (master + worker threads) -------------------------
+  void subtaskEnqueued(uint64_t n = 1);              // +pending
+  void subtaskStarted(int worker, std::string_view id);  // pending-, running+
+  void subtaskFinished(int worker, double seconds);      // running-, succeeded+
+  void subtaskCrashed(int worker);                       // running- (retry or
+                                                         // exhaust follows)
+  void subtaskRetried();                                 // +pending, +retries
+  void subtaskExhausted();                               // +failed
+  void subtaskCached(uint64_t n = 1);                // +succeeded, never queued
+
+  // --- incremental-cache decisions -----------------------------------------
+  void cacheHit();
+  void cacheMiss();
+  void cacheBypass();
+
+  // --- scrape side ----------------------------------------------------------
+  // Id of the newest run, 0 when none have begun.
+  uint64_t currentRunId() const;
+  std::vector<RunSummary> list() const;
+  std::optional<RunSnapshot> snapshot(uint64_t id) const;
+
+  // Optional process-global default (the benches' --serve hook); null until
+  // set. Not owned. Publishers fall back to this when their options carry no
+  // registry.
+  static RunRegistry* global();
+  static void setGlobal(RunRegistry* registry);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct RunSlot {
+    uint64_t id = 0;
+    std::string name;  // Immutable after creation.
+    Clock::time_point start;
+    std::atomic<int> state{0};  // 0 running, 1 succeeded, 2 failed.
+    std::atomic<double> finalSeconds{-1};
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> pending{0}, running{0}, succeeded{0}, failed{0};
+    std::atomic<uint64_t> retries{0}, exhausted{0};
+    std::atomic<uint64_t> cacheHits{0}, cacheMisses{0}, cacheBypasses{0};
+    // Straggler baseline: mean of finished durations this run.
+    std::atomic<uint64_t> finishedCount{0};
+    std::atomic<double> finishedSeconds{0};
+    mutable std::mutex stringsMutex;  // phase, impact.
+    std::string phase;
+    std::string impact;
+  };
+
+  struct WorkerSlot {
+    mutable std::mutex mutex;
+    bool busy = false;
+    uint64_t runId = 0;
+    std::string subtaskId;
+    Clock::time_point start;
+  };
+
+  // The current run, or null before the first runBegin. Shared ownership so
+  // a publisher holding the pointer is safe against concurrent eviction.
+  std::shared_ptr<RunSlot> current() const;
+  std::shared_ptr<RunSlot> find(uint64_t id) const;
+  void fillSnapshot(const RunSlot& slot, RunSnapshot& out) const;
+
+  const size_t maxWorkers_;
+  const size_t keepRuns_;
+  mutable std::mutex runsMutex_;
+  std::vector<std::shared_ptr<RunSlot>> runs_;  // Oldest first, bounded.
+  std::shared_ptr<RunSlot> current_;            // Also guarded by runsMutex_.
+  uint64_t nextId_ = 0;
+  std::vector<std::unique_ptr<WorkerSlot>> workers_;  // Fixed at construction.
+};
+
+}  // namespace hoyan::obs

@@ -241,6 +241,12 @@ TEST(MetricsTest, PrometheusTextExposition) {
   const std::string text = registry.toPrometheusText();
   EXPECT_NE(text.find("# TYPE dist_retries counter\ndist_retries 2\n"), std::string::npos);
   EXPECT_NE(text.find("store_live_bytes 1024"), std::string::npos);
+  // Every family carries a HELP line even when no call site registered help:
+  // the default names the dotted registry entry.
+  EXPECT_NE(text.find("# HELP dist_retries Hoyan counter 'dist.retries'.\n"
+                      "# TYPE dist_retries counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP store_live_bytes "), std::string::npos);
   // Buckets are cumulative in the exposition format.
   EXPECT_NE(text.find("dist_subtask_seconds_bucket{le=\"0.1\"} 1"), std::string::npos);
   EXPECT_NE(text.find("dist_subtask_seconds_bucket{le=\"1\"} 2"), std::string::npos);
@@ -313,23 +319,66 @@ TEST(MetricsTest, PrometheusLabelEscaping) {
   EXPECT_EQ(obs::prometheusLabelEscape("line1\nline2"), "line1\\nline2");
 }
 
+TEST(MetricsTest, PrometheusHelpLines) {
+  obs::MetricsRegistry registry;
+  registry.counter("dist.retries", "Subtasks re-enqueued after a crash.").add(1);
+  // Re-registering with different help never overwrites the first.
+  registry.counter("dist.retries", "other text");
+  // A later registration fills help left empty by the first.
+  registry.gauge("mq.depth");
+  registry.gauge("mq.depth", "Messages queued.");
+  const std::string text = registry.toPrometheusText();
+  EXPECT_NE(text.find("# HELP dist_retries Subtasks re-enqueued after a crash.\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("other text"), std::string::npos);
+  EXPECT_NE(text.find("# HELP mq_depth Messages queued.\n"), std::string::npos);
+  // HELP precedes TYPE for the same family, per the exposition format.
+  const size_t help = text.find("# HELP dist_retries");
+  const size_t type = text.find("# TYPE dist_retries");
+  ASSERT_NE(help, std::string::npos);
+  ASSERT_NE(type, std::string::npos);
+  EXPECT_LT(help, type);
+}
+
+TEST(MetricsTest, PrometheusHelpEscaping) {
+  EXPECT_EQ(obs::prometheusHelpEscape("plain"), "plain");
+  EXPECT_EQ(obs::prometheusHelpEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prometheusHelpEscape("line1\nline2"), "line1\\nline2");
+  // Quotes are legal in HELP text (unlike label values) and pass through.
+  EXPECT_EQ(obs::prometheusHelpEscape("say \"hi\""), "say \"hi\"");
+
+  obs::MetricsRegistry registry;
+  registry.counter("c", "multi\nline \\ help");
+  const std::string text = registry.toPrometheusText();
+  EXPECT_NE(text.find("# HELP c multi\\nline \\\\ help\n"), std::string::npos)
+      << text;
+}
+
 // Parses the whole exposition back line by line: every line is a comment or
 // `name{labels} value`, names match the grammar, and label values stay
 // balanced — the round-trip guard for the exporter.
 TEST(MetricsTest, PrometheusExpositionGrammarRoundTrip) {
   obs::MetricsRegistry registry;
   registry.counter("dist.retries").add(2);
-  registry.gauge("9weird.gauge name").set(3);
+  registry.gauge("9weird.gauge name", "A \"quoted\"\nhelp \\ string").set(3);
   registry.histogram("lat", {0.5, 1.5}).observe(1.0);
   const std::string text = registry.toPrometheusText();
 
   size_t samples = 0;
+  bool lastCommentWasHelp = false;
   std::istringstream lines(text);
   std::string line;
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
     if (line[0] == '#') {
-      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      const bool isHelp = line.rfind("# HELP ", 0) == 0;
+      const bool isType = line.rfind("# TYPE ", 0) == 0;
+      EXPECT_TRUE(isHelp || isType) << line;
+      // Every TYPE is introduced by the family's HELP directly above it, and
+      // HELP text never leaks a raw newline (it would have split the line).
+      if (isType) EXPECT_TRUE(lastCommentWasHelp) << line;
+      lastCommentWasHelp = isHelp;
       continue;
     }
     // name ::= [a-zA-Z_:][a-zA-Z0-9_:]*

@@ -1,0 +1,533 @@
+// Tests for the live run-status subsystem: RunRegistry publication
+// semantics, the /runs JSON schemas, StatusServer routing (socket-free via
+// handle(), then over a real loopback socket through the hoyan_top client),
+// and the concurrent-scrape guarantee — 4 threads hammering /metrics and
+// /runs/current over HTTP during a distributed verification run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/hoyan.h"
+#include "obs/run_registry.h"
+#include "obs/statusd.h"
+#include "obs/telemetry.h"
+#include "status_client.h"
+#include "test_fixtures.h"
+
+namespace hoyan {
+namespace {
+
+using obs::RunRegistry;
+using obs::RunSnapshot;
+using obs::StatusServer;
+using obs::StatusServerOptions;
+using statusclient::HttpResult;
+using statusclient::JsonValue;
+using testing::buildSmallWan;
+using testing::ispRoute;
+using testing::SmallWan;
+
+// --- RunRegistry ------------------------------------------------------------
+
+TEST(RunRegistryTest, LifecycleCountsAndStates) {
+  RunRegistry registry;
+  EXPECT_EQ(registry.currentRunId(), 0u);
+  EXPECT_FALSE(registry.snapshot(1).has_value());
+
+  const uint64_t id = registry.runBegin("verify-1");
+  EXPECT_EQ(registry.currentRunId(), id);
+  registry.phase("model_build");
+  registry.subtaskEnqueued(3);
+  registry.subtaskStarted(0, "route:0");
+  registry.subtaskFinished(0, 0.01);
+  registry.subtaskStarted(1, "route:1");
+
+  auto live = registry.snapshot(id);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(live->name, "verify-1");
+  EXPECT_EQ(live->state, "running");
+  EXPECT_EQ(live->phase, "model_build");
+  EXPECT_EQ(live->pending, 1u);
+  EXPECT_EQ(live->running, 1u);
+  EXPECT_EQ(live->succeeded, 1u);
+  ASSERT_EQ(live->active.size(), 1u);
+  EXPECT_EQ(live->active[0].id, "route:1");
+  EXPECT_EQ(live->active[0].worker, 1);
+
+  registry.subtaskFinished(1, 0.01);
+  registry.subtaskStarted(2, "route:2");
+  registry.subtaskFinished(2, 0.01);
+  registry.runEnd(id, 2.5);
+  auto done = registry.snapshot(id);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, "succeeded");
+  EXPECT_DOUBLE_EQ(done->elapsedSeconds, 2.5);  // Frozen, not wall clock.
+  EXPECT_EQ(done->succeeded, 3u);
+  EXPECT_EQ(done->pending, 0u);
+  EXPECT_EQ(done->running, 0u);
+  EXPECT_TRUE(done->active.empty());
+}
+
+TEST(RunRegistryTest, ExhaustedSubtaskFailsTheRun) {
+  RunRegistry registry;
+  const uint64_t id = registry.runBegin("crashy");
+  registry.subtaskEnqueued(1);
+  registry.subtaskStarted(0, "route:0");
+  registry.subtaskCrashed(0);
+  registry.subtaskRetried();
+  registry.subtaskStarted(0, "route:0");
+  registry.subtaskCrashed(0);
+  registry.subtaskExhausted();
+  registry.runEnd(id, 1.0);
+  auto snapshot = registry.snapshot(id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, "failed");
+  EXPECT_EQ(snapshot->retries, 1u);
+  EXPECT_EQ(snapshot->exhausted, 1u);
+  EXPECT_EQ(snapshot->failed, 1u);
+  EXPECT_EQ(snapshot->succeeded, 0u);
+}
+
+TEST(RunRegistryTest, CachedSubtasksCountAsSucceededWithoutQueueing) {
+  RunRegistry registry;
+  const uint64_t id = registry.runBegin("warm");
+  registry.subtaskCached(4);
+  registry.cacheHit();
+  registry.cacheHit();
+  registry.cacheMiss();
+  registry.cacheBypass();
+  auto snapshot = registry.snapshot(id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->succeeded, 4u);
+  EXPECT_EQ(snapshot->pending, 0u);
+  EXPECT_EQ(snapshot->cacheHits, 2u);
+  EXPECT_EQ(snapshot->cacheMisses, 1u);
+  EXPECT_EQ(snapshot->cacheBypasses, 1u);
+}
+
+TEST(RunRegistryTest, StragglerFlaggedAgainstFinishedMean) {
+  RunRegistry registry;
+  const uint64_t id = registry.runBegin("straggle");
+  registry.subtaskEnqueued(10);
+  // Not enough finished samples yet: nothing is flagged no matter how long
+  // it has been running.
+  registry.subtaskStarted(1, "slow");
+  auto early = registry.snapshot(id);
+  ASSERT_EQ(early->active.size(), 1u);
+  EXPECT_FALSE(early->active[0].straggler);
+  // 8 fast finishes set the baseline; the floor is 0.05s, so after ~80ms the
+  // still-running subtask crosses it.
+  for (int i = 0; i < 8; ++i) registry.subtaskFinished(0, 0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  auto late = registry.snapshot(id);
+  ASSERT_EQ(late->active.size(), 1u);
+  EXPECT_TRUE(late->active[0].straggler);
+  EXPECT_GE(late->active[0].seconds, 0.05);
+}
+
+TEST(RunRegistryTest, WorkerIdsBeyondTableAreCountedNotAttributed) {
+  RunRegistry registry(/*maxWorkers=*/2);
+  const uint64_t id = registry.runBegin("wide");
+  registry.subtaskEnqueued(2);
+  registry.subtaskStarted(1, "in-table");
+  registry.subtaskStarted(7, "off-table");
+  auto snapshot = registry.snapshot(id);
+  EXPECT_EQ(snapshot->running, 2u);
+  ASSERT_EQ(snapshot->active.size(), 1u);
+  EXPECT_EQ(snapshot->active[0].id, "in-table");
+  registry.subtaskFinished(7, 0.01);
+  EXPECT_EQ(registry.snapshot(id)->succeeded, 1u);
+}
+
+TEST(RunRegistryTest, ListEvictsOldestFinishedRuns) {
+  RunRegistry registry(/*maxWorkers=*/4, /*keepRuns=*/2);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t id = registry.runBegin("run-" + std::to_string(i));
+    registry.runEnd(id, 0.1);
+    ids.push_back(id);
+  }
+  const auto list = registry.list();
+  ASSERT_EQ(list.size(), 2u);
+  // Newest survive; list is oldest-first.
+  EXPECT_EQ(list[0].id, ids[2]);
+  EXPECT_EQ(list[1].id, ids[3]);
+  EXPECT_FALSE(registry.snapshot(ids[0]).has_value());
+  ASSERT_TRUE(registry.snapshot(ids[3]).has_value());
+}
+
+TEST(RunRegistryTest, GlobalPointerRoundTrips) {
+  EXPECT_EQ(RunRegistry::global(), nullptr);
+  RunRegistry registry;
+  RunRegistry::setGlobal(&registry);
+  EXPECT_EQ(RunRegistry::global(), &registry);
+  RunRegistry::setGlobal(nullptr);
+  EXPECT_EQ(RunRegistry::global(), nullptr);
+}
+
+// --- JSON schemas -----------------------------------------------------------
+
+TEST(RunJsonTest, SnapshotSchemaRoundTripsThroughClientParser) {
+  RunSnapshot snapshot;
+  snapshot.id = 7;
+  snapshot.name = "verify \"q1\"";
+  snapshot.state = "running";
+  snapshot.phase = "route.exec";
+  snapshot.impact = "3 devices, 2 sessions";
+  snapshot.elapsedSeconds = 1.25;
+  snapshot.version = 5;
+  snapshot.pending = 2;
+  snapshot.running = 1;
+  snapshot.succeeded = 10;
+  snapshot.failed = 1;
+  snapshot.retries = 3;
+  snapshot.exhausted = 1;
+  snapshot.cacheHits = 6;
+  snapshot.cacheMisses = 2;
+  snapshot.cacheBypasses = 1;
+  snapshot.active.push_back({"route:9", 3, 0.5, true});
+
+  JsonValue root;
+  ASSERT_TRUE(statusclient::parseJson(obs::runSnapshotToJson(snapshot), root));
+  EXPECT_EQ(root.num("id"), 7);
+  EXPECT_EQ(root.str("name"), "verify \"q1\"");
+  EXPECT_EQ(root.str("state"), "running");
+  EXPECT_EQ(root.str("phase"), "route.exec");
+  EXPECT_EQ(root.str("impact"), "3 devices, 2 sessions");
+  EXPECT_DOUBLE_EQ(root.num("elapsed_seconds"), 1.25);
+  const JsonValue* subtasks = root.find("subtasks");
+  ASSERT_NE(subtasks, nullptr);
+  EXPECT_EQ(subtasks->num("pending"), 2);
+  EXPECT_EQ(subtasks->num("succeeded"), 10);
+  EXPECT_EQ(subtasks->num("retries"), 3);
+  EXPECT_EQ(subtasks->num("exhausted"), 1);
+  const JsonValue* cache = root.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->num("hits"), 6);
+  EXPECT_DOUBLE_EQ(cache->num("hit_rate"), 0.75);  // 6 / (6 + 2).
+  const JsonValue* active = root.find("active");
+  ASSERT_NE(active, nullptr);
+  ASSERT_EQ(active->items.size(), 1u);
+  EXPECT_EQ(active->items[0].str("id"), "route:9");
+  EXPECT_EQ(active->items[0].num("worker"), 3);
+  const JsonValue* straggler = active->items[0].find("straggler");
+  ASSERT_NE(straggler, nullptr);
+  EXPECT_TRUE(straggler->boolean);
+}
+
+TEST(RunJsonTest, SnapshotOmitsEmptyImpactAndZeroHitRate) {
+  RunSnapshot snapshot;
+  snapshot.id = 1;
+  snapshot.state = "running";
+  JsonValue root;
+  ASSERT_TRUE(statusclient::parseJson(obs::runSnapshotToJson(snapshot), root));
+  EXPECT_EQ(root.find("impact"), nullptr);
+  EXPECT_DOUBLE_EQ(root.find("cache")->num("hit_rate"), 0);  // Not NaN.
+}
+
+TEST(RunJsonTest, SummarySchema) {
+  obs::RunSummary summary;
+  summary.id = 3;
+  summary.name = "warm";
+  summary.state = "succeeded";
+  summary.phase = "traffic.merge";
+  summary.elapsedSeconds = 0.5;
+  summary.succeeded = 8;
+  JsonValue root;
+  ASSERT_TRUE(statusclient::parseJson(obs::runSummaryToJson(summary), root));
+  EXPECT_EQ(root.num("id"), 3);
+  EXPECT_EQ(root.str("state"), "succeeded");
+  EXPECT_EQ(root.str("phase"), "traffic.merge");
+  EXPECT_EQ(root.num("succeeded"), 8);
+}
+
+// --- handle(): socket-free endpoint routing ---------------------------------
+
+class StatusHandleTest : public ::testing::Test {
+ protected:
+  StatusHandleTest() {
+    options_.runs = &registry_;
+    options_.metrics = &metrics_;
+    server_ = std::make_unique<StatusServer>(options_);
+  }
+
+  RunRegistry registry_;
+  obs::MetricsRegistry metrics_;
+  StatusServerOptions options_;
+  std::unique_ptr<StatusServer> server_;
+};
+
+TEST_F(StatusHandleTest, HealthzReportsCurrentRun) {
+  auto empty = server_->handle("GET", "/healthz");
+  EXPECT_EQ(empty.status, 200);
+  JsonValue root;
+  ASSERT_TRUE(statusclient::parseJson(empty.body, root)) << empty.body;
+  EXPECT_EQ(root.str("status"), "ok");
+  EXPECT_EQ(root.find("current")->kind, JsonValue::Kind::kNull);
+
+  registry_.runBegin("verify-a");
+  registry_.phase("route.exec");
+  auto live = server_->handle("GET", "/healthz");
+  ASSERT_TRUE(statusclient::parseJson(live.body, root));
+  const JsonValue* current = root.find("current");
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->str("name"), "verify-a");
+  EXPECT_EQ(current->str("state"), "running");
+  EXPECT_EQ(current->str("phase"), "route.exec");
+}
+
+TEST_F(StatusHandleTest, MetricsServesPrometheusText) {
+  metrics_.counter("dist.retries", "Retried subtasks.").add(2);
+  auto response = server_->handle("GET", "/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.contentType, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(response.body.find("# HELP dist_retries Retried subtasks.\n"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("dist_retries 2\n"), std::string::npos);
+}
+
+TEST_F(StatusHandleTest, RunListAndSnapshotEndpoints) {
+  const uint64_t first = registry_.runBegin("one");
+  registry_.runEnd(first, 0.2);
+  const uint64_t second = registry_.runBegin("two");
+  registry_.subtaskEnqueued(2);
+
+  auto list = server_->handle("GET", "/runs");
+  EXPECT_EQ(list.status, 200);
+  JsonValue root;
+  ASSERT_TRUE(statusclient::parseJson(list.body, root));
+  EXPECT_EQ(root.num("current"), static_cast<double>(second));
+  ASSERT_EQ(root.find("runs")->items.size(), 2u);
+
+  auto byId = server_->handle("GET", "/runs/" + std::to_string(first));
+  EXPECT_EQ(byId.status, 200);
+  ASSERT_TRUE(statusclient::parseJson(byId.body, root));
+  EXPECT_EQ(root.str("name"), "one");
+  EXPECT_EQ(root.str("state"), "succeeded");
+
+  auto current = server_->handle("GET", "/runs/current");
+  EXPECT_EQ(current.status, 200);
+  ASSERT_TRUE(statusclient::parseJson(current.body, root));
+  EXPECT_EQ(root.str("name"), "two");
+  EXPECT_EQ(root.find("subtasks")->num("pending"), 2);
+}
+
+TEST_F(StatusHandleTest, ErrorStatuses) {
+  EXPECT_EQ(server_->handle("GET", "/runs/banana").status, 400);
+  EXPECT_EQ(server_->handle("GET", "/runs/999").status, 404);
+  EXPECT_EQ(server_->handle("GET", "/runs/current").status, 404) << "no runs yet";
+  EXPECT_EQ(server_->handle("GET", "/nope").status, 404);
+  EXPECT_EQ(server_->handle("POST", "/healthz").status, 405);
+  EXPECT_EQ(server_->handle("GET", "/explain").status, 503)
+      << "no provenance recorder attached";
+  // Every error body is itself valid JSON with an "error" member.
+  auto error = server_->handle("GET", "/runs/banana");
+  JsonValue root;
+  ASSERT_TRUE(statusclient::parseJson(error.body, root));
+  EXPECT_FALSE(root.str("error").empty());
+}
+
+TEST(StatusServerDetachedTest, EndpointsAnswer503WithoutSources) {
+  // No options, no process globals: every data endpoint degrades to 503
+  // rather than crashing (healthz stays 200 — the server itself is alive).
+  ASSERT_EQ(RunRegistry::global(), nullptr);
+  ASSERT_EQ(obs::Telemetry::global(), nullptr);
+  StatusServer server;
+  EXPECT_EQ(server.handle("GET", "/healthz").status, 200);
+  EXPECT_EQ(server.handle("GET", "/metrics").status, 503);
+  EXPECT_EQ(server.handle("GET", "/runs").status, 503);
+  EXPECT_EQ(server.handle("GET", "/runs/current").status, 503);
+}
+
+// --- socket round-trip through the hoyan_top client -------------------------
+
+TEST(StatusServerSocketTest, ServesOverLoopbackThroughStatusClient) {
+  RunRegistry registry;
+  obs::MetricsRegistry metrics;
+  metrics.counter("dist.retries").add(1);
+  StatusServerOptions options;
+  options.runs = &registry;
+  options.metrics = &metrics;
+  StatusServer server(options);
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.port(), 0);
+  const uint64_t id = registry.runBegin("socket-run");
+  registry.subtaskEnqueued(5);
+
+  HttpResult result;
+  ASSERT_TRUE(statusclient::httpGet("127.0.0.1", server.port(),
+                                    "/runs/" + std::to_string(id), result));
+  EXPECT_EQ(result.status, 200);
+  JsonValue root;
+  ASSERT_TRUE(statusclient::parseJson(result.body, root)) << result.body;
+  EXPECT_EQ(root.str("name"), "socket-run");
+  EXPECT_EQ(root.find("subtasks")->num("pending"), 5);
+
+  ASSERT_TRUE(statusclient::httpGet("127.0.0.1", server.port(), "/metrics", result));
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("dist_retries 1"), std::string::npos);
+
+  ASSERT_TRUE(statusclient::httpGet("127.0.0.1", server.port(), "/nope", result));
+  EXPECT_EQ(result.status, 404);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(
+      statusclient::httpGet("127.0.0.1", server.port(), "/healthz", result));
+}
+
+TEST(StatusServerSocketTest, StartIsIdempotentAndStopTwiceIsSafe) {
+  StatusServer server;
+  ASSERT_TRUE(server.start());
+  const uint16_t port = server.port();
+  EXPECT_TRUE(server.start());
+  EXPECT_EQ(server.port(), port);
+  server.stop();
+  server.stop();
+}
+
+// --- concurrent scrape during a distributed verification --------------------
+
+// 4 scraper threads hammer /metrics and /runs/current over real sockets
+// while a distributed verify runs. Guards the data-race surface (relaxed
+// counters + worker slots + phase strings) under TSan/ASan, and checks the
+// observed subtask counts never move backwards within one scraper.
+TEST(ConcurrentScrapeTest, FourThreadsHammerEndpointsDuringVerify) {
+  SmallWan net = buildSmallWan();
+  obs::Telemetry telemetry{obs::TelemetryOptions{}};
+  RunRegistry registry;
+  Hoyan hoyan(net.topology, net.configs);
+  hoyan.setTelemetry(&telemetry);
+  hoyan.setRunRegistry(&registry);
+  std::vector<InputRoute> routes;
+  for (int i = 0; i < 12; ++i)
+    routes.push_back(ispRoute(net, "100." + std::to_string(i + 1) + ".0.0/16"));
+  hoyan.setInputRoutes(routes);
+  DistSimOptions simOptions;
+  simOptions.workers = 4;
+  simOptions.routeSubtasks = 16;
+  hoyan.setSimulationOptions(simOptions);
+
+  StatusServerOptions serverOptions;
+  serverOptions.runs = &registry;
+  serverOptions.metrics = &telemetry.metrics();
+  StatusServer server(serverOptions);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapeFailures{0};
+  std::atomic<int> transportErrors{0};
+  std::atomic<uint64_t> scrapes{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&, t] {
+      double lastDone = -1;
+      double lastRunId = -1;
+      while (!stop.load(std::memory_order_acquire)) {
+        HttpResult result;
+        const std::string target = t % 2 == 0 ? "/metrics" : "/runs/current";
+        if (!statusclient::httpGet("127.0.0.1", server.port(), target, result)) {
+          // A saturated loopback can transiently refuse (backlog overflow);
+          // that is retry territory, not a server defect.
+          transportErrors.fetch_add(1);
+          continue;
+        }
+        // /runs/current is 404 until the first runBegin; afterwards it must
+        // parse and its completed-subtask count must be monotone *within a
+        // run* (preprocess and verify are separate runs, each restarting
+        // from zero).
+        if (target == "/runs/current" && result.status == 200) {
+          JsonValue root;
+          if (!statusclient::parseJson(result.body, root)) {
+            scrapeFailures.fetch_add(1);
+            continue;
+          }
+          const double runId = root.num("id", -1);
+          if (runId != lastRunId) {
+            lastRunId = runId;
+            lastDone = -1;
+          }
+          const JsonValue* subtasks = root.find("subtasks");
+          const double done =
+              subtasks ? subtasks->num("succeeded") + subtasks->num("failed") : 0;
+          if (done + 1e-9 < lastDone) scrapeFailures.fetch_add(1);
+          lastDone = done;
+        } else if (result.status != 200 && result.status != 404 &&
+                   result.status != 503) {
+          scrapeFailures.fetch_add(1);
+        }
+        scrapes.fetch_add(1);
+      }
+    });
+  }
+
+  hoyan.preprocess();
+  IntentSet intents;
+  intents.rclIntents = {"PRE = POST"};
+  const ChangeVerificationResult result = hoyan.verifyChange({}, intents);
+  EXPECT_TRUE(result.satisfied());
+
+  stop.store(true, std::memory_order_release);
+  for (auto& scraper : scrapers) scraper.join();
+  server.stop();
+
+  EXPECT_EQ(scrapeFailures.load(), 0);
+  EXPECT_GT(scrapes.load(), 0u)
+      << "no scrape completed (" << transportErrors.load()
+      << " transport errors)";
+  // The runs the facade published are all closed and visible.
+  const auto list = registry.list();
+  ASSERT_GE(list.size(), 2u);  // preprocess + verify.
+  for (const auto& run : list) EXPECT_NE(run.state, "running");
+}
+
+// --- status client ----------------------------------------------------------
+
+TEST(StatusClientJsonTest, ParsesEscapesAndNesting) {
+  JsonValue root;
+  ASSERT_TRUE(statusclient::parseJson(
+      R"({"a":[1,2.5,-3e2],"b":{"c":"x\ny A","d":true,"e":null}})", root));
+  ASSERT_EQ(root.find("a")->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(root.find("a")->items[2].number, -300);
+  EXPECT_EQ(root.find("b")->str("c"), "x\ny A");
+  EXPECT_TRUE(root.find("b")->find("d")->boolean);
+  EXPECT_EQ(root.find("b")->find("e")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(StatusClientJsonTest, RejectsMalformedDocuments) {
+  JsonValue root;
+  EXPECT_FALSE(statusclient::parseJson("{\"a\":", root));
+  EXPECT_FALSE(statusclient::parseJson("{} trailing", root));
+  EXPECT_FALSE(statusclient::parseJson("{\"a\" 1}", root));
+  EXPECT_FALSE(statusclient::parseJson("\"unterminated", root));
+  EXPECT_TRUE(statusclient::parseJson(" {} ", root)) << "whitespace is fine";
+}
+
+TEST(StatusClientRenderTest, RendersDashboardFrame) {
+  JsonValue run;
+  ASSERT_TRUE(statusclient::parseJson(
+      R"({"id":7,"name":"verify","state":"running","phase":"route.exec",)"
+      R"("elapsed_seconds":65.5,"subtasks":{"pending":2,"running":1,)"
+      R"("succeeded":5,"failed":0,"retries":1},"cache":{"hits":3,"misses":1,)"
+      R"("bypasses":0,"hit_rate":0.75},"impact":"2 devices",)"
+      R"("active":[{"id":"route:3","worker":2,"seconds":1.5,"straggler":true}]})",
+      run));
+  const std::string frame = statusclient::renderTop(run, 2.5);
+  EXPECT_NE(frame.find("run #7 \"verify\""), std::string::npos) << frame;
+  EXPECT_NE(frame.find("running"), std::string::npos);
+  EXPECT_NE(frame.find("phase=route.exec"), std::string::npos);
+  EXPECT_NE(frame.find("elapsed=1m05s"), std::string::npos);
+  EXPECT_NE(frame.find(" 5/8"), std::string::npos) << "done/total";
+  EXPECT_NE(frame.find("(2.5/s)"), std::string::npos);
+  EXPECT_NE(frame.find("hit rate 75%"), std::string::npos);
+  EXPECT_NE(frame.find("impact: 2 devices"), std::string::npos);
+  EXPECT_NE(frame.find("STRAGGLER"), std::string::npos);
+  // First frame: throughput unknown, no rate printed.
+  EXPECT_EQ(statusclient::renderTop(run, -1).find("/s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hoyan

@@ -2,9 +2,14 @@
 // specification heuristic, misconfiguration localization, RIB concatenation
 // (the §4.4 future-work RCL extension), and traffic-load fault tolerance.
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
 
 #include "core/intent_tools.h"
 #include "core/localize.h"
+#include "inspect.h"
 #include "rcl/parser.h"
 #include "rcl/verify.h"
 #include "sim/route_sim.h"
@@ -228,6 +233,42 @@ TEST(KFailureLoadTest, DetectsOverloadUnderSingleFailure) {
       checkKFailureLoads(model, inputs, flows, /*maxUtilization=*/0.5, options);
   EXPECT_FALSE(tight.holds());
   EXPECT_GE(result.scenariosChecked, 2u);
+}
+
+// --- hoyan_inspect input plumbing ------------------------------------------
+
+TEST(InspectReadInputTest, ReadsRegularFilesAndFailsOnMissing) {
+  const std::string path = ::testing::TempDir() + "inspect_read_input.jsonl";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"event\":\"run_begin\"}\n", out);
+  std::fclose(out);
+  std::string text;
+  ASSERT_TRUE(inspect::readInput(path, text));
+  EXPECT_EQ(text, "{\"event\":\"run_begin\"}\n");
+  std::string missing;
+  EXPECT_FALSE(inspect::readInput(path + ".nope", missing));
+}
+
+TEST(InspectReadInputTest, DashReadsStdin) {
+  // `hoyan_inspect summary -` pipelines: point stdin at a file, read via "-".
+  const std::string path = ::testing::TempDir() + "inspect_stdin.jsonl";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("line one\nline two\n", out);
+  std::fclose(out);
+
+  const int savedStdin = ::dup(0);
+  ASSERT_GE(savedStdin, 0);
+  ASSERT_NE(std::freopen(path.c_str(), "r", stdin), nullptr);
+  std::string text;
+  const bool ok = inspect::readInput("-", text);
+  ::dup2(savedStdin, 0);
+  ::close(savedStdin);
+  std::clearerr(stdin);
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(text, "line one\nline two\n");
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 //   hoyan_inspect workers <journal>                  per-worker utilization
 //   hoyan_inspect diff <cold.jsonl> <warm.jsonl>     where warm-run time went
 //
+// `-` as a journal path reads stdin, so
+// `bench --journal-out=/dev/stdout | hoyan_inspect summary -` pipelines work.
+//
 // Exit codes: 0 success, 1 malformed journal (validate), 2 usage/IO error.
 #include <cstdio>
 #include <cstdlib>
@@ -24,20 +27,9 @@ constexpr const char* kUsage =
     "  workers <journal>                  per-worker utilization\n"
     "  diff <cold> <warm>                 cold-vs-warm run comparison\n";
 
-bool readFile(const char* path, std::string& out) {
-  std::FILE* file = std::fopen(path, "rb");
-  if (!file) return false;
-  char buffer[1 << 16];
-  size_t got;
-  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
-    out.append(buffer, got);
-  std::fclose(file);
-  return true;
-}
-
 bool loadStats(const char* path, hoyan::inspect::JournalStats& stats) {
   std::string text;
-  if (!readFile(path, text)) {
+  if (!hoyan::inspect::readInput(path, text)) {
     std::fprintf(stderr, "hoyan_inspect: cannot read %s\n", path);
     return false;
   }
@@ -63,7 +55,7 @@ int main(int argc, char** argv) {
 
   if (command == "validate") {
     std::string text;
-    if (!readFile(path, text)) {
+    if (!hoyan::inspect::readInput(path, text)) {
       std::fprintf(stderr, "hoyan_inspect: cannot read %s\n", path);
       return 2;
     }
@@ -80,7 +72,7 @@ int main(int argc, char** argv) {
 
   if (command == "summary" || command == "stragglers" || command == "workers") {
     std::string text;
-    if (!readFile(path, text)) {
+    if (!hoyan::inspect::readInput(path, text)) {
       std::fprintf(stderr, "hoyan_inspect: cannot read %s\n", path);
       return 2;
     }

@@ -7,6 +7,18 @@
 #include <set>
 
 namespace hoyan::inspect {
+
+bool readInput(const std::string& path, std::string& out) {
+  std::FILE* file = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (!file) return false;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+    out.append(buffer, got);
+  if (file != stdin) std::fclose(file);
+  return true;
+}
+
 namespace {
 
 std::string fmtMs(double ms) {

@@ -39,6 +39,11 @@ struct Event {
   }
 };
 
+// Reads a journal into `out`: a file path, or "-" for stdin, so
+// `--journal-out=/dev/stdout | hoyan_inspect summary -` pipelines work.
+// Returns false when the file cannot be opened (stdin never fails to open).
+bool readInput(const std::string& path, std::string& out);
+
 // Parses one flat JSON object (`{"k":"v","n":1.5,...}`). Returns false on
 // malformed input (trailing garbage counts as malformed).
 bool parseJsonObject(const std::string& line, Event& event);

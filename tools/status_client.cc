@@ -1,0 +1,321 @@
+#include "status_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hoyan::statusclient {
+
+bool httpGet(const std::string& host, uint16_t port, const std::string& target,
+             HttpResult& out, int timeoutMs) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  timeval timeout{};
+  timeout.tv_sec = timeoutMs / 1000;
+  timeout.tv_usec = (timeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0)
+    response.append(buffer, static_cast<size_t>(n));
+  ::close(fd);
+
+  // Status line, then skip headers to the body (the server always closes the
+  // connection after one response, so content-length needs no handling).
+  if (response.rfind("HTTP/1.", 0) != 0) return false;
+  const size_t statusStart = response.find(' ');
+  if (statusStart == std::string::npos) return false;
+  const int status = std::atoi(response.c_str() + statusStart + 1);
+  if (status < 100 || status > 599) return false;
+  const size_t headEnd = response.find("\r\n\r\n");
+  if (headEnd == std::string::npos) return false;
+  out.status = status;
+  out.body = response.substr(headEnd + 4);
+  return true;
+}
+
+// --- minimal JSON -----------------------------------------------------------
+
+namespace {
+
+struct JsonReader {
+  const std::string& text;
+  size_t pos = 0;
+
+  void skipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  bool consume(char c) {
+    skipSpace();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    if (!consume('"')) return false;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // The payloads only escape control characters; encode the BMP
+            // code point as UTF-8 without surrogate-pair handling.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool parseValue(JsonValue& out) {
+    skipSpace();
+    if (pos >= text.size()) return false;
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out.kind = JsonValue::Kind::kObject;
+      skipSpace();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!parseString(key) || !consume(':')) return false;
+        JsonValue value;
+        if (!parseValue(value)) return false;
+        out.members.emplace_back(std::move(key), std::move(value));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.kind = JsonValue::Kind::kArray;
+      skipSpace();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!parseValue(value)) return false;
+        out.items.push_back(std::move(value));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parseString(out.text);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      out.kind = JsonValue::Kind::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number.
+    char* end = nullptr;
+    out.number = std::strtod(text.c_str() + pos, &end);
+    if (!end || end == text.c_str() + pos) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    pos = static_cast<size_t>(end - text.c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+double JsonValue::num(const std::string& key, double fallback) const {
+  const JsonValue* value = find(key);
+  return value && value->kind == Kind::kNumber ? value->number : fallback;
+}
+
+std::string JsonValue::str(const std::string& key,
+                           const std::string& fallback) const {
+  const JsonValue* value = find(key);
+  return value && value->kind == Kind::kString ? value->text : fallback;
+}
+
+bool parseJson(const std::string& textIn, JsonValue& out) {
+  out = JsonValue{};  // The object/array cases append, so reuse must reset.
+  JsonReader reader{textIn};
+  if (!reader.parseValue(out)) return false;
+  reader.skipSpace();
+  return reader.pos == textIn.size();
+}
+
+// --- dashboard --------------------------------------------------------------
+
+namespace {
+
+std::string fmtSeconds(double seconds) {
+  char buffer[64];
+  if (seconds >= 60) {
+    std::snprintf(buffer, sizeof(buffer), "%dm%02ds",
+                  static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fs", seconds);
+  }
+  return buffer;
+}
+
+std::string progressBar(double fraction, int width) {
+  if (width < 10) width = 10;
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  const int cells = width - 2;
+  const int filled = static_cast<int>(std::lround(fraction * cells));
+  std::string bar = "[";
+  bar.append(static_cast<size_t>(filled), '#');
+  bar.append(static_cast<size_t>(cells - filled), '.');
+  bar += "]";
+  return bar;
+}
+
+}  // namespace
+
+std::string renderTop(const JsonValue& run, double throughput, int width) {
+  const JsonValue* subtasks = run.find("subtasks");
+  const JsonValue* cache = run.find("cache");
+  const double pending = subtasks ? subtasks->num("pending") : 0;
+  const double running = subtasks ? subtasks->num("running") : 0;
+  const double succeeded = subtasks ? subtasks->num("succeeded") : 0;
+  const double failed = subtasks ? subtasks->num("failed") : 0;
+  const double retries = subtasks ? subtasks->num("retries") : 0;
+  const double total = pending + running + succeeded + failed;
+
+  std::string out;
+  out += "run #" + std::to_string(static_cast<uint64_t>(run.num("id")));
+  const std::string name = run.str("name");
+  if (!name.empty()) out += " \"" + name + "\"";
+  out += "  " + run.str("state", "?");
+  const std::string phase = run.str("phase");
+  if (!phase.empty()) out += "  phase=" + phase;
+  out += "  elapsed=" + fmtSeconds(run.num("elapsed_seconds"));
+  out += "\n";
+
+  const double done = succeeded + failed;
+  out += progressBar(total > 0 ? done / total : 0, width);
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), " %.0f/%.0f\n", done, total);
+  out += buffer;
+
+  std::snprintf(buffer, sizeof(buffer),
+                "subtasks: %.0f pending, %.0f running, %.0f ok, %.0f failed, "
+                "%.0f retries",
+                pending, running, succeeded, failed, retries);
+  out += buffer;
+  if (throughput >= 0) {
+    std::snprintf(buffer, sizeof(buffer), "  (%.1f/s)", throughput);
+    out += buffer;
+  }
+  out += "\n";
+
+  if (cache) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "cache: %.0f hits, %.0f misses, %.0f bypasses (hit rate %.0f%%)\n",
+                  cache->num("hits"), cache->num("misses"),
+                  cache->num("bypasses"), cache->num("hit_rate") * 100);
+    out += buffer;
+  }
+  const std::string impact = run.str("impact");
+  if (!impact.empty()) out += "impact: " + impact + "\n";
+
+  const JsonValue* active = run.find("active");
+  if (active && active->kind == JsonValue::Kind::kArray && !active->items.empty()) {
+    out += "active subtasks:\n";
+    for (const JsonValue& row : active->items) {
+      const JsonValue* straggler = row.find("straggler");
+      std::snprintf(buffer, sizeof(buffer), "  w%-3d %-24s %8s%s\n",
+                    static_cast<int>(row.num("worker", -1)),
+                    row.str("id", "?").c_str(),
+                    fmtSeconds(row.num("seconds")).c_str(),
+                    straggler && straggler->boolean ? "  STRAGGLER" : "");
+      out += buffer;
+    }
+  }
+  return out;
+}
+
+}  // namespace hoyan::statusclient

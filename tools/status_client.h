@@ -1,0 +1,58 @@
+// Client side of the embedded status server (src/obs/statusd.h), behind the
+// `hoyan_top` CLI: a blocking HTTP/1.1 GET over POSIX sockets, a minimal
+// recursive-descent JSON reader (the endpoints' payloads are small and
+// known), and the terminal-dashboard renderer. A library so the tests can
+// drive parsing and rendering without a live server; standalone by design —
+// no dependency on the hoyan libraries, mirroring hoyan_inspect_lib.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hoyan::statusclient {
+
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+// Blocking GET http://<host>:<port><target>. False on connect/IO/parse
+// failure (out untouched); an HTTP error status is a *successful* call.
+bool httpGet(const std::string& host, uint16_t port, const std::string& target,
+             HttpResult& out, int timeoutMs = 2000);
+
+// --- minimal JSON -----------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> items;                            // kArray
+
+  // Object member by key; null when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  // Convenience getters with fallbacks (wrong-kind returns the fallback).
+  double num(const std::string& key, double fallback = 0) const;
+  std::string str(const std::string& key,
+                  const std::string& fallback = "") const;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage is a parse failure).
+bool parseJson(const std::string& textIn, JsonValue& out);
+
+// --- dashboard --------------------------------------------------------------
+
+// Renders one `/runs/<id>` payload as the hoyan_top dashboard frame: header
+// (run, state, phase, elapsed), subtask progress bar, counts row with
+// throughput, cache hit rate, and the active-subtask table with stragglers
+// flagged. `throughput` is subtasks/s between the caller's last two polls
+// (negative = unknown, first frame). `width` bounds the progress bar.
+std::string renderTop(const JsonValue& run, double throughput, int width = 72);
+
+}  // namespace hoyan::statusclient
