@@ -377,8 +377,75 @@ std::vector<RclOutcome> Hoyan::runAuditTasks(const std::vector<std::string>& aud
 }
 
 KFailureResult Hoyan::checkFaultTolerance(const NetworkProperty& property,
-                                          const KFailureOptions& options) {
+                                          const KFailureOptions& options,
+                                          const sweep::SweepHints& hints) {
+  return sweepFaultTolerance(property, options, hints).result;
+}
+
+KFailureResult Hoyan::checkFaultToleranceSerial(
+    const NetworkProperty& property, const KFailureOptions& options) const {
+  requirePreprocessed();
   return checkKFailures(*baseModel_, inputRoutes_, property, options);
+}
+
+sweep::SweepResult Hoyan::sweepFaultTolerance(const NetworkProperty& property,
+                                              const KFailureOptions& options,
+                                              const sweep::SweepHints& hints) {
+  requirePreprocessed();
+  obs::Telemetry* configured = telemetry_ ? telemetry_ : obs::Telemetry::global();
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(configured);
+  obs::RunJournal& journal = tel.journal();
+  obs::RunRegistry* registry =
+      runRegistry_ ? runRegistry_ : obs::RunRegistry::global();
+  obs::Span taskSpan = tel.tracer().span("core.fault_sweep", "core");
+  taskSpan.arg("k", std::to_string(options.k));
+  // The run fingerprint covers everything that shapes the committed result;
+  // worker count is scheduling only (the commit cursor makes results
+  // identical for any count), matching distOptionsFingerprint's rationale.
+  incr::Fnv1a runFp;
+  runFp.mix(static_cast<uint64_t>(options.k))
+      .mix(static_cast<uint64_t>(options.includeDeviceFailures ? 1 : 0))
+      .mix(static_cast<uint64_t>(options.maxCounterexamples))
+      .mix(static_cast<uint64_t>(options.focusDevices.size()))
+      .mix(hints.cacheId)
+      .mix(static_cast<uint64_t>(hints.relevantPrefixes.size()))
+      .mix(static_cast<uint64_t>(hints.relevantDevices.size()));
+  for (const NameId device : options.focusDevices)
+    runFp.mix(static_cast<uint64_t>(device));
+  for (const Prefix& prefix : hints.relevantPrefixes) runFp.mix(prefix);
+  for (const NameId device : hints.relevantDevices)
+    runFp.mix(static_cast<uint64_t>(device));
+  journal.runBegin("fault-sweep", runFp.digest());
+  uint64_t liveRunId = 0;
+  if (registry) liveRunId = registry->runBegin("fault-sweep");
+
+  sweep::SweepOptions sweepOptions;
+  sweepOptions.failure = options;
+  sweepOptions.workers = distOptions_.workers;
+  sweepOptions.maxAttempts = distOptions_.maxAttempts;
+  sweepOptions.telemetry = configured;
+  sweepOptions.runRegistry = registry;
+  sweepOptions.incremental = incremental_.get();
+  sweep::SweepResult result;
+  try {
+    result = sweep::sweepKFailures(*baseModel_, inputRoutes_, property,
+                                   sweepOptions, hints);
+  } catch (...) {
+    taskSpan.finish();
+    journal.runEnd("fault-sweep", taskSpan.seconds());
+    if (registry) registry->runEnd(liveRunId, taskSpan.seconds());
+    throw;
+  }
+  taskSpan.finish();
+  journal.runEnd("fault-sweep", taskSpan.seconds());
+  if (registry) registry->runEnd(liveRunId, taskSpan.seconds());
+  tel.log().info(
+      "core.fault_sweep.done",
+      {{"k", std::to_string(options.k)},
+       {"scenarios", std::to_string(result.result.scenariosChecked)},
+       {"counterexamples", std::to_string(result.result.counterexamples.size())},
+       {"seconds", std::to_string(taskSpan.seconds())}});
+  return result;
 }
 
 std::string ChangeVerificationResult::report() const {

@@ -26,6 +26,7 @@
 #include "rcl/verify.h"
 #include "sim/route_sim.h"
 #include "sim/traffic_sim.h"
+#include "sweep/sweep.h"
 #include "topo/topology.h"
 #include "verify/properties.h"
 
@@ -202,9 +203,27 @@ class Hoyan {
   // evaluated with both PRE and POST bound to the *base* global RIB.
   std::vector<RclOutcome> runAuditTasks(const std::vector<std::string>& auditSpecs);
 
-  // Fault-tolerance checking (§6.2) on the base network.
+  // Fault-tolerance checking (§6.2) on the base network. Runs the
+  // distributed k-failure sweep engine (src/sweep): scenarios fan out over
+  // the configured worker count, inert scenarios are pruned via `hints`,
+  // symmetric ones deduped, and verdicts served from the incremental
+  // engine's cas/k cache when enableIncremental ran and hints carry a
+  // cacheId. Results are byte-identical to checkFaultToleranceSerial.
   KFailureResult checkFaultTolerance(const NetworkProperty& property,
-                                     const KFailureOptions& options = {});
+                                     const KFailureOptions& options = {},
+                                     const sweep::SweepHints& hints = {});
+
+  // The serial reference oracle (verify/checkKFailures, one deep copy and
+  // centralized simulation per scenario) the sweep engine is
+  // differential-tested against.
+  KFailureResult checkFaultToleranceSerial(const NetworkProperty& property,
+                                           const KFailureOptions& options = {}) const;
+
+  // checkFaultTolerance with the sweep's full accounting (enumerated/
+  // pruned/deduped/scheduled/cache-hit counts) for benches and dashboards.
+  sweep::SweepResult sweepFaultTolerance(const NetworkProperty& property,
+                                         const KFailureOptions& options = {},
+                                         const sweep::SweepHints& hints = {});
 
  private:
   void requirePreprocessed() const;

@@ -57,6 +57,12 @@ CountNames countNames(JournalEventType type) {
       return {{"dirty_devices", "dirty_ranges"}};
     case JournalEventType::kRibAssembly:
       return {{"fragment_hits", "fragment_misses", "rows_reused", "rows_rendered"}};
+    case JournalEventType::kSweepPlan:
+      return {{"enumerated", "pruned", "deduped", "scheduled"}};
+    case JournalEventType::kSweepVerdict:
+      return {{"shared"}};
+    case JournalEventType::kSweepResult:
+      return {{"checked", "counterexamples", "cache_hits", "retries"}};
     default:
       return {};
   }
@@ -79,6 +85,9 @@ std::string_view journalEventTypeName(JournalEventType type) {
     case JournalEventType::kSubtaskExhaust: return "subtask_exhaust";
     case JournalEventType::kSubtaskFinish: return "subtask_finish";
     case JournalEventType::kRibAssembly: return "rib_assembly";
+    case JournalEventType::kSweepPlan: return "sweep_plan";
+    case JournalEventType::kSweepVerdict: return "sweep_verdict";
+    case JournalEventType::kSweepResult: return "sweep_result";
     case JournalEventType::kPhaseEnd: return "phase_end";
     case JournalEventType::kRunEnd: return "run_end";
   }
@@ -316,6 +325,49 @@ void RunJournal::ribAssembly(std::string_view outcome, size_t fragmentHits,
   event.counts[1] = fragmentMisses;
   event.counts[2] = rowsReused;
   event.counts[3] = rowsRendered;
+  event.hasCounts = true;
+  record(std::move(event));
+}
+
+void RunJournal::sweepPlan(std::string_view phase, size_t enumerated, size_t pruned,
+                           size_t deduped, size_t scheduled) {
+  if (!enabled_) return;
+  JournalEvent event;
+  event.type = JournalEventType::kSweepPlan;
+  event.phase = std::string(phase);
+  event.counts[0] = enumerated;
+  event.counts[1] = pruned;
+  event.counts[2] = deduped;
+  event.counts[3] = scheduled;
+  event.hasCounts = true;
+  record(std::move(event));
+}
+
+void RunJournal::sweepVerdict(std::string_view phase, std::string_view id, bool pass,
+                              std::string_view key, size_t shared) {
+  if (!enabled_) return;
+  JournalEvent event;
+  event.type = JournalEventType::kSweepVerdict;
+  event.phase = std::string(phase);
+  event.id = std::string(id);
+  event.note = pass ? "pass" : "fail";
+  event.key = std::string(key);
+  event.counts[0] = shared;
+  event.hasCounts = true;
+  record(std::move(event));
+}
+
+void RunJournal::sweepResult(std::string_view phase, size_t checked,
+                             size_t counterexamples, size_t cacheHits,
+                             size_t retries) {
+  if (!enabled_) return;
+  JournalEvent event;
+  event.type = JournalEventType::kSweepResult;
+  event.phase = std::string(phase);
+  event.counts[0] = checked;
+  event.counts[1] = counterexamples;
+  event.counts[2] = cacheHits;
+  event.counts[3] = retries;
   event.hasCounts = true;
   record(std::move(event));
 }

@@ -59,6 +59,9 @@ enum class JournalEventType : uint8_t {
   kSubtaskExhaust,
   kSubtaskFinish,
   kRibAssembly,
+  kSweepPlan,
+  kSweepVerdict,
+  kSweepResult,
   kPhaseEnd,
   kRunEnd,
 };
@@ -127,6 +130,23 @@ class RunJournal {
   // `outcome`: "whole_table_hit" | "assembled" | "bypassed".
   void ribAssembly(std::string_view outcome, size_t fragmentHits,
                    size_t fragmentMisses, size_t rowsReused, size_t rowsRendered);
+
+  // --- k-failure sweep (src/sweep) -----------------------------------------
+  // The sweep's enumeration outcome: scenarios enumerated, how many were
+  // pruned (inherit the base verdict), deduped onto another scenario's
+  // evaluation, and how many unique jobs were scheduled onto workers.
+  void sweepPlan(std::string_view phase, size_t enumerated, size_t pruned,
+                 size_t deduped, size_t scheduled);
+  // One committed scenario verdict, emitted master-side in enumeration order
+  // (deterministic regardless of worker count). `id` is the scenario id,
+  // `key` its impact-fingerprint hex, `shared` how many scenarios share the
+  // underlying evaluation.
+  void sweepVerdict(std::string_view phase, std::string_view id, bool pass,
+                    std::string_view key, size_t shared);
+  // The sweep's terminal accounting: committed scenarios, counterexamples
+  // retained, verdict-cache hits, worker retries.
+  void sweepResult(std::string_view phase, size_t checked, size_t counterexamples,
+                   size_t cacheHits, size_t retries);
 
   // --- inspection / export --------------------------------------------------
   size_t eventCount() const;

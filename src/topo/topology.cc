@@ -100,6 +100,40 @@ void Topology::removeDevice(NameId device) {
     it = it->connects(device) ? links_.erase(it) : ++it;
 }
 
+void FailureOverlay::apply(Topology& topology) {
+  if (applied_) throw std::logic_error("FailureOverlay::apply: already applied");
+  std::vector<Link>& links = topology.links();
+  for (const auto& [a, b] : links_) {
+    for (size_t i = 0; i < links.size(); ++i) {
+      Link& link = links[i];
+      if (!link.up) continue;  // Already down: not ours to restore.
+      if ((link.deviceA == a && link.deviceB == b) ||
+          (link.deviceA == b && link.deviceB == a)) {
+        link.up = false;
+        downedLinks_.push_back(i);
+      }
+    }
+  }
+  for (const NameId device : devices_) {
+    // Only devices this overlay transitions to failed are recorded: a device
+    // failed before apply (or absent entirely) stays as-is on revert.
+    if (!topology.findDevice(device) || !topology.deviceActive(device)) continue;
+    topology.failDevice(device);
+    failedDevices_.push_back(device);
+  }
+  applied_ = true;
+}
+
+void FailureOverlay::revert(Topology& topology) {
+  if (!applied_) return;
+  std::vector<Link>& links = topology.links();
+  for (const size_t index : downedLinks_) links[index].up = true;
+  for (const NameId device : failedDevices_) topology.restoreDevice(device);
+  downedLinks_.clear();
+  failedDevices_.clear();
+  applied_ = false;
+}
+
 void TopologyChange::applyTo(Topology& topology) const {
   for (const Device& device : addDevices) topology.addDevice(device);
   for (const NewLink& link : addLinks)

@@ -131,6 +131,39 @@ class Topology {
   std::unordered_map<NameId, bool> failedDevices_;
 };
 
+// A reversible link+device failure mask over one Topology instance. The
+// k-failure sweep (src/sweep) applies thousands of scenarios that differ by a
+// handful of failed elements; copying the whole NetworkModel per scenario is
+// the allocation hot spot this replaces. `apply` records exactly the state it
+// changes — the indices of links whose `up` flag it clears and the devices it
+// newly marks failed — and `revert` restores that state bit-for-bit, so one
+// long-lived topology cycles through scenarios. Derived model state
+// (SPF, sessions, address index) is the caller's to rebuild after apply.
+class FailureOverlay {
+ public:
+  // Fails every link between the pair, in either orientation — the same
+  // matching rule as setLinkState, so parallel links go down together.
+  void addLink(NameId deviceA, NameId deviceB) { links_.emplace_back(deviceA, deviceB); }
+  void addDevice(NameId device) { devices_.push_back(device); }
+  bool empty() const { return links_.empty() && devices_.empty(); }
+
+  // Applies the mask. Links already down and devices already failed are left
+  // untouched (and untouched by revert). Throws std::logic_error if already
+  // applied without an intervening revert.
+  void apply(Topology& topology);
+  // Restores the exact pre-apply state; must get the same topology instance.
+  // No-op when not applied, so it is safe as a cleanup path.
+  void revert(Topology& topology);
+  bool applied() const { return applied_; }
+
+ private:
+  std::vector<std::pair<NameId, NameId>> links_;
+  std::vector<NameId> devices_;
+  std::vector<size_t> downedLinks_;    // Link indices whose `up` we cleared.
+  std::vector<NameId> failedDevices_;  // Devices we newly marked failed.
+  bool applied_ = false;
+};
+
 // A topology delta, the topology half of a change plan (§2.2): links/devices
 // to add or remove before re-simulation.
 struct TopologyChange {

@@ -135,6 +135,48 @@ TEST(InspectAggregateTest, BuildsPerRunPhaseAndCacheStats) {
   EXPECT_EQ(warm.ribRowsReused, 900.0);
 }
 
+TEST(InspectSweepTest, AggregatesAndRendersSweepEvents) {
+  // Sweep events built through the production emitters: a 300-scenario plan
+  // with pruning/dedupe, two committed verdicts, and the final accounting.
+  obs::RunJournal journal({.enabled = true});
+  journal.runBegin("fault-sweep", 0xfee1);
+  journal.sweepPlan("fault_sweep", 300, 30, 12, 258);
+  journal.sweepVerdict("fault_sweep", "s000000", true, "cas/k/a0", 0);
+  journal.sweepVerdict("fault_sweep", "s000001", false, "cas/k/b1", 2);
+  journal.sweepResult("fault_sweep", 300, 1, 240, 3);
+  journal.runEnd("fault-sweep", 0.5);
+
+  std::string error;
+  ASSERT_TRUE(inspect::validateJournal(journal.toJsonl(), error)) << error;
+  std::vector<inspect::Event> events;
+  ASSERT_TRUE(inspect::parseJournal(journal.toJsonl(), events, error)) << error;
+
+  const inspect::JournalStats stats = inspect::aggregate(events);
+  ASSERT_EQ(stats.runs.size(), 1u);
+  const inspect::RunStats& run = stats.runs[0];
+  EXPECT_TRUE(run.sweepSeen);
+  EXPECT_EQ(run.sweepEnumerated, 300.0);
+  EXPECT_EQ(run.sweepPruned, 30.0);
+  EXPECT_EQ(run.sweepDeduped, 12.0);
+  EXPECT_EQ(run.sweepScheduled, 258.0);
+  EXPECT_EQ(run.sweepVerdictPass, 1u);
+  EXPECT_EQ(run.sweepVerdictFail, 1u);
+  EXPECT_EQ(run.sweepChecked, 300.0);
+  EXPECT_EQ(run.sweepCounterexamples, 1.0);
+  EXPECT_EQ(run.sweepCacheHits, 240.0);
+  EXPECT_EQ(run.sweepRetries, 3.0);
+
+  const std::string summary = inspect::renderSummary(stats);
+  EXPECT_NE(summary.find("sweep: 300 scenarios (30 pruned 10.0%, 12 deduped), "
+                         "258 jobs scheduled"),
+            std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("sweep verdicts: 1 pass / 1 fail (300 committed, "
+                         "1 counterexamples), 240 cached verdicts, 3 retries"),
+            std::string::npos)
+      << summary;
+}
+
 // --- stragglers --------------------------------------------------------------
 
 TEST(InspectStragglerTest, FindsDurationsFarAboveTheMedian) {

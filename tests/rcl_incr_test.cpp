@@ -16,6 +16,7 @@
 #include "gen/workload_gen.h"
 #include "incr/engine.h"
 #include "obs/provenance.h"
+#include "rcl/ast.h"
 #include "rcl/global_rib.h"
 #include "rcl/verify.h"
 
@@ -28,6 +29,10 @@ const char* const kIntents[] = {
     "device = BR-0-0 => PRE = POST",
     "prefix = 100.0.8.0/24 => PRE |> count() >= 0",
     "not prefix = 100.0.8.0/24 => PRE = POST",
+    // Range guards ride the sorted-prefix index (lexicographic over renders).
+    "prefix >= 100.0.8.0/24 and prefix <= 100.0.9.0/24 => PRE |> count() >= 0",
+    "prefix < 100.0.8.0/24 => PRE = POST",
+    "prefix > 99.0.0.0/8 => PRE |> count() >= 0",
     "forall device: PRE |> count() >= 0",
     "PRE |> distCnt(device) = POST |> distCnt(device)",
 };
@@ -269,6 +274,45 @@ TEST_F(RclIncrTest, PrefilteredEvaluationMatchesFullScan) {
   const char* absent = "device = NO-SUCH-DEVICE => PRE |> count() = 0";
   EXPECT_EQ(rcl::checkIntentText(absent, base, updated).satisfied,
             rcl::checkIntentText(absent, basePlain, updatedPlain).satisfied);
+}
+
+// The sorted-prefix index's slices must equal a per-row evalCompare scan for
+// every range operator and probe value — including values between renders,
+// below every render, and above every render.
+TEST(PrefixRangeBucketTest, SlicesMatchScanForEveryOperator) {
+  rcl::GlobalRib rib;
+  const char* const prefixes[] = {"10.0.0.0/8",    "100.0.2.0/24",
+                                  "100.0.10.0/24", "100.0.2.0/24",
+                                  "200.1.0.0/16",  "99.0.0.0/8"};
+  for (const char* text : prefixes) {
+    rcl::RibRow row;
+    row.device = "D";
+    row.vrf = "global";
+    row.prefix = *Prefix::parse(text);
+    rib.add(row);
+  }
+  // Not finalized yet: no index to serve from.
+  EXPECT_FALSE(rib.prefixRangeBucket(rcl::CompareOp::kLt, "100").has_value());
+  rib.finalize();
+
+  const rcl::CompareOp ops[] = {rcl::CompareOp::kGt, rcl::CompareOp::kGe,
+                                rcl::CompareOp::kLt, rcl::CompareOp::kLe};
+  const char* const probes[] = {"100.0.2.0/24", "100.0.5.0/24", "", "zzz"};
+  for (const rcl::CompareOp op : ops) {
+    for (const char* probe : probes) {
+      const auto bucket = rib.prefixRangeBucket(op, probe);
+      ASSERT_TRUE(bucket.has_value());
+      std::vector<uint32_t> expected;
+      for (uint32_t i = 0; i < rib.size(); ++i)
+        if (rcl::evalCompare(op, rcl::Scalar::str(rib.rows()[i].prefix.str()),
+                             rcl::Scalar::str(probe)))
+          expected.push_back(i);
+      EXPECT_EQ(*bucket, expected) << rcl::compareOpName(op) << " " << probe;
+    }
+  }
+  // Equality goes through fieldBucket; != is a complement and stays a scan.
+  EXPECT_FALSE(rib.prefixRangeBucket(rcl::CompareOp::kEq, "10.0.0.0/8").has_value());
+  EXPECT_FALSE(rib.prefixRangeBucket(rcl::CompareOp::kNe, "10.0.0.0/8").has_value());
 }
 
 }  // namespace

@@ -91,6 +91,49 @@ TEST(TopologyChangeTest, AppliesAllDeltaKinds) {
   EXPECT_TRUE(TopologyChange{}.empty());
 }
 
+TEST(FailureOverlayTest, ApplyRevertRestoresIdenticalState) {
+  SmallWan net = buildSmallWan();
+  // Pre-existing failures the overlay must not disturb: one link already
+  // down, one device already failed.
+  net.topology.setLinkState(net.c1, net.rr1, false);
+  net.topology.failDevice(net.isp1);
+  const std::vector<Link> linksBefore = net.topology.links();
+
+  FailureOverlay overlay;
+  overlay.addLink(net.c1, net.c2);
+  overlay.addLink(net.c1, net.rr1);  // Already down: untouched.
+  overlay.addDevice(net.br1);
+  overlay.addDevice(net.isp1);  // Already failed: untouched.
+  EXPECT_FALSE(overlay.empty());
+  EXPECT_FALSE(overlay.applied());
+
+  overlay.apply(net.topology);
+  EXPECT_TRUE(overlay.applied());
+  EXPECT_THROW(overlay.apply(net.topology), std::logic_error);
+  for (const Link& link : net.topology.links())
+    if (link.connects(net.c1) && link.connects(net.c2)) EXPECT_FALSE(link.up);
+  EXPECT_FALSE(net.topology.deviceActive(net.br1));
+  EXPECT_FALSE(net.topology.deviceActive(net.isp1));
+
+  overlay.revert(net.topology);
+  EXPECT_FALSE(overlay.applied());
+  ASSERT_EQ(net.topology.links().size(), linksBefore.size());
+  for (size_t i = 0; i < linksBefore.size(); ++i)
+    EXPECT_EQ(net.topology.links()[i].up, linksBefore[i].up) << i;
+  EXPECT_TRUE(net.topology.deviceActive(net.br1));
+  EXPECT_FALSE(net.topology.deviceActive(net.isp1));  // Pre-existing failure kept.
+  // C1<->RR1 was down before apply and stays down after revert.
+  for (const Link& link : net.topology.links())
+    if (link.connects(net.c1) && link.connects(net.rr1)) EXPECT_FALSE(link.up);
+
+  // Revert when not applied is a no-op; the overlay is reusable.
+  overlay.revert(net.topology);
+  overlay.apply(net.topology);
+  EXPECT_FALSE(net.topology.deviceActive(net.br1));
+  overlay.revert(net.topology);
+  EXPECT_TRUE(net.topology.deviceActive(net.br1));
+}
+
 TEST(TopologyTest, AddLinkValidatesDevices) {
   SmallWan net = buildSmallWan();
   EXPECT_THROW(net.topology.addLink(Names::id("tt-GHOST"), Names::id("i"), net.c1,

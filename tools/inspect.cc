@@ -212,6 +212,10 @@ const std::map<std::string, std::vector<std::string>>& eventSchema() {
       {"subtask_finish", {"phase", "id", "attempt"}},
       {"rib_assembly",
        {"note", "fragment_hits", "fragment_misses", "rows_reused", "rows_rendered"}},
+      {"sweep_plan", {"phase", "enumerated", "pruned", "deduped", "scheduled"}},
+      {"sweep_verdict", {"phase", "id", "note", "key", "shared"}},
+      {"sweep_result",
+       {"phase", "checked", "counterexamples", "cache_hits", "retries"}},
       {"journal_summary", {"events", "dropped"}},
   };
   return schema;
@@ -301,6 +305,24 @@ JournalStats aggregate(const std::vector<Event>& events) {
       run.ribFragmentMisses = event.num("fragment_misses").value_or(0);
       run.ribRowsReused = event.num("rows_reused").value_or(0);
       run.ribRowsRendered = event.num("rows_rendered").value_or(0);
+    } else if (event.ev == "sweep_plan") {
+      run.sweepSeen = true;
+      run.sweepEnumerated += event.num("enumerated").value_or(0);
+      run.sweepPruned += event.num("pruned").value_or(0);
+      run.sweepDeduped += event.num("deduped").value_or(0);
+      run.sweepScheduled += event.num("scheduled").value_or(0);
+    } else if (event.ev == "sweep_verdict") {
+      run.sweepSeen = true;
+      if (event.str("note") == "pass")
+        ++run.sweepVerdictPass;
+      else
+        ++run.sweepVerdictFail;
+    } else if (event.ev == "sweep_result") {
+      run.sweepSeen = true;
+      run.sweepChecked += event.num("checked").value_or(0);
+      run.sweepCounterexamples += event.num("counterexamples").value_or(0);
+      run.sweepCacheHits += event.num("cache_hits").value_or(0);
+      run.sweepRetries += event.num("retries").value_or(0);
     }
   }
   return stats;
@@ -357,6 +379,25 @@ std::string renderSummary(const JournalStats& stats) {
       else if (run.ribOutcome == "whole_table_hit")
         out += " (" + std::to_string(static_cast<uint64_t>(run.ribRowsReused)) +
                " rows reused)";
+      out += '\n';
+    }
+    if (run.sweepSeen) {
+      const auto count = [](double v) {
+        return std::to_string(static_cast<uint64_t>(v));
+      };
+      out += "  sweep: " + count(run.sweepEnumerated) + " scenarios";
+      if (run.sweepEnumerated > 0)
+        out += " (" + count(run.sweepPruned) + " pruned " +
+               fmtPct(run.sweepPruned / run.sweepEnumerated) + ", " +
+               count(run.sweepDeduped) + " deduped)";
+      out += ", " + count(run.sweepScheduled) + " jobs scheduled\n";
+      out += "  sweep verdicts: " + std::to_string(run.sweepVerdictPass) +
+             " pass / " + std::to_string(run.sweepVerdictFail) + " fail (" +
+             count(run.sweepChecked) + " committed, " +
+             count(run.sweepCounterexamples) + " counterexamples)";
+      if (run.sweepCacheHits > 0)
+        out += ", " + count(run.sweepCacheHits) + " cached verdicts";
+      if (run.sweepRetries > 0) out += ", " + count(run.sweepRetries) + " retries";
       out += '\n';
     }
     if (run.cacheBypasses > 0)

@@ -85,6 +85,18 @@ struct RunStats {
   double ribRowsRendered = 0;
   double ribFragmentHits = 0;
   double ribFragmentMisses = 0;
+  // k-failure sweep accounting (sweep_plan / sweep_verdict / sweep_result).
+  bool sweepSeen = false;
+  double sweepEnumerated = 0;
+  double sweepPruned = 0;
+  double sweepDeduped = 0;
+  double sweepScheduled = 0;
+  double sweepChecked = 0;
+  double sweepCounterexamples = 0;
+  double sweepCacheHits = 0;
+  double sweepRetries = 0;
+  size_t sweepVerdictPass = 0;
+  size_t sweepVerdictFail = 0;
 };
 
 struct JournalStats {
