@@ -7,6 +7,12 @@
 // must produce byte-identical results; the bench exits nonzero if they do
 // not, making it a differential test as well as a perf probe.
 //
+// A fourth run states the same scope as an RCL intent and lets
+// sweep::deriveHints compute the pruning hints from its guard, reporting the
+// derived prune rate plus the copy-on-write worker-model accounting (peak
+// materialized bytes vs the deep-copy footprint) against its own serial
+// baseline.
+//
 // Flags (also readable from the environment, bench_util-style):
 //   --json-out=<file>     BenchJson artifact (HOYAN_BENCH_JSON, default
 //                         kfailure_sweep.json): scenarios/sec, prune rate,
@@ -34,6 +40,9 @@
 #include "core/hoyan.h"
 #include "gen/wan_gen.h"
 #include "gen/workload_gen.h"
+#include "rcl/global_rib.h"
+#include "rcl/parser.h"
+#include "rcl/verify.h"
 
 using namespace hoyan;
 using namespace hoyan::bench;
@@ -155,6 +164,66 @@ int main(int argc, char** argv) {
   describe("cold sweep", cold, coldSeconds);
   describe("warm sweep", warm, warmSeconds);
 
+  // --- derived-hints mode ---------------------------------------------------
+  // The same scope stated as an RCL intent; the pruning hints come from
+  // sweep::deriveHints instead of the hand-written block above. The intent is
+  // a different property (a global-RIB count, not dataPlaneReachable), so it
+  // gets its own serial baseline for the identity check. ISP-0 injects
+  // 100.0.0.0/24 and no export policy re-advertises it toward the other
+  // ISPs, so their access links stay inert — the derived prune rate must be
+  // nonzero for the same structural reason as the hand-written one.
+  const std::string intentSpec = "prefix = 100.0.0.0/24 => POST |> count() >= 1";
+  const sweep::DeriveResult derivedHints = hoyan.deriveSweepHints(intentSpec);
+  std::printf("derived hints: %s (%zu prefixes, %zu devices)\n",
+              derivedHints.scoped ? "scoped" : derivedHints.reason.c_str(),
+              derivedHints.hints.relevantPrefixes.size(),
+              derivedHints.hints.relevantDevices.size());
+
+  KFailureResult derivedSerial;
+  double derivedSerialSeconds = 0;
+  if (runSerial) {
+    const rcl::ParseOutcome outcome = rcl::parseIntent(intentSpec);
+    const rcl::IntentPtr intent = outcome.intent;
+    const NetworkProperty intentProperty = [intent](const NetworkModel&,
+                                                    const NetworkRibs& ribs) {
+      rcl::GlobalRib rib = rcl::GlobalRib::fromNetworkRibs(ribs);
+      return rcl::checkIntent(*intent, rib, rib).satisfied;
+    };
+    Stopwatch stopwatch;
+    derivedSerial = hoyan.checkFaultToleranceSerial(intentProperty, failure);
+    derivedSerialSeconds = stopwatch.seconds();
+  }
+
+  Stopwatch derivedWatch;
+  const sweep::SweepResult derived =
+      hoyan.sweepIntentFaultTolerance(intentSpec, failure);
+  const double derivedSeconds = derivedWatch.seconds();
+  describe("derived sweep", derived, derivedSeconds);
+
+  bool derivedIdentical = true;
+  if (runSerial) {
+    derivedIdentical = renderResult(derivedSerial) == renderResult(derived.result);
+    if (!derivedIdentical)
+      std::fprintf(stderr,
+                   "FAIL: derived-hints sweep diverges from its serial oracle\n");
+  }
+  const double derivedPruneRate =
+      derived.stats.enumerated == 0
+          ? 0
+          : static_cast<double>(derived.stats.pruned) / derived.stats.enumerated;
+  // Copy-on-write accounting: the peak bytes any worker materialized on top
+  // of the shared base model vs the deep-copy footprint a worker would have
+  // carried before the overlay (ISSUE 9 gates a >= 50% reduction).
+  const double workerModelReduction =
+      derived.stats.workerModelDeepBytes == 0
+          ? 0
+          : 1.0 - static_cast<double>(derived.stats.workerModelPeakBytes) /
+                      static_cast<double>(derived.stats.workerModelDeepBytes);
+  std::printf("derived prune rate: %.3g | worker model: peak %zu B vs deep "
+              "%zu B (%.1f%% reduction)\n",
+              derivedPruneRate, derived.stats.workerModelPeakBytes,
+              derived.stats.workerModelDeepBytes, workerModelReduction * 100);
+
   bool identical = renderResult(cold.result) == renderResult(warm.result);
   if (runSerial)
     identical = identical && renderResult(serial) == renderResult(cold.result);
@@ -198,6 +267,13 @@ int main(int argc, char** argv) {
   artifact.metric("counterexamples",
                   static_cast<double>(cold.result.counterexamples.size()));
   artifact.metric("results_identical", identical ? 1 : 0);
+  artifact.metric("derived_prune_rate", derivedPruneRate);
+  artifact.metric("derived_results_identical", derivedIdentical ? 1 : 0);
+  artifact.metric("worker_model_peak_bytes",
+                  static_cast<double>(derived.stats.workerModelPeakBytes));
+  artifact.metric("worker_model_deep_bytes",
+                  static_cast<double>(derived.stats.workerModelDeepBytes));
+  artifact.metric("worker_model_reduction", workerModelReduction);
   artifact.metric("scenarios_per_second_cold",
                   coldSeconds > 0 ? cold.stats.enumerated / coldSeconds : 0);
   artifact.metric("scenarios_per_second_warm",
@@ -211,10 +287,12 @@ int main(int argc, char** argv) {
   artifact.seconds("serial", serialSeconds);
   artifact.seconds("cold", coldSeconds);
   artifact.seconds("warm", warmSeconds);
+  artifact.seconds("derived_serial", derivedSerialSeconds);
+  artifact.seconds("derived", derivedSeconds);
   if (obs::writeFile(jsonPath, artifact.str()))
     std::printf("json -> %s\n", jsonPath.c_str());
   else
     std::fprintf(stderr, "failed to write %s\n", jsonPath.c_str());
 
-  return identical && warmHitRate >= 1.0 ? 0 : 1;
+  return identical && derivedIdentical && warmHitRate >= 1.0 ? 0 : 1;
 }

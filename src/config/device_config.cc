@@ -120,4 +120,59 @@ BgpNeighbor DeviceConfig::effectiveNeighbor(const BgpNeighbor& neighbor,
   return effective;
 }
 
+namespace {
+
+// Rough deep-size estimate of one parsed router model. Precision is not the
+// point — the sweep's worker-memory accounting only needs the estimate to
+// scale with model size the way a real deep copy would.
+size_t approxDeviceConfigBytes(const DeviceConfig& config) {
+  constexpr size_t kMapNode = 48;  // Red-black node + alignment overhead.
+  size_t bytes = sizeof(DeviceConfig);
+  bytes += config.bgp.neighbors.capacity() * sizeof(BgpNeighbor);
+  bytes += config.bgp.peerGroups.capacity() * sizeof(BgpPeerGroup);
+  bytes += config.bgp.redistributions.capacity() * sizeof(Redistribution);
+  bytes += config.bgp.aggregates.capacity() * sizeof(AggregateConfig);
+  bytes += config.staticRoutes.capacity() * sizeof(StaticRouteConfig);
+  for (const SrPolicyConfig& policy : config.srPolicies)
+    bytes += sizeof(SrPolicyConfig) + policy.segments.capacity() * sizeof(IpAddress);
+  for (const auto& [name, list] : config.prefixLists)
+    bytes += kMapNode + sizeof(PrefixList) +
+             list.entries.capacity() * sizeof(PrefixListEntry);
+  for (const auto& [name, list] : config.communityLists)
+    bytes += kMapNode + sizeof(CommunityList) +
+             list.entries.capacity() * sizeof(CommunityListEntry);
+  for (const auto& [name, list] : config.asPathLists) {
+    bytes += kMapNode + sizeof(AsPathList);
+    for (const AsPathListEntry& entry : list.entries)
+      bytes += sizeof(AsPathListEntry) + entry.regex.capacity();
+  }
+  for (const auto& [name, policy] : config.routePolicies) {
+    bytes += kMapNode + sizeof(RoutePolicy);
+    for (const PolicyNode& node : policy.nodes)
+      bytes += sizeof(PolicyNode) +
+               node.sets.addCommunities.capacity() * sizeof(Community) +
+               node.sets.deleteCommunities.capacity() * sizeof(Community);
+  }
+  for (const auto& [name, policy] : config.pbrPolicies)
+    bytes += kMapNode + sizeof(PbrPolicy) + policy.rules.capacity() * sizeof(PbrRule) +
+             policy.appliedInterfaces.capacity() * sizeof(NameId);
+  for (const auto& [name, acl] : config.acls)
+    bytes += kMapNode + sizeof(AclConfig) + acl.rules.capacity() * sizeof(AclRule) +
+             acl.appliedInterfaces.capacity() * sizeof(NameId);
+  for (const auto& [name, vrf] : config.vrfs)
+    bytes += kMapNode + sizeof(VrfConfig) +
+             (vrf.importRouteTargets.capacity() + vrf.exportRouteTargets.capacity()) *
+                 sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace
+
+size_t NetworkConfig::approxBytes() const {
+  size_t bytes = sizeof(NetworkConfig);
+  for (const auto& [name, config] : *devices_)
+    bytes += sizeof(NameId) + approxDeviceConfigBytes(config);
+  return bytes;
+}
+
 }  // namespace hoyan

@@ -270,14 +270,38 @@ struct DeviceConfig {
 };
 
 // All device configurations of the network — Hoyan's "base network model".
-struct NetworkConfig {
-  std::map<NameId, DeviceConfig> devices;
+// Copy-on-write: copying a NetworkConfig shares the device map (shared_ptr);
+// mutators detach a private copy first. Sweep workers (src/sweep) hold
+// "private" configs that are physically the base model's map — O(1) per
+// worker instead of a deep copy of every parsed router model.
+class NetworkConfig {
+ public:
+  NetworkConfig() : devices_(std::make_shared<std::map<NameId, DeviceConfig>>()) {}
 
-  DeviceConfig& device(NameId hostname) { return devices[hostname]; }
-  const DeviceConfig* findDevice(NameId hostname) const {
-    const auto it = devices.find(hostname);
-    return it == devices.end() ? nullptr : &it->second;
+  const std::map<NameId, DeviceConfig>& devices() const { return *devices_; }
+  // Mutable device map: detaches a private copy when the map is shared.
+  std::map<NameId, DeviceConfig>& mutableDevices() {
+    if (devices_.use_count() != 1)
+      devices_ = std::make_shared<std::map<NameId, DeviceConfig>>(*devices_);
+    return *devices_;
   }
+
+  DeviceConfig& device(NameId hostname) { return mutableDevices()[hostname]; }
+  const DeviceConfig* findDevice(NameId hostname) const {
+    const auto it = devices_->find(hostname);
+    return it == devices_->end() ? nullptr : &it->second;
+  }
+
+  // True when this instance still shares the device map with `other`.
+  bool sharesStorageWith(const NetworkConfig& other) const {
+    return devices_ == other.devices_;
+  }
+  // Estimated deep size of the parsed configs (what a non-CoW copy would
+  // materialize); used by the sweep's worker-memory accounting.
+  size_t approxBytes() const;
+
+ private:
+  std::shared_ptr<std::map<NameId, DeviceConfig>> devices_;
 };
 
 }  // namespace hoyan

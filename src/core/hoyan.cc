@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "incr/fingerprint.h"
+#include "rcl/parser.h"
 
 namespace hoyan {
 namespace {
@@ -46,7 +47,7 @@ std::vector<ParseError> applyChangeCommands(Topology& topology, NetworkConfig& c
   const auto flush = [&] {
     if (currentDevice.empty() || section.empty()) return;
     const NameId deviceId = Names::id(currentDevice);
-    if (!configs.devices.contains(deviceId) && !topology.findDevice(deviceId)) {
+    if (!configs.devices().contains(deviceId) && !topology.findDevice(deviceId)) {
       errors.push_back({sectionStartLine,
                         "change plan targets unknown device '" + currentDevice + "'",
                         "device " + currentDevice});
@@ -108,7 +109,7 @@ Hoyan Hoyan::fromConfigTexts(Topology topology,
       for (const Interface& itf : parsed.device.interfaces)
         if (!device->findInterface(itf.name)) device->interfaces.push_back(itf);
     }
-    configs.devices.emplace(hostname, std::move(parsed.config));
+    configs.mutableDevices().emplace(hostname, std::move(parsed.config));
   }
   return Hoyan(std::move(topology), std::move(configs));
 }
@@ -446,6 +447,48 @@ sweep::SweepResult Hoyan::sweepFaultTolerance(const NetworkProperty& property,
        {"counterexamples", std::to_string(result.result.counterexamples.size())},
        {"seconds", std::to_string(taskSpan.seconds())}});
   return result;
+}
+
+sweep::SweepResult Hoyan::sweepIntentFaultTolerance(const std::string& rclSpec,
+                                                    const KFailureOptions& options) {
+  requirePreprocessed();
+  const rcl::ParseOutcome outcome = rcl::parseIntent(rclSpec);
+  if (!outcome.ok())
+    throw std::invalid_argument("sweepIntentFaultTolerance: parse error: " +
+                                outcome.error);
+  const sweep::DeriveResult derived =
+      sweep::deriveHints(*outcome.intent, *baseModel_, inputRoutes_);
+  obs::Telemetry& tel = obs::Telemetry::orDisabled(
+      telemetry_ ? telemetry_ : obs::Telemetry::global());
+  if (derived.scoped) {
+    tel.metrics().counter("core.sweep.hints_derived").add(1);
+  } else {
+    tel.metrics().counter("core.sweep.hints_fallback").add(1);
+    tel.log().info("core.sweep.hints_fallback",
+                   {{"intent", rclSpec}, {"reason", derived.reason}});
+  }
+  const rcl::IntentPtr intent = outcome.intent;
+  const NetworkProperty property = [intent](const NetworkModel&,
+                                            const NetworkRibs& ribs) {
+    // The audit-task reading on the degraded network: PRE and POST both
+    // bound to its global RIB.
+    rcl::GlobalRib rib = rcl::GlobalRib::fromNetworkRibs(ribs);
+    return rcl::checkIntent(*intent, rib, rib).satisfied;
+  };
+  return sweepFaultTolerance(property, options, derived.hints);
+}
+
+KFailureResult Hoyan::checkIntentFaultTolerance(const std::string& rclSpec,
+                                                const KFailureOptions& options) {
+  return sweepIntentFaultTolerance(rclSpec, options).result;
+}
+
+sweep::DeriveResult Hoyan::deriveSweepHints(const std::string& rclSpec) const {
+  requirePreprocessed();
+  const rcl::ParseOutcome outcome = rcl::parseIntent(rclSpec);
+  if (!outcome.ok())
+    throw std::invalid_argument("deriveSweepHints: parse error: " + outcome.error);
+  return sweep::deriveHints(*outcome.intent, *baseModel_, inputRoutes_);
 }
 
 std::string ChangeVerificationResult::report() const {

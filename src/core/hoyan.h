@@ -26,6 +26,7 @@
 #include "rcl/verify.h"
 #include "sim/route_sim.h"
 #include "sim/traffic_sim.h"
+#include "sweep/derive_hints.h"
 #include "sweep/sweep.h"
 #include "topo/topology.h"
 #include "verify/properties.h"
@@ -224,6 +225,24 @@ class Hoyan {
   sweep::SweepResult sweepFaultTolerance(const NetworkProperty& property,
                                          const KFailureOptions& options = {},
                                          const sweep::SweepHints& hints = {});
+
+  // Fault-tolerance checking with the property stated as an RCL intent and
+  // the pruning hints *derived* from it (sweep::deriveHints): the intent's
+  // guard structure scopes the relevant prefixes/devices, so callers get the
+  // sweep's pruning with zero hand-written hints. The intent is checked on
+  // each degraded network with PRE and POST both bound to that network's
+  // global RIB (the audit-task reading: the degraded RIB satisfies the
+  // invariant). Unscopable intents fall back to an unpruned — still deduped,
+  // cached, and byte-identical — sweep. Throws std::invalid_argument on a
+  // parse error.
+  sweep::SweepResult sweepIntentFaultTolerance(const std::string& rclSpec,
+                                               const KFailureOptions& options = {});
+  KFailureResult checkIntentFaultTolerance(const std::string& rclSpec,
+                                           const KFailureOptions& options = {});
+
+  // The hints sweepIntentFaultTolerance would use for `rclSpec` — exposed for
+  // tests, benches, and operators inspecting why a sweep did (not) prune.
+  sweep::DeriveResult deriveSweepHints(const std::string& rclSpec) const;
 
  private:
   void requirePreprocessed() const;

@@ -44,7 +44,7 @@ struct Builder {
     config.vendor = vendor;
     config.routerId = device.loopback;
     config.bgp.asn = asn;
-    wan.configs.devices.emplace(device.name, std::move(config));
+    wan.configs.mutableDevices().emplace(device.name, std::move(config));
     return device.name;
   }
 
@@ -378,7 +378,7 @@ GeneratedWan generateWan(const WanSpec& spec) {
 
 std::string renderConfigs(const GeneratedWan& wan) {
   std::string out;
-  for (const auto& [name, config] : wan.configs.devices) {
+  for (const auto& [name, config] : wan.configs.devices()) {
     out += "### device " + Names::str(name) + "\n";
     out += printDeviceConfig(config, wan.topology.findDevice(name));
     out += "\n";

@@ -395,12 +395,13 @@ uint64_t fingerprintTopology(const Topology& topology) {
     for (const Interface& itf : device.interfaces) mixInterface(h, itf);
   }
   h.mix(static_cast<uint64_t>(topology.links().size()));
-  for (const Link& link : topology.links()) {
+  for (size_t i = 0; i < topology.links().size(); ++i) {
+    const Link& link = topology.links()[i];
     h.mix(static_cast<uint64_t>(link.deviceA));
     h.mix(static_cast<uint64_t>(link.interfaceA));
     h.mix(static_cast<uint64_t>(link.deviceB));
     h.mix(static_cast<uint64_t>(link.interfaceB));
-    h.mix(static_cast<uint64_t>(link.up));
+    h.mix(static_cast<uint64_t>(topology.linkUp(i)));  // Effective state.
   }
   return h.digest();
 }
@@ -408,8 +409,8 @@ uint64_t fingerprintTopology(const Topology& topology) {
 uint64_t fingerprintModel(const NetworkModel& model) {
   Fnv1a h;
   h.mix(fingerprintTopology(model.topology));
-  h.mix(static_cast<uint64_t>(model.configs.devices.size()));
-  for (const auto& [name, config] : model.configs.devices) {
+  h.mix(static_cast<uint64_t>(model.configs.devices().size()));
+  for (const auto& [name, config] : model.configs.devices()) {
     h.mix(uint64_t{kTagDevice});
     h.mix(static_cast<uint64_t>(name));
     h.mix(fingerprintDeviceConfig(config));
@@ -420,8 +421,8 @@ uint64_t fingerprintModel(const NetworkModel& model) {
 uint64_t fingerprintForwardingState(const NetworkModel& model) {
   Fnv1a h;
   h.mix(fingerprintTopology(model.topology));
-  h.mix(static_cast<uint64_t>(model.configs.devices.size()));
-  for (const auto& [name, config] : model.configs.devices) {
+  h.mix(static_cast<uint64_t>(model.configs.devices().size()));
+  for (const auto& [name, config] : model.configs.devices()) {
     h.mix(uint64_t{kTagDevice});
     h.mix(static_cast<uint64_t>(name));
     h.mix(static_cast<uint64_t>(config.vendor));
@@ -437,8 +438,8 @@ uint64_t fingerprintForwardingState(const NetworkModel& model) {
 uint64_t fingerprintLocalRouteState(const NetworkModel& model) {
   Fnv1a h;
   h.mix(fingerprintTopology(model.topology));
-  h.mix(static_cast<uint64_t>(model.configs.devices.size()));
-  for (const auto& [name, config] : model.configs.devices) {
+  h.mix(static_cast<uint64_t>(model.configs.devices().size()));
+  for (const auto& [name, config] : model.configs.devices()) {
     h.mix(uint64_t{kTagDevice});
     h.mix(static_cast<uint64_t>(name));
     h.mix(static_cast<uint64_t>(config.vendor));

@@ -311,8 +311,8 @@ ChangeImpact analyzeChangeImpact(const NetworkModel& base, const NetworkModel& u
 
   // --- device configurations -------------------------------------------------
   std::set<NameId> configNames;
-  for (const auto& [name, config] : base.configs.devices) configNames.insert(name);
-  for (const auto& [name, config] : updated.configs.devices) configNames.insert(name);
+  for (const auto& [name, config] : base.configs.devices()) configNames.insert(name);
+  for (const auto& [name, config] : updated.configs.devices()) configNames.insert(name);
   for (const NameId name : configNames) {
     const DeviceConfig* before = base.configs.findDevice(name);
     const DeviceConfig* after = updated.configs.findDevice(name);

@@ -78,7 +78,8 @@ std::vector<NetflowRecord> collectNetflowRecords(std::span<const Flow> liveFlows
 Topology collectMonitoredTopology(const Topology& live, bool hideLinkFailures) {
   Topology monitored = live;
   if (hideLinkFailures) {
-    for (Link& link : monitored.links()) link.up = true;  // Stale feed: all up.
+    monitored.clearLinkOverlay();  // Masked failures are failures too.
+    for (Link& link : monitored.mutableLinks()) link.up = true;  // Stale feed: all up.
   }
   return monitored;
 }

@@ -99,6 +99,9 @@ class PrefixTrie {
 
   size_t size() const { return valueCount_; }
   bool empty() const { return valueCount_ == 0; }
+  // Estimated heap footprint of the node array (values counted by sizeof; T
+  // with external allocations undercounts — fine for accounting purposes).
+  size_t approxBytes() const { return nodes_.capacity() * sizeof(Node); }
 
  private:
   static constexpr uint32_t kNone = 0xffffffffu;

@@ -330,11 +330,13 @@ void RunJournal::ribAssembly(std::string_view outcome, size_t fragmentHits,
 }
 
 void RunJournal::sweepPlan(std::string_view phase, size_t enumerated, size_t pruned,
-                           size_t deduped, size_t scheduled) {
+                           size_t deduped, size_t scheduled,
+                           std::string_view hintSource) {
   if (!enabled_) return;
   JournalEvent event;
   event.type = JournalEventType::kSweepPlan;
   event.phase = std::string(phase);
+  event.note = std::string(hintSource);
   event.counts[0] = enumerated;
   event.counts[1] = pruned;
   event.counts[2] = deduped;

@@ -135,8 +135,11 @@ class RunJournal {
   // The sweep's enumeration outcome: scenarios enumerated, how many were
   // pruned (inherit the base verdict), deduped onto another scenario's
   // evaluation, and how many unique jobs were scheduled onto workers.
+  // `hintSource` records where the pruning relevance came from — "derived"
+  // (sweep::deriveHints), "caller" (hand-written hints), or "none".
   void sweepPlan(std::string_view phase, size_t enumerated, size_t pruned,
-                 size_t deduped, size_t scheduled);
+                 size_t deduped, size_t scheduled,
+                 std::string_view hintSource = "none");
   // One committed scenario verdict, emitted master-side in enumeration order
   // (deterministic regardless of worker count). `id` is the scenario id,
   // `key` its impact-fingerprint hex, `shared` how many scenarios share the

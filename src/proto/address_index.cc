@@ -3,35 +3,43 @@
 namespace hoyan {
 
 AddressIndex AddressIndex::build(const Topology& topology) {
-  AddressIndex index;
+  auto data = std::make_shared<Data>();
   for (const auto& [name, device] : topology.devices()) {
-    index.exact_.emplace(device.loopback, name);
+    data->exact.emplace(device.loopback, name);
     const Prefix loopbackHost(device.loopback,
                               static_cast<uint8_t>(device.loopback.width()));
-    (loopbackHost.family() == IpFamily::kV4 ? index.subnetsV4_ : index.subnetsV6_)
+    (loopbackHost.family() == IpFamily::kV4 ? data->subnetsV4 : data->subnetsV6)
         .insert(loopbackHost, name);
     for (const Interface& itf : device.interfaces) {
-      index.exact_.emplace(itf.address, name);
+      data->exact.emplace(itf.address, name);
       const Prefix subnet = itf.subnet();
-      (subnet.family() == IpFamily::kV4 ? index.subnetsV4_ : index.subnetsV6_)
+      (subnet.family() == IpFamily::kV4 ? data->subnetsV4 : data->subnetsV6)
           .insert(subnet, name);
     }
   }
+  AddressIndex index;
+  index.data_ = std::move(data);
   return index;
 }
 
 std::optional<NameId> AddressIndex::exactOwner(const IpAddress& address) const {
-  const auto it = exact_.find(address);
-  if (it == exact_.end()) return std::nullopt;
+  const auto it = data_->exact.find(address);
+  if (it == data_->exact.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<NameId> AddressIndex::owner(const IpAddress& address) const {
   if (const auto exact = exactOwner(address)) return exact;
-  const auto& trie = address.isV4() ? subnetsV4_ : subnetsV6_;
+  const auto& trie = address.isV4() ? data_->subnetsV4 : data_->subnetsV6;
   const auto match = trie.longestMatch(address);
   if (!match) return std::nullopt;
   return *match->value;
+}
+
+size_t AddressIndex::approxBytes() const {
+  return sizeof(AddressIndex) + sizeof(Data) +
+         data_->exact.size() * (sizeof(IpAddress) + sizeof(NameId) + 16) +
+         data_->subnetsV4.approxBytes() + data_->subnetsV6.approxBytes();
 }
 
 }  // namespace hoyan

@@ -1,6 +1,7 @@
 // Address-to-device ownership index for nexthop and BGP-peer resolution.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -10,10 +11,14 @@
 namespace hoyan {
 
 // Maps addresses to the devices owning them (loopbacks, interface addresses,
-// interface subnets).
+// interface subnets). Built from the device inventory only — link state and
+// failed devices do not change address ownership — so a degraded model can
+// share the base model's index. The index is immutable after build() and
+// copies share storage (shared_ptr), which is what lets sweep workers skip
+// the rebuild entirely (NetworkModel::rebuildDerivedForFailures).
 class AddressIndex {
  public:
-  AddressIndex() = default;
+  AddressIndex() : data_(std::make_shared<Data>()) {}
   static AddressIndex build(const Topology& topology);
 
   // The device owning exactly this address (loopback or interface address).
@@ -22,10 +27,21 @@ class AddressIndex {
   // address owners win over subnet owners).
   std::optional<NameId> owner(const IpAddress& address) const;
 
+  // True when this instance shares storage with `other` (a copy, not a
+  // rebuild).
+  bool sharesStorageWith(const AddressIndex& other) const {
+    return data_ == other.data_;
+  }
+  // Estimated deep size; used by the sweep's worker-memory accounting.
+  size_t approxBytes() const;
+
  private:
-  std::unordered_map<IpAddress, NameId> exact_;
-  PrefixTrie<NameId> subnetsV4_;
-  PrefixTrie<NameId> subnetsV6_;
+  struct Data {
+    std::unordered_map<IpAddress, NameId> exact;
+    PrefixTrie<NameId> subnetsV4;
+    PrefixTrie<NameId> subnetsV6;
+  };
+  std::shared_ptr<const Data> data_;
 };
 
 }  // namespace hoyan

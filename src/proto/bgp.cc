@@ -27,7 +27,7 @@ std::vector<BgpSession> deriveBgpSessions(const Topology& topology,
   const auto note = [problems](std::string message) {
     if (problems) problems->push_back(std::move(message));
   };
-  for (const auto& [name, config] : configs.devices) {
+  for (const auto& [name, config] : configs.devices()) {
     if (config.bgp.asn == 0) continue;
     const Device* local = topology.findDevice(name);
     if (!local || !topology.deviceActive(name)) continue;

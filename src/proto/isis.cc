@@ -96,6 +96,19 @@ std::vector<NameId> IgpState::domainMembers(NameId device) const {
   return out;
 }
 
+size_t IgpState::approxBytes() const {
+  constexpr size_t kHashNode = 16;  // Bucket pointer + node overhead.
+  size_t bytes = sizeof(IgpState);
+  bytes += domainOf_.size() * (2 * sizeof(NameId) + kHashNode);
+  for (const auto& [from, targets] : paths_) {
+    bytes += sizeof(NameId) + sizeof(targets) + kHashNode;
+    for (const auto& [to, path] : targets)
+      bytes += sizeof(NameId) + sizeof(IgpPath) + kHashNode +
+               path.nextHops.capacity() * sizeof(NameId);
+  }
+  return bytes;
+}
+
 const IgpPath& IgpState::unreachablePath() {
   static const IgpPath path;
   return path;

@@ -41,6 +41,9 @@ class IgpState {
   // Devices in the same IGP domain as `device`.
   std::vector<NameId> domainMembers(NameId device) const;
 
+  // Estimated deep size; used by the sweep's worker-memory accounting.
+  size_t approxBytes() const;
+
  private:
   static const IgpPath& unreachablePath();
 

@@ -20,6 +20,44 @@ void NetworkModel::rebuildDerived() {
     sessionsByDevice[sessions[i].local].push_back(i);
 }
 
+void NetworkModel::rebuildDerivedForFailures() {
+  igp = IgpState::compute(topology);
+  sessionProblems.clear();
+  sessions = deriveBgpSessions(topology, configs, addresses, igp, &sessionProblems);
+  sessionsByDevice.clear();
+  for (size_t i = 0; i < sessions.size(); ++i)
+    sessionsByDevice[sessions[i].local].push_back(i);
+}
+
+namespace {
+
+size_t approxSessionBytes(const NetworkModel& model) {
+  constexpr size_t kHashNode = 16;
+  size_t bytes = model.sessions.capacity() * sizeof(BgpSession);
+  for (const std::string& problem : model.sessionProblems)
+    bytes += sizeof(std::string) + problem.capacity();
+  for (const auto& [device, indices] : model.sessionsByDevice)
+    bytes += kHashNode + sizeof(NameId) + sizeof(indices) +
+             indices.capacity() * sizeof(size_t);
+  return bytes;
+}
+
+}  // namespace
+
+size_t NetworkModel::approxDeepBytes() const {
+  return topology.approxBytes() + configs.approxBytes() + addresses.approxBytes() +
+         igp.approxBytes() + approxSessionBytes(*this);
+}
+
+size_t NetworkModel::materializedBytes(const NetworkModel& base) const {
+  size_t bytes = topology.materializedBytes(base.topology);
+  if (!configs.sharesStorageWith(base.configs)) bytes += configs.approxBytes();
+  if (!addresses.sharesStorageWith(base.addresses)) bytes += addresses.approxBytes();
+  // IGP and session state are always recomputed per instance.
+  bytes += igp.approxBytes() + approxSessionBytes(*this);
+  return bytes;
+}
+
 const VendorProfile& NetworkModel::vendorOf(NameId device) const {
   const DeviceConfig* config = configs.findDevice(device);
   return vendorProfile(config ? config->vendor : kInvalidName);

@@ -36,6 +36,21 @@ struct NetworkModel {
   // Recomputes the derived state after topology/config mutation.
   void rebuildDerived();
 
+  // Recomputes only the failure-dependent derived state (IGP SPF, BGP
+  // sessions). Address ownership depends on the device inventory alone — not
+  // on link masks or failed devices — so a model sharing a base model's
+  // topology/config storage keeps the base's AddressIndex untouched. Only
+  // valid when the mutation since the last rebuild is a failure overlay
+  // (masked links, failed devices, setLinkState); config or inventory edits
+  // need the full rebuildDerived().
+  void rebuildDerivedForFailures();
+
+  // Estimated deep size of the whole model, as if nothing were shared.
+  size_t approxDeepBytes() const;
+  // Estimated bytes actually owned by this model given copy-on-write sharing
+  // with `base`: shared tables count ~0, detached/derived state counts deep.
+  size_t materializedBytes(const NetworkModel& base) const;
+
   const VendorProfile& vendorOf(NameId device) const;
 
   // Resolves the SR policy (if any) on `device` steering traffic to

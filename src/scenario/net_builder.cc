@@ -16,7 +16,7 @@ NameId NetBuilder::device(const std::string& name, Asn asn, const VendorProfile&
   config.vendor = vendor.name;
   config.routerId = d.loopback;
   config.bgp.asn = asn;
-  configs_.devices.emplace(d.name, std::move(config));
+  configs_.mutableDevices().emplace(d.name, std::move(config));
   return d.name;
 }
 

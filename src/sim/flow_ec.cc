@@ -23,7 +23,7 @@ FlowEcPlan buildFlowEcs(const NetworkModel& model, const NetworkRibs& ribs,
   // can diverge even with identical LPM results).
   std::vector<PbrRule> pbrRules;
   std::vector<AclRule> aclRules;
-  for (const auto& [name, config] : model.configs.devices) {
+  for (const auto& [name, config] : model.configs.devices()) {
     for (const auto& [policyName, policy] : config.pbrPolicies)
       if (!policy.appliedInterfaces.empty())
         pbrRules.insert(pbrRules.end(), policy.rules.begin(), policy.rules.end());

@@ -133,7 +133,7 @@ void installLocalRoutes(const NetworkModel& model, NetworkRibs& ribs,
 
 std::vector<InputRoute> computeRedistributedInputs(const NetworkModel& model) {
   std::vector<InputRoute> out;
-  for (const auto& [name, config] : model.configs.devices) {
+  for (const auto& [name, config] : model.configs.devices()) {
     if (config.bgp.asn == 0 || config.bgp.redistributions.empty()) continue;
     const Device* device = model.topology.findDevice(name);
     if (!device || !model.topology.deviceActive(name)) continue;

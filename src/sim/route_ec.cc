@@ -38,14 +38,14 @@ EcPlan buildRouteEcs(const NetworkModel& model, std::span<const InputRoute> inpu
   std::vector<const PrefixList*> lists;
   {
     std::unordered_map<size_t, const PrefixList*> seen;
-    for (const auto& [name, config] : model.configs.devices)
+    for (const auto& [name, config] : model.configs.devices())
       for (const auto& [listName, list] : config.prefixLists)
         seen.try_emplace(prefixListContentHash(list), &list);
     lists.reserve(seen.size());
     for (const auto& [hash, list] : seen) lists.push_back(list);
   }
   std::vector<Prefix> aggregates;
-  for (const auto& [name, config] : model.configs.devices)
+  for (const auto& [name, config] : model.configs.devices())
     for (const AggregateConfig& aggregate : config.bgp.aggregates)
       if (std::find(aggregates.begin(), aggregates.end(), aggregate.prefix) ==
           aggregates.end())

@@ -105,6 +105,9 @@ class RelevanceIndex {
     if (deviceTouchesRelevant(device)) return false;
     const Device* dev = model_.topology.findDevice(device);
     if (!dev) return true;  // Unknown device: failing it is a no-op.
+    if (overlapsRelevant(
+            Prefix(dev->loopback, static_cast<uint8_t>(dev->loopback.width()))))
+      return false;  // Owns a relevant host route (the loopback).
     for (const Interface& itf : dev->interfaces) {
       if (itf.isisEnabled) return false;
       if (overlapsRelevant(itf.subnet())) return false;
@@ -184,8 +187,9 @@ SweepResult sweepKFailures(const NetworkModel& baseModel,
   // --- candidates: exactly the oracle's element lists -----------------------
   const KFailureOptions& failure = options.failure;
   std::vector<std::pair<NameId, NameId>> candidateLinks;
-  for (const Link& link : baseModel.topology.links()) {
-    if (!link.up) continue;
+  for (size_t i = 0; i < baseModel.topology.links().size(); ++i) {
+    const Link& link = baseModel.topology.links()[i];
+    if (!baseModel.topology.linkUp(i)) continue;
     if (!failure.focusDevices.empty()) {
       const bool touches =
           std::find(failure.focusDevices.begin(), failure.focusDevices.end(),
@@ -364,8 +368,14 @@ SweepResult sweepKFailures(const NetworkModel& baseModel,
     ++scheduled;
   }
   out.stats.scheduled = scheduled;
+  const std::string hintSource =
+      !hints.source.empty()
+          ? hints.source
+          : (hints.relevantPrefixes.empty() && hints.relevantDevices.empty()
+                 ? "none"
+                 : "caller");
   journal.sweepPlan(kPhase, out.stats.enumerated, out.stats.pruned,
-                    out.stats.deduped, scheduled);
+                    out.stats.deduped, scheduled, hintSource);
 
   // --- workers --------------------------------------------------------------
   std::atomic<bool> stop{false};
@@ -380,12 +390,18 @@ SweepResult sweepKFailures(const NetworkModel& baseModel,
   obs::Histogram& jobDurationMs = metrics.histogram(
       "sweep.job_duration_ms", jobDurationBoundsMs(),
       "Per-job degraded-network simulation + property check latency.");
+  std::atomic<size_t> peakWorkerBytes{0};
   const auto workerLoop = [&](int workerId) {
-    // One private model per worker, built once: scenarios cycle through it
-    // via the failure overlay instead of deep-copying per scenario.
+    // One private model per worker: the copy-on-write topology/config tables
+    // and the failure-independent address index are physically the base
+    // model's (O(1) copies, never detached — the overlay masks failures per
+    // instance), so a worker only materializes the failure-dependent derived
+    // state it recomputes per job. Per-worker memory is O(impact), not
+    // O(model).
     NetworkModel local;
     local.topology = baseModel.topology;
     local.configs = baseModel.configs;
+    local.addresses = baseModel.addresses;
     while (auto message = jobQueue.pop()) {
       if (stop.load(std::memory_order_relaxed)) continue;  // Sweep settled.
       Job& job = jobs[message->job];
@@ -403,12 +419,20 @@ SweepResult sweepKFailures(const NetworkModel& baseModel,
           overlay.addDevice(device);
         try {
           overlay.apply(local.topology);
-          local.rebuildDerived();
+          local.rebuildDerivedForFailures();
           RouteSimOptions simOptions;
           simOptions.includeLocalRoutes = true;
           RouteSimResult sim = simulateRoutes(local, inputs, simOptions);
           sim.ribs.buildForwardingIndex();
           verdict = property(local, sim.ribs);
+          // Sample the worker's materialized footprint at its peak — overlay
+          // applied, derived state rebuilt — for the CoW accounting.
+          const size_t materialized = local.materializedBytes(baseModel);
+          size_t seen = peakWorkerBytes.load(std::memory_order_relaxed);
+          while (seen < materialized &&
+                 !peakWorkerBytes.compare_exchange_weak(
+                     seen, materialized, std::memory_order_relaxed)) {
+          }
           overlay.revert(local.topology);
         } catch (const std::exception& e) {
           overlay.revert(local.topology);  // Keep the worker model reusable.
@@ -509,6 +533,8 @@ SweepResult sweepKFailures(const NetworkModel& baseModel,
   // --- accounting -----------------------------------------------------------
   out.stats.evaluated = evaluated.load();
   out.stats.retries = retries.load();
+  out.stats.workerModelDeepBytes = baseModel.approxDeepBytes();
+  out.stats.workerModelPeakBytes = peakWorkerBytes.load();
   metrics.counter("sweep.scenarios.enumerated").add(out.stats.enumerated);
   metrics.counter("sweep.scenarios.pruned").add(out.stats.pruned);
   metrics.counter("sweep.scenarios.deduped").add(out.stats.deduped);

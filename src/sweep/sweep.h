@@ -58,6 +58,10 @@ struct SweepHints {
   std::string cacheId;
   std::vector<Prefix> relevantPrefixes;
   std::vector<NameId> relevantDevices;
+  // Where the relevance came from, for the run journal's sweep_plan event:
+  // "derived" (deriveHints), "caller" (hand-written), or "none". Empty is
+  // classified automatically from the relevance fields.
+  std::string source;
 };
 
 struct SweepOptions {
@@ -89,6 +93,13 @@ struct SweepStats {
   size_t cacheHits = 0;   // Jobs served from the cas/k verdict cache.
   size_t evaluated = 0;   // Jobs actually simulated this sweep.
   size_t retries = 0;     // Worker attempts re-enqueued after a crash.
+  // Worker-model memory accounting (copy-on-write). Deep is what one worker
+  // would hold if it deep-copied the base model (the pre-CoW design); peak is
+  // the largest bytes any worker actually materialized during a job — shared
+  // tables excluded, masks + recomputed derived state included. Zero when no
+  // job simulated.
+  size_t workerModelDeepBytes = 0;
+  size_t workerModelPeakBytes = 0;
 };
 
 struct SweepResult {

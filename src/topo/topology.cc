@@ -1,5 +1,6 @@
 #include "topo/topology.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hoyan {
@@ -21,25 +22,58 @@ std::string Link::str() const {
          ":" + Names::str(interfaceB) + (up ? "" : " (down)");
 }
 
+Topology::Topology()
+    : devices_(std::make_shared<std::map<NameId, Device>>()),
+      links_(std::make_shared<std::vector<Link>>()) {}
+
+std::map<NameId, Device>& Topology::mutableDevices() {
+  if (devices_.use_count() != 1)
+    devices_ = std::make_shared<std::map<NameId, Device>>(*devices_);
+  return *devices_;
+}
+
+std::vector<Link>& Topology::mutableLinksImpl() {
+  if (links_.use_count() != 1)
+    links_ = std::make_shared<std::vector<Link>>(*links_);
+  return *links_;
+}
+
+bool Topology::linkMasked(size_t index) const {
+  return std::find(overlayDownLinks_.begin(), overlayDownLinks_.end(), index) !=
+         overlayDownLinks_.end();
+}
+
+void Topology::maskLinkDown(size_t index) {
+  if (!linkMasked(index)) overlayDownLinks_.push_back(index);
+}
+
+void Topology::unmaskLink(size_t index) {
+  const auto it =
+      std::find(overlayDownLinks_.begin(), overlayDownLinks_.end(), index);
+  if (it != overlayDownLinks_.end()) overlayDownLinks_.erase(it);
+}
+
 Device& Topology::addDevice(Device device) {
   const NameId name = device.name;
-  return devices_.insert_or_assign(name, std::move(device)).first->second;
+  return mutableDevices().insert_or_assign(name, std::move(device)).first->second;
 }
 
 size_t Topology::addLink(NameId deviceA, NameId interfaceA, NameId deviceB,
                          NameId interfaceB) {
-  if (!devices_.contains(deviceA) || !devices_.contains(deviceB))
+  if (!devices_->contains(deviceA) || !devices_->contains(deviceB))
     throw std::invalid_argument("addLink: unknown device");
-  links_.push_back(Link{deviceA, interfaceA, deviceB, interfaceB, /*up=*/true});
-  return links_.size() - 1;
+  std::vector<Link>& links = mutableLinksImpl();
+  links.push_back(Link{deviceA, interfaceA, deviceB, interfaceB, /*up=*/true});
+  return links.size() - 1;
 }
 
 std::vector<Adjacency> Topology::adjacenciesOf(NameId device) const {
   std::vector<Adjacency> out;
   if (!deviceActive(device)) return out;
-  for (size_t i = 0; i < links_.size(); ++i) {
-    const Link& link = links_[i];
-    if (!link.up || !link.connects(device)) continue;
+  const std::vector<Link>& links = *links_;
+  for (size_t i = 0; i < links.size(); ++i) {
+    const Link& link = links[i];
+    if (!linkUp(i) || !link.connects(device)) continue;
     const NameId peer = link.peerOf(device);
     if (!deviceActive(peer)) continue;
     const NameId localIf = link.deviceA == device ? link.interfaceA : link.interfaceB;
@@ -68,13 +102,13 @@ std::optional<Adjacency> Topology::resolveNexthop(NameId from,
 }
 
 std::optional<NameId> Topology::deviceByLoopback(const IpAddress& addr) const {
-  for (const auto& [name, device] : devices_)
+  for (const auto& [name, device] : *devices_)
     if (device.loopback == addr) return name;
   return std::nullopt;
 }
 
 void Topology::setLinkState(NameId deviceA, NameId deviceB, bool up) {
-  for (Link& link : links_)
+  for (Link& link : mutableLinksImpl())
     if ((link.deviceA == deviceA && link.deviceB == deviceB) ||
         (link.deviceA == deviceB && link.deviceB == deviceA))
       link.up = up;
@@ -82,34 +116,63 @@ void Topology::setLinkState(NameId deviceA, NameId deviceB, bool up) {
 
 bool Topology::removeLink(NameId deviceA, NameId deviceB) {
   bool removed = false;
-  for (auto it = links_.begin(); it != links_.end();) {
+  std::vector<Link>& links = mutableLinksImpl();
+  for (auto it = links.begin(); it != links.end();) {
     if ((it->deviceA == deviceA && it->deviceB == deviceB) ||
         (it->deviceA == deviceB && it->deviceB == deviceA)) {
-      it = links_.erase(it);
+      it = links.erase(it);
       removed = true;
     } else {
       ++it;
     }
   }
+  // Removing links renumbers indices: an overlay mask would dangle.
+  overlayDownLinks_.clear();
   return removed;
 }
 
 void Topology::removeDevice(NameId device) {
-  devices_.erase(device);
-  for (auto it = links_.begin(); it != links_.end();)
-    it = it->connects(device) ? links_.erase(it) : ++it;
+  mutableDevices().erase(device);
+  std::vector<Link>& links = mutableLinksImpl();
+  for (auto it = links.begin(); it != links.end();)
+    it = it->connects(device) ? links.erase(it) : ++it;
+  overlayDownLinks_.clear();
+}
+
+size_t Topology::approxBytes() const {
+  size_t bytes = sizeof(Topology);
+  for (const auto& [name, device] : *devices_) {
+    (void)name;
+    bytes += sizeof(NameId) + sizeof(Device) +
+             device.interfaces.capacity() * sizeof(Interface) + 48;  // Map node.
+  }
+  bytes += links_->capacity() * sizeof(Link);
+  return bytes;
+}
+
+size_t Topology::materializedBytes(const Topology& base) const {
+  size_t bytes = overlayDownLinks_.capacity() * sizeof(size_t) +
+                 failedDevices_.size() * (sizeof(NameId) + sizeof(bool) + 16);
+  if (devices_ != base.devices_)
+    for (const auto& [name, device] : *devices_) {
+      (void)name;
+      bytes += sizeof(NameId) + sizeof(Device) +
+               device.interfaces.capacity() * sizeof(Interface) + 48;
+    }
+  if (links_ != base.links_) bytes += links_->capacity() * sizeof(Link);
+  return bytes;
 }
 
 void FailureOverlay::apply(Topology& topology) {
   if (applied_) throw std::logic_error("FailureOverlay::apply: already applied");
-  std::vector<Link>& links = topology.links();
+  const std::vector<Link>& links = topology.links();
   for (const auto& [a, b] : links_) {
     for (size_t i = 0; i < links.size(); ++i) {
-      Link& link = links[i];
-      if (!link.up) continue;  // Already down: not ours to restore.
+      const Link& link = links[i];
+      if (!topology.linkUp(i)) continue;  // Already down: not ours to restore.
       if ((link.deviceA == a && link.deviceB == b) ||
           (link.deviceA == b && link.deviceB == a)) {
-        link.up = false;
+        topology.maskLinkDown(i);
         downedLinks_.push_back(i);
       }
     }
@@ -117,7 +180,7 @@ void FailureOverlay::apply(Topology& topology) {
   for (const NameId device : devices_) {
     // Only devices this overlay transitions to failed are recorded: a device
     // failed before apply (or absent entirely) stays as-is on revert.
-    if (!topology.findDevice(device) || !topology.deviceActive(device)) continue;
+    if (!topology.devices().contains(device) || !topology.deviceActive(device)) continue;
     topology.failDevice(device);
     failedDevices_.push_back(device);
   }
@@ -126,8 +189,7 @@ void FailureOverlay::apply(Topology& topology) {
 
 void FailureOverlay::revert(Topology& topology) {
   if (!applied_) return;
-  std::vector<Link>& links = topology.links();
-  for (const size_t index : downedLinks_) links[index].up = true;
+  for (const size_t index : downedLinks_) topology.unmaskLink(index);
   for (const NameId device : failedDevices_) topology.restoreDevice(device);
   downedLinks_.clear();
   failedDevices_.clear();

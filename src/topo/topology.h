@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -83,25 +84,53 @@ struct Adjacency {
   size_t linkIndex = 0;
 };
 
+// Copy-on-write topology. Copying a Topology shares the device and link
+// tables (shared_ptr); structural mutators detach a private copy first, so a
+// copy is O(1) until written — which is what lets every sweep worker hold a
+// "private" model whose tables are physically the base model's
+// (sweep/sweep.cc). Failure state stays per instance: `failedDevices_` and
+// the overlay link-down mask are value members, so a shared-table copy can
+// fail links/devices without ever detaching. The *effective* link state is
+// `linkUp(i)` = physical `up` flag minus the overlay mask; readers that honor
+// failures (adjacencies, SPF, candidate enumeration) go through it.
 class Topology {
  public:
+  Topology();
+
   Device& addDevice(Device device);
   // Adds a link; both endpoints must exist. Returns the link index.
   size_t addLink(NameId deviceA, NameId interfaceA, NameId deviceB, NameId interfaceB);
 
   const Device* findDevice(NameId name) const {
-    const auto it = devices_.find(name);
-    return it == devices_.end() ? nullptr : &it->second;
+    const auto it = devices_->find(name);
+    return it == devices_->end() ? nullptr : &it->second;
   }
+  // Mutable lookup: detaches the device table when it is shared.
   Device* findDevice(NameId name) {
-    return const_cast<Device*>(static_cast<const Topology*>(this)->findDevice(name));
+    auto& devices = mutableDevices();
+    const auto it = devices.find(name);
+    return it == devices.end() ? nullptr : &it->second;
   }
 
-  const std::map<NameId, Device>& devices() const { return devices_; }
-  const std::vector<Link>& links() const { return links_; }
-  std::vector<Link>& links() { return links_; }
+  const std::map<NameId, Device>& devices() const { return *devices_; }
+  const std::vector<Link>& links() const { return *links_; }
+  // Mutable link table: detaches when shared. Prefer the overlay mask
+  // (maskLinkDown/unmaskLink) for reversible failures — it never detaches.
+  std::vector<Link>& mutableLinks() { return mutableLinksImpl(); }
 
-  size_t deviceCount() const { return devices_.size(); }
+  size_t deviceCount() const { return devices_->size(); }
+
+  // Effective link state: the physical `up` flag minus the overlay mask.
+  bool linkUp(size_t index) const {
+    return (*links_)[index].up && !linkMasked(index);
+  }
+  bool linkMasked(size_t index) const;
+  // Reversible per-instance link failure: marks the link down without
+  // touching the (possibly shared) link table. O(mask), not O(links).
+  void maskLinkDown(size_t index);
+  void unmaskLink(size_t index);
+  void clearLinkOverlay() { overlayDownLinks_.clear(); }
+  size_t overlayMaskedLinks() const { return overlayDownLinks_.size(); }
 
   // Active (link up, neither interface shut down) adjacencies of a device.
   std::vector<Adjacency> adjacenciesOf(NameId device) const;
@@ -120,14 +149,30 @@ class Topology {
 
   // True when the device exists and is not administratively failed.
   bool deviceActive(NameId device) const {
-    return devices_.contains(device) && !failedDevices_.contains(device);
+    return devices_->contains(device) && !failedDevices_.contains(device);
   }
   void failDevice(NameId device) { failedDevices_[device] = true; }
   void restoreDevice(NameId device) { failedDevices_.erase(device); }
 
+  // True when this instance still shares both tables with `other` — i.e. a
+  // copy that has not been structurally written.
+  bool sharesStorageWith(const Topology& other) const {
+    return devices_ == other.devices_ && links_ == other.links_;
+  }
+  // Estimated deep size of the device/link tables (what a non-CoW copy would
+  // materialize); used by the sweep's worker-memory accounting.
+  size_t approxBytes() const;
+  // Bytes this instance materializes beyond tables shared with `base`: the
+  // overlay mask and failure set, plus any detached table.
+  size_t materializedBytes(const Topology& base) const;
+
  private:
-  std::map<NameId, Device> devices_;
-  std::vector<Link> links_;
+  std::map<NameId, Device>& mutableDevices();
+  std::vector<Link>& mutableLinksImpl();
+
+  std::shared_ptr<std::map<NameId, Device>> devices_;
+  std::shared_ptr<std::vector<Link>> links_;
+  std::vector<size_t> overlayDownLinks_;  // Masked-down link indices.
   std::unordered_map<NameId, bool> failedDevices_;
 };
 
@@ -135,9 +180,12 @@ class Topology {
 // k-failure sweep (src/sweep) applies thousands of scenarios that differ by a
 // handful of failed elements; copying the whole NetworkModel per scenario is
 // the allocation hot spot this replaces. `apply` records exactly the state it
-// changes — the indices of links whose `up` flag it clears and the devices it
-// newly marks failed — and `revert` restores that state bit-for-bit, so one
-// long-lived topology cycles through scenarios. Derived model state
+// changes — the indices of links it masks down and the devices it newly marks
+// failed — and `revert` restores that state bit-for-bit, so one long-lived
+// topology cycles through scenarios. Failures go through the topology's
+// overlay mask and per-instance failed-device set, never the (possibly
+// shared) link table, so applying an overlay to a copy-on-write topology
+// materializes O(impact) bytes, not O(model). Derived model state
 // (SPF, sessions, address index) is the caller's to rebuild after apply.
 class FailureOverlay {
  public:
@@ -159,7 +207,7 @@ class FailureOverlay {
  private:
   std::vector<std::pair<NameId, NameId>> links_;
   std::vector<NameId> devices_;
-  std::vector<size_t> downedLinks_;    // Link indices whose `up` we cleared.
+  std::vector<size_t> downedLinks_;    // Link indices we masked down.
   std::vector<NameId> failedDevices_;  // Devices we newly marked failed.
   bool applied_ = false;
 };

@@ -119,8 +119,9 @@ KFailureResult checkKFailures(const NetworkModel& baseModel,
 
   // Candidate failure elements.
   std::vector<std::pair<NameId, NameId>> candidateLinks;
-  for (const Link& link : baseModel.topology.links()) {
-    if (!link.up) continue;
+  for (size_t i = 0; i < baseModel.topology.links().size(); ++i) {
+    const Link& link = baseModel.topology.links()[i];
+    if (!baseModel.topology.linkUp(i)) continue;
     if (!options.focusDevices.empty()) {
       const bool touches =
           std::find(options.focusDevices.begin(), options.focusDevices.end(),

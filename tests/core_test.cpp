@@ -141,7 +141,7 @@ TEST(HoyanFromTextTest, BuildsFromRenderedConfigs) {
   spec.regions = 2;
   const GeneratedWan wan = generateWan(spec);
   std::vector<std::string> texts;
-  for (const auto& [name, config] : wan.configs.devices)
+  for (const auto& [name, config] : wan.configs.devices())
     texts.push_back(printDeviceConfig(config, wan.topology.findDevice(name)));
   // Strip configs: keep only topology skeleton (devices/links); interfaces
   // come back from the parsed text.

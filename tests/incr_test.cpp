@@ -64,9 +64,9 @@ TEST(FingerprintTest, SectionFingerprintsIsolateTheChangedSection) {
   EXPECT_NE(incr::fingerprintModel(base), incr::fingerprintModel(changed));
 
   const NameId br1 = Names::id("t-BR1");
-  const auto baseSections = incr::fingerprintConfigSections(base.configs.devices.at(br1));
+  const auto baseSections = incr::fingerprintConfigSections(base.configs.devices().at(br1));
   const auto changedSections =
-      incr::fingerprintConfigSections(changed.configs.devices.at(br1));
+      incr::fingerprintConfigSections(changed.configs.devices().at(br1));
   EXPECT_NE(baseSections.routePolicies, changedSections.routePolicies);
   EXPECT_EQ(baseSections.staticRoutes, changedSections.staticRoutes);
   EXPECT_EQ(baseSections.bgpCore, changedSections.bgpCore);
@@ -185,7 +185,7 @@ TEST(ChangeImpactTest, DeletedReferencedPrefixListFollowsVendorFilterSemantics) 
     const SmallWan net = buildSmallWan(borderVendor);
     const NetworkModel base = changedModel(net, setup);
     NetworkConfig configs = base.configs;
-    configs.devices.at(net.br1).prefixLists.erase(Names::id("LP-GONE"));
+    configs.mutableDevices().at(net.br1).prefixLists.erase(Names::id("LP-GONE"));
     const NetworkModel changed = NetworkModel::build(net.topology, std::move(configs));
     const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
     if (borderVendor == vendorA().name) {
@@ -225,7 +225,7 @@ TEST(ChangeImpactTest, PolicyRemovalFollowsVendorTailSemantics) {
     const SmallWan net = buildSmallWan(borderVendor);
     const NetworkModel base = changedModel(net, setup);
     NetworkConfig configs = base.configs;
-    configs.devices.at(net.br1).routePolicies.erase(Names::id("DOOMED"));
+    configs.mutableDevices().at(net.br1).routePolicies.erase(Names::id("DOOMED"));
     const NetworkModel changed = NetworkModel::build(net.topology, std::move(configs));
     const incr::ChangeImpact impact = incr::analyzeChangeImpact(base, changed);
     if (borderVendor == vendorA().name)

@@ -140,7 +140,7 @@ TEST(InspectSweepTest, AggregatesAndRendersSweepEvents) {
   // with pruning/dedupe, two committed verdicts, and the final accounting.
   obs::RunJournal journal({.enabled = true});
   journal.runBegin("fault-sweep", 0xfee1);
-  journal.sweepPlan("fault_sweep", 300, 30, 12, 258);
+  journal.sweepPlan("fault_sweep", 300, 30, 12, 258, "derived");
   journal.sweepVerdict("fault_sweep", "s000000", true, "cas/k/a0", 0);
   journal.sweepVerdict("fault_sweep", "s000001", false, "cas/k/b1", 2);
   journal.sweepResult("fault_sweep", 300, 1, 240, 3);
@@ -165,10 +165,11 @@ TEST(InspectSweepTest, AggregatesAndRendersSweepEvents) {
   EXPECT_EQ(run.sweepCounterexamples, 1.0);
   EXPECT_EQ(run.sweepCacheHits, 240.0);
   EXPECT_EQ(run.sweepRetries, 3.0);
+  EXPECT_EQ(run.sweepHintSource, "derived");
 
   const std::string summary = inspect::renderSummary(stats);
   EXPECT_NE(summary.find("sweep: 300 scenarios (30 pruned 10.0%, 12 deduped), "
-                         "258 jobs scheduled"),
+                         "258 jobs scheduled [hints: derived]"),
             std::string::npos)
       << summary;
   EXPECT_NE(summary.find("sweep verdicts: 1 pass / 1 fail (300 committed, "

@@ -71,6 +71,25 @@ TEST(JournalTest, EveryEventTypeValidatesAgainstTheInspectSchema) {
   EXPECT_TRUE(inspect::validateJournal(journal.canonicalJsonl(), error)) << error;
 }
 
+TEST(JournalTest, SweepPlanCarriesHintSourceNote) {
+  obs::RunJournal journal({.enabled = true});
+  journal.sweepPlan("fault_sweep", 10, 2, 1, 7, "derived");
+  journal.sweepPlan("fault_sweep", 10, 0, 0, 10);  // Default source: "none".
+  std::vector<inspect::Event> events;
+  std::string error;
+  ASSERT_TRUE(inspect::parseJournal(journal.toJsonl(), events, error)) << error;
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].str("note"), "derived");
+  EXPECT_EQ(events[1].str("note"), "none");
+  EXPECT_TRUE(inspect::validateJournal(journal.toJsonl(), error)) << error;
+  // The hint source is semantic, not volatile: the canonical export keeps it.
+  std::vector<inspect::Event> canonical;
+  ASSERT_TRUE(inspect::parseJournal(journal.canonicalJsonl(), canonical, error))
+      << error;
+  ASSERT_GE(canonical.size(), 2u);
+  EXPECT_EQ(canonical[0].str("note"), "derived");
+}
+
 TEST(JournalTest, OperationalExportCarriesOrderAndSummary) {
   obs::RunJournal journal({.enabled = true});
   emitAllEventTypes(journal);

@@ -210,7 +210,7 @@ TEST(RouteSimTest, EcmpFromTwoIsps) {
   toBorder.peerAddress = borderItf.address;
   toBorder.remoteAs = 64512;
   isp2Config.bgp.neighbors.push_back(toBorder);
-  net.configs.devices.emplace(isp2.name, std::move(isp2Config));
+  net.configs.mutableDevices().emplace(isp2.name, std::move(isp2Config));
   BgpNeighbor toIsp2;
   toIsp2.peerAddress = ispItf.address;
   toIsp2.remoteAs = 65001;
@@ -486,7 +486,7 @@ TEST(GeneratedWanTest, ConfigTextRoundTripsThroughParser) {
   WanSpec spec;
   spec.regions = 2;
   const GeneratedWan wan = generateWan(spec);
-  for (const auto& [name, config] : wan.configs.devices) {
+  for (const auto& [name, config] : wan.configs.devices()) {
     const std::string text = printDeviceConfig(config, wan.topology.findDevice(name));
     const ParseResult reparsed = parseDeviceConfig(text);
     for (const ParseError& error : reparsed.errors)

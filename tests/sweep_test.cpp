@@ -50,7 +50,7 @@ NameId addSecondIsp(SmallWan& net, std::vector<InputRoute>& inputs) {
   config.vendor = vendorB().name;
   config.routerId = isp2.loopback;
   config.bgp.asn = 65002;
-  net.configs.devices.emplace(isp2.name, std::move(config));
+  net.configs.mutableDevices().emplace(isp2.name, std::move(config));
 
   Device* border = net.topology.findDevice(net.br1);
   Device* peer = net.topology.findDevice(isp2.name);

@@ -50,7 +50,7 @@ inline SmallWan buildSmallWan(NameId borderVendor = vendorB().name,
     config.vendor = vendor;
     config.routerId = device.loopback;
     config.bgp.asn = asn;
-    net.configs.devices.emplace(device.name, std::move(config));
+    net.configs.mutableDevices().emplace(device.name, std::move(config));
     return device.name;
   };
   const auto link = [&](NameId a, NameId b, uint32_t cost, bool isis) {

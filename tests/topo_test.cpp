@@ -110,21 +110,31 @@ TEST(FailureOverlayTest, ApplyRevertRestoresIdenticalState) {
   overlay.apply(net.topology);
   EXPECT_TRUE(overlay.applied());
   EXPECT_THROW(overlay.apply(net.topology), std::logic_error);
-  for (const Link& link : net.topology.links())
-    if (link.connects(net.c1) && link.connects(net.c2)) EXPECT_FALSE(link.up);
+  // The overlay masks links rather than flipping the stored `up` flag, so the
+  // effective view (linkUp) must report the failure.
+  for (size_t i = 0; i < net.topology.links().size(); ++i) {
+    const Link& link = net.topology.links()[i];
+    if (link.connects(net.c1) && link.connects(net.c2))
+      EXPECT_FALSE(net.topology.linkUp(i));
+  }
   EXPECT_FALSE(net.topology.deviceActive(net.br1));
   EXPECT_FALSE(net.topology.deviceActive(net.isp1));
 
   overlay.revert(net.topology);
   EXPECT_FALSE(overlay.applied());
   ASSERT_EQ(net.topology.links().size(), linksBefore.size());
-  for (size_t i = 0; i < linksBefore.size(); ++i)
+  for (size_t i = 0; i < linksBefore.size(); ++i) {
     EXPECT_EQ(net.topology.links()[i].up, linksBefore[i].up) << i;
+    EXPECT_EQ(net.topology.linkUp(i), linksBefore[i].up) << i;
+  }
   EXPECT_TRUE(net.topology.deviceActive(net.br1));
   EXPECT_FALSE(net.topology.deviceActive(net.isp1));  // Pre-existing failure kept.
   // C1<->RR1 was down before apply and stays down after revert.
-  for (const Link& link : net.topology.links())
-    if (link.connects(net.c1) && link.connects(net.rr1)) EXPECT_FALSE(link.up);
+  for (size_t i = 0; i < net.topology.links().size(); ++i) {
+    const Link& link = net.topology.links()[i];
+    if (link.connects(net.c1) && link.connects(net.rr1))
+      EXPECT_FALSE(net.topology.linkUp(i));
+  }
 
   // Revert when not applied is a no-op; the overlay is reusable.
   overlay.revert(net.topology);

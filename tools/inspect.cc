@@ -212,7 +212,8 @@ const std::map<std::string, std::vector<std::string>>& eventSchema() {
       {"subtask_finish", {"phase", "id", "attempt"}},
       {"rib_assembly",
        {"note", "fragment_hits", "fragment_misses", "rows_reused", "rows_rendered"}},
-      {"sweep_plan", {"phase", "enumerated", "pruned", "deduped", "scheduled"}},
+      {"sweep_plan",
+       {"phase", "note", "enumerated", "pruned", "deduped", "scheduled"}},
       {"sweep_verdict", {"phase", "id", "note", "key", "shared"}},
       {"sweep_result",
        {"phase", "checked", "counterexamples", "cache_hits", "retries"}},
@@ -307,6 +308,7 @@ JournalStats aggregate(const std::vector<Event>& events) {
       run.ribRowsRendered = event.num("rows_rendered").value_or(0);
     } else if (event.ev == "sweep_plan") {
       run.sweepSeen = true;
+      run.sweepHintSource = event.str("note");
       run.sweepEnumerated += event.num("enumerated").value_or(0);
       run.sweepPruned += event.num("pruned").value_or(0);
       run.sweepDeduped += event.num("deduped").value_or(0);
@@ -390,7 +392,10 @@ std::string renderSummary(const JournalStats& stats) {
         out += " (" + count(run.sweepPruned) + " pruned " +
                fmtPct(run.sweepPruned / run.sweepEnumerated) + ", " +
                count(run.sweepDeduped) + " deduped)";
-      out += ", " + count(run.sweepScheduled) + " jobs scheduled\n";
+      out += ", " + count(run.sweepScheduled) + " jobs scheduled";
+      if (!run.sweepHintSource.empty())
+        out += " [hints: " + run.sweepHintSource + "]";
+      out += '\n';
       out += "  sweep verdicts: " + std::to_string(run.sweepVerdictPass) +
              " pass / " + std::to_string(run.sweepVerdictFail) + " fail (" +
              count(run.sweepChecked) + " committed, " +

@@ -87,6 +87,7 @@ struct RunStats {
   double ribFragmentMisses = 0;
   // k-failure sweep accounting (sweep_plan / sweep_verdict / sweep_result).
   bool sweepSeen = false;
+  std::string sweepHintSource;  // sweep_plan note: "derived"|"caller"|"none".
   double sweepEnumerated = 0;
   double sweepPruned = 0;
   double sweepDeduped = 0;
