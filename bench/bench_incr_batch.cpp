@@ -288,6 +288,9 @@ int main(int argc, char** argv) {
   artifact.metric("cache_hits", static_cast<double>(totalHits));
   artifact.metric("cache_lookups", static_cast<double>(totalSubtasks));
   artifact.metric("unsatisfied", static_cast<double>(unsatisfied));
+  // The cold route phase also lands in metrics so perf trajectories that only
+  // read the metrics section (the policy-kernel work tracks it) see it.
+  artifact.metric("cold_route_seconds", coldRoute);
   artifact.seconds("cold_total", coldTotal);
   artifact.seconds("warm_total", warmTotal);
   artifact.seconds("cold_route", coldRoute);

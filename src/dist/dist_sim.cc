@@ -373,6 +373,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         result.stats.ecSeconds += stats.ecSeconds;
         result.stats.propagateSeconds += stats.propagateSeconds;
         result.stats.materializeSeconds += stats.materializeSeconds;
+        result.stats.policy.add(stats.policy);
       }
       if (remaining.fetch_sub(1) == 1) queue.close();
     }
@@ -419,6 +420,7 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
         result.stats.ecSeconds += stats->ecSeconds;
         result.stats.propagateSeconds += stats->propagateSeconds;
         result.stats.materializeSeconds += stats->materializeSeconds;
+        result.stats.policy.add(stats->policy);
       }
     }
     // Ordered provenance merge: append each subtask's event log in subtask-id
@@ -439,6 +441,14 @@ DistRouteResult DistributedSimulator::runRouteSimulation(
   // Authoritative selection events from the merged, re-selected RIBs.
   if (prov) recordSelectionEvents(result.ribs, prov);
   result.ribs.buildForwardingIndex();
+  // One master-side kernel event per route phase: per-subtask sums are
+  // deterministic (L1-level regex accounting), so the aggregate — and the
+  // canonical journal — is byte-identical for any worker count. Cache-served
+  // subtasks replay the stats their original execution stored.
+  journal.policyKernel("route", result.stats.policy.memoHits,
+                       result.stats.policy.memoMisses,
+                       result.stats.policy.regexCacheHits,
+                       result.stats.policy.regexCacheMisses);
   mergeSpan.finish();
   result.mergeSeconds = mergeSpan.seconds();
   journal.phaseEnd("route.merge", mergeSpan.seconds());

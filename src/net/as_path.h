@@ -5,8 +5,11 @@
 // the common AS-path prefix of the contributors is kept).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hoyan {
@@ -28,6 +31,30 @@ class AsPath {
     if (!sequence.empty()) segments_.push_back({SegmentType::kSequence, std::move(sequence)});
   }
 
+  // The render cache is an atomic slot, so the special members are spelled
+  // out: copies share the source's cached rendering (same segments ⇒ same
+  // text), moves steal it, and both leave the source consistent.
+  AsPath(const AsPath& other)
+      : segments_(other.segments_), render_(other.render_.load(std::memory_order_acquire)) {}
+  AsPath(AsPath&& other) noexcept
+      : segments_(std::move(other.segments_)),
+        render_(other.render_.exchange(nullptr, std::memory_order_acq_rel)) {}
+  AsPath& operator=(const AsPath& other) {
+    if (this != &other) {
+      segments_ = other.segments_;
+      render_.store(other.render_.load(std::memory_order_acquire), std::memory_order_release);
+    }
+    return *this;
+  }
+  AsPath& operator=(AsPath&& other) noexcept {
+    if (this != &other) {
+      segments_ = std::move(other.segments_);
+      render_.store(other.render_.exchange(nullptr, std::memory_order_acq_rel),
+                    std::memory_order_release);
+    }
+    return *this;
+  }
+
   bool empty() const { return segments_.empty(); }
   const std::vector<Segment>& segments() const { return segments_; }
 
@@ -47,11 +74,13 @@ class AsPath {
       auto& seq = segments_.front().asns;
       seq.insert(seq.begin(), asn);
     }
+    invalidateRender();
   }
 
   // Appends an AS_SET segment (route aggregation with as-set).
   void appendSet(std::vector<Asn> asns) {
     segments_.push_back({SegmentType::kSet, std::move(asns)});
+    invalidateRender();
   }
 
   // True if `asn` appears anywhere in the path (AS-loop prevention).
@@ -76,8 +105,38 @@ class AsPath {
   }
 
   // Renders as "100 200 {300,400}" — the textual form route-policy AS-path
-  // regular expressions match against.
-  std::string str() const {
+  // regular expressions match against. Memoized per instance: policy
+  // evaluation matches the same path against every as-path-list entry and the
+  // same route flows through many policies, so the rendering is computed once
+  // and shared across copies (the cache rides along on copy, and mutators
+  // drop only their own instance's reference). Concurrent const readers are
+  // safe: the slot is an atomic shared_ptr and the returned reference is kept
+  // alive by whichever value won the publish race.
+  const std::string& str() const {
+    if (auto cached = render_.load(std::memory_order_acquire)) return *cached;
+    auto built = std::make_shared<const std::string>(render());
+    std::shared_ptr<const std::string> expected;
+    if (render_.compare_exchange_strong(expected, built, std::memory_order_acq_rel,
+                                        std::memory_order_acquire))
+      return *built;    // We published it; render_ keeps it alive.
+    return *expected;   // A concurrent reader won; use its (equal) rendering.
+  }
+
+  friend bool operator==(const AsPath& a, const AsPath& b) {
+    return a.segments_ == b.segments_;  // The render cache is derived state.
+  }
+
+  size_t hashValue() const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Segment& s : segments_) {
+      h = (h ^ static_cast<size_t>(s.type)) * 0x100000001b3ULL;
+      for (const Asn a : s.asns) h = (h ^ a) * 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+ private:
+  std::string render() const {
     std::string out;
     for (const Segment& s : segments_) {
       if (!out.empty()) out += ' ';
@@ -98,19 +157,11 @@ class AsPath {
     return out;
   }
 
-  friend bool operator==(const AsPath&, const AsPath&) = default;
+  void invalidateRender() { render_.store(nullptr, std::memory_order_release); }
 
-  size_t hashValue() const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (const Segment& s : segments_) {
-      h = (h ^ static_cast<size_t>(s.type)) * 0x100000001b3ULL;
-      for (const Asn a : s.asns) h = (h ^ a) * 0x100000001b3ULL;
-    }
-    return h;
-  }
-
- private:
   std::vector<Segment> segments_;
+  // Lazily rendered textual form; null until first str(). Shared on copy.
+  mutable std::atomic<std::shared_ptr<const std::string>> render_;
 };
 
 }  // namespace hoyan

@@ -63,6 +63,8 @@ CountNames countNames(JournalEventType type) {
       return {{"shared"}};
     case JournalEventType::kSweepResult:
       return {{"checked", "counterexamples", "cache_hits", "retries"}};
+    case JournalEventType::kPolicyKernel:
+      return {{"memo_hits", "memo_misses", "regex_hits", "regex_misses"}};
     default:
       return {};
   }
@@ -88,6 +90,7 @@ std::string_view journalEventTypeName(JournalEventType type) {
     case JournalEventType::kSweepPlan: return "sweep_plan";
     case JournalEventType::kSweepVerdict: return "sweep_verdict";
     case JournalEventType::kSweepResult: return "sweep_result";
+    case JournalEventType::kPolicyKernel: return "policy_kernel";
     case JournalEventType::kPhaseEnd: return "phase_end";
     case JournalEventType::kRunEnd: return "run_end";
   }
@@ -370,6 +373,21 @@ void RunJournal::sweepResult(std::string_view phase, size_t checked,
   event.counts[1] = counterexamples;
   event.counts[2] = cacheHits;
   event.counts[3] = retries;
+  event.hasCounts = true;
+  record(std::move(event));
+}
+
+void RunJournal::policyKernel(std::string_view phase, uint64_t memoHits,
+                              uint64_t memoMisses, uint64_t regexHits,
+                              uint64_t regexMisses) {
+  if (!enabled_) return;
+  JournalEvent event;
+  event.type = JournalEventType::kPolicyKernel;
+  event.phase = std::string(phase);
+  event.counts[0] = memoHits;
+  event.counts[1] = memoMisses;
+  event.counts[2] = regexHits;
+  event.counts[3] = regexMisses;
   event.hasCounts = true;
   record(std::move(event));
 }

@@ -62,6 +62,7 @@ enum class JournalEventType : uint8_t {
   kSweepPlan,
   kSweepVerdict,
   kSweepResult,
+  kPolicyKernel,
   kPhaseEnd,
   kRunEnd,
 };
@@ -150,6 +151,14 @@ class RunJournal {
   // retained, verdict-cache hits, worker retries.
   void sweepResult(std::string_view phase, size_t checked, size_t counterexamples,
                    size_t cacheHits, size_t retries);
+
+  // --- policy-eval kernel (proto/policy_kernel.h) --------------------------
+  // Aggregated per-phase policy-kernel accounting, emitted once master-side
+  // after the route merge (per-subtask sums are deterministic, so this line
+  // is byte-identical in the canonical journal for any worker count).
+  void policyKernel(std::string_view phase, uint64_t memoHits,
+                    uint64_t memoMisses, uint64_t regexHits,
+                    uint64_t regexMisses);
 
   // --- inspection / export --------------------------------------------------
   size_t eventCount() const;

@@ -1,7 +1,10 @@
 #include "proto/policy_eval.h"
 
 #include <algorithm>
+#include <memory>
 #include <regex>
+
+#include "proto/policy_kernel.h"
 
 namespace hoyan {
 namespace {
@@ -17,92 +20,111 @@ Protocolish toProtocolish(Protocol p) {
   return Protocolish::kBgp;
 }
 
+// The match helpers take `reason` as a nullable out-parameter: the decision
+// trace is formatted only when a caller (provenance, RCL counter-examples)
+// will actually read it — non-explaining runs allocate nothing here.
+
 bool prefixListMatches(const PolicyContext& context, NameId listName, const Route& route,
-                       std::string& reason) {
+                       std::string* reason) {
   const PrefixList* list = context.device->findPrefixList(listName);
   if (!list || list->entries.empty()) {
     // Table 5 "undefined policy filter".
-    reason = "prefix-list " + Names::str(listName) + " undefined -> " +
-             (context.vendor->undefinedFilterMatchesAll ? "match-all" : "match-none");
+    if (reason)
+      *reason = "prefix-list " + Names::str(listName) + " undefined -> " +
+                (context.vendor->undefinedFilterMatchesAll ? "match-all" : "match-none");
     return context.vendor->undefinedFilterMatchesAll;
   }
   // §6.1(b) VSB: an `ip-prefix` (IPv4) list matched against an IPv6 route.
   if (list->family == IpFamily::kV4 && route.prefix.family() == IpFamily::kV6) {
     if (context.vendor->ipv4PrefixListPermitsAllV6) {
-      reason = "ip-prefix vs IPv6 route -> vendor permits all IPv6";
+      if (reason) *reason = "ip-prefix vs IPv6 route -> vendor permits all IPv6";
       return true;
     }
-    reason = "ip-prefix vs IPv6 route -> no match";
+    if (reason) *reason = "ip-prefix vs IPv6 route -> no match";
     return false;
   }
   const bool matched = list->permits(route.prefix);
-  reason = "prefix-list " + Names::str(listName) + (matched ? " matched" : " not matched");
+  if (reason)
+    *reason = "prefix-list " + Names::str(listName) + (matched ? " matched" : " not matched");
   return matched;
 }
 
 bool communityListMatches(const PolicyContext& context, NameId listName, const Route& route,
-                          std::string& reason) {
+                          std::string* reason) {
   const CommunityList* list = context.device->findCommunityList(listName);
   if (!list || list->entries.empty()) {
-    reason = "community-list " + Names::str(listName) + " undefined";
+    if (reason) *reason = "community-list " + Names::str(listName) + " undefined";
     return context.vendor->undefinedFilterMatchesAll;
   }
   const bool matched = list->permits(route.attrs.communities);
-  reason = "community-list " + Names::str(listName) + (matched ? " matched" : " not matched");
+  if (reason)
+    *reason = "community-list " + Names::str(listName) + (matched ? " matched" : " not matched");
   return matched;
 }
 
 bool asPathListMatches(const PolicyContext& context, NameId listName, const Route& route,
-                       std::string& reason) {
+                       std::string* reason) {
   const AsPathList* list = context.device->findAsPathList(listName);
   if (!list || list->entries.empty()) {
-    reason = "as-path-list " + Names::str(listName) + " undefined";
+    if (reason) *reason = "as-path-list " + Names::str(listName) + " undefined";
     return context.vendor->undefinedFilterMatchesAll;
   }
+  // One rendering for every entry (and memoized on the path instance itself).
+  const std::string& pathStr = route.attrs.asPath.str();
   for (const AsPathListEntry& entry : list->entries) {
-    if (asPathMatches(route.attrs.asPath, entry.regex)) {
-      reason = "as-path-list " + Names::str(listName) + " entry \"" + entry.regex + "\"";
+    // Engine-attached evaluations go through the kernel's L1 pattern cache;
+    // standalone ones hit the process-global cache directly. Either way each
+    // pattern compiles once per process.
+    std::shared_ptr<const AsPathRegexCache::Compiled> held;
+    const AsPathRegexCache::Compiled* compiled;
+    if (context.kernel) {
+      compiled = context.kernel->compiled(entry.regex);
+    } else {
+      held = AsPathRegexCache::global().get(entry.regex);
+      compiled = held.get();
+    }
+    if (!compiled->valid) {
+      // An invalid pattern matches nothing — but no longer silently: the
+      // cache warned at compile time and the kernel counts every evaluation
+      // that consulted it (`sim.policy.bad_regex`).
+      if (context.kernel) context.kernel->countBadRegexEval();
+      continue;
+    }
+    if (std::regex_search(pathStr, compiled->regex)) {
+      if (reason)
+        *reason = "as-path-list " + Names::str(listName) + " entry \"" + entry.regex + "\"";
       return entry.permit;
     }
   }
-  reason = "as-path-list " + Names::str(listName) + " no entry matched";
+  if (reason) *reason = "as-path-list " + Names::str(listName) + " no entry matched";
   return false;
+}
+
+bool matchesNodeImpl(const PolicyContext& context, const PolicyMatch& match,
+                     const Route& route) {
+  if (match.prefixList && !prefixListMatches(context, *match.prefixList, route, nullptr))
+    return false;
+  if (match.communityList &&
+      !communityListMatches(context, *match.communityList, route, nullptr))
+    return false;
+  if (match.asPathList && !asPathListMatches(context, *match.asPathList, route, nullptr))
+    return false;
+  if (match.nexthop && !(route.nexthop == *match.nexthop)) return false;
+  if (match.protocol && *match.protocol != toProtocolish(route.protocol)) return false;
+  return true;
 }
 
 }  // namespace
 
 bool asPathMatches(const AsPath& path, const std::string& pattern) {
-  // Translate vendor-style `_` (boundary: start, end, or space) into a
-  // std::regex alternation; everything else passes through as ECMAScript
-  // regex syntax.
-  std::string translated;
-  translated.reserve(pattern.size() + 16);
-  for (const char c : pattern) {
-    if (c == '_')
-      translated += "(^| |$)";
-    else
-      translated += c;
-  }
-  try {
-    const std::regex re(translated);
-    return std::regex_search(path.str(), re);
-  } catch (const std::regex_error&) {
-    return false;  // An invalid pattern matches nothing.
-  }
+  const std::shared_ptr<const AsPathRegexCache::Compiled> compiled =
+      AsPathRegexCache::global().get(pattern);
+  if (!compiled->valid) return false;  // An invalid pattern matches nothing.
+  return std::regex_search(path.str(), compiled->regex);
 }
 
 bool matchesNode(const PolicyContext& context, const PolicyMatch& match, const Route& route) {
-  std::string reason;
-  if (match.prefixList && !prefixListMatches(context, *match.prefixList, route, reason))
-    return false;
-  if (match.communityList &&
-      !communityListMatches(context, *match.communityList, route, reason))
-    return false;
-  if (match.asPathList && !asPathListMatches(context, *match.asPathList, route, reason))
-    return false;
-  if (match.nexthop && !(route.nexthop == *match.nexthop)) return false;
-  if (match.protocol && *match.protocol != toProtocolish(route.protocol)) return false;
-  return true;
+  return matchesNodeImpl(context, match, route);
 }
 
 void applySets(const PolicyContext& context, const PolicySets& sets, Route& route) {
@@ -127,25 +149,26 @@ void applySets(const PolicyContext& context, const PolicySets& sets, Route& rout
 }
 
 PolicyResult evaluatePolicy(const PolicyContext& context, std::optional<NameId> policyName,
-                            const Route& route) {
+                            const Route& route, bool explain) {
   PolicyResult result;
   result.route = route;
   if (!policyName) {
     // Table 5 "missing route policy".
     result.permitted = context.vendor->acceptWhenNoPolicy;
-    result.reason = result.permitted ? "no policy -> accept" : "no policy -> reject";
+    if (explain) result.reason = result.permitted ? "no policy -> accept" : "no policy -> reject";
     return result;
   }
   const RoutePolicy* policy = context.device->findRoutePolicy(*policyName);
   if (!policy || policy->nodes.empty()) {
     // Table 5 "undefined route policy".
     result.permitted = context.vendor->acceptWhenPolicyUndefined;
-    result.reason = "policy " + Names::str(*policyName) + " undefined -> " +
-                    (result.permitted ? "accept" : "reject");
+    if (explain)
+      result.reason = "policy " + Names::str(*policyName) + " undefined -> " +
+                      (result.permitted ? "accept" : "reject");
     return result;
   }
   for (const PolicyNode& node : policy->nodes) {
-    if (!matchesNode(context, node.match, route)) continue;
+    if (!matchesNodeImpl(context, node.match, route)) continue;
     result.matchedNode = node.sequence;
     bool permit = false;
     switch (node.action) {
@@ -161,16 +184,46 @@ PolicyResult evaluatePolicy(const PolicyContext& context, std::optional<NameId> 
         break;
     }
     result.permitted = permit;
-    result.reason = "policy " + Names::str(*policyName) + " node " +
-                    std::to_string(node.sequence) + (permit ? " permit" : " deny");
+    if (explain)
+      result.reason = "policy " + Names::str(*policyName) + " node " +
+                      std::to_string(node.sequence) + (permit ? " permit" : " deny");
     if (permit) applySets(context, node.sets, result.route);
     return result;
   }
   // Table 5 "default route policy": no node matched.
   result.permitted = context.vendor->acceptWhenNoNodeMatches;
-  result.reason = "policy " + Names::str(*policyName) + " fell through -> " +
-                  (result.permitted ? "accept" : "reject");
+  if (explain)
+    result.reason = "policy " + Names::str(*policyName) + " fell through -> " +
+                    (result.permitted ? "accept" : "reject");
   return result;
+}
+
+bool evaluatePolicyInPlace(const PolicyContext& context,
+                           std::optional<NameId> policyName, Route& route) {
+  if (!policyName) return context.vendor->acceptWhenNoPolicy;
+  const RoutePolicy* policy = context.device->findRoutePolicy(*policyName);
+  if (!policy || policy->nodes.empty()) return context.vendor->acceptWhenPolicyUndefined;
+  for (const PolicyNode& node : policy->nodes) {
+    // Matching reads the route; sets are applied only after the walk decides,
+    // and only by the permitting node — so mutating in place is equivalent to
+    // evaluatePolicy's copy-then-rewrite.
+    if (!matchesNodeImpl(context, node.match, route)) continue;
+    bool permit = false;
+    switch (node.action) {
+      case PolicyAction::kPermit:
+        permit = true;
+        break;
+      case PolicyAction::kDeny:
+        permit = false;
+        break;
+      case PolicyAction::kUnspecified:
+        permit = context.vendor->nodeWithoutActionPermits;
+        break;
+    }
+    if (permit) applySets(context, node.sets, route);
+    return permit;
+  }
+  return context.vendor->acceptWhenNoNodeMatches;
 }
 
 }  // namespace hoyan

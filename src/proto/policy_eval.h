@@ -17,10 +17,17 @@
 
 namespace hoyan {
 
+class PolicyEvalKernel;
+
 struct PolicyContext {
   const DeviceConfig* device = nullptr;   // Filters are resolved on this device.
   const VendorProfile* vendor = nullptr;  // VSB knobs.
   Asn localAsn = 0;                       // For own-ASN insertion after overwrite.
+  // Optional evaluation kernel (proto/policy_kernel.h): routes as-path regex
+  // lookups through the engine's compiled-pattern cache and accounts kernel
+  // stats. Null = standalone evaluation (tests, diag) via the process-global
+  // pattern cache.
+  PolicyEvalKernel* kernel = nullptr;
 };
 
 struct PolicyResult {
@@ -32,9 +39,20 @@ struct PolicyResult {
 
 // Evaluates whether `route` passes the policy named `policyName` on the
 // context device and applies its attribute rewrites. `policyName` == nullopt
-// means no policy is configured on this session direction.
+// means no policy is configured on this session direction. `explain` gates
+// the `reason` trace: pass false on hot paths that never read it (the
+// strings are allocation-heavy and most runs drop them on the floor).
 PolicyResult evaluatePolicy(const PolicyContext& context,
-                            std::optional<NameId> policyName, const Route& route);
+                            std::optional<NameId> policyName, const Route& route,
+                            bool explain = true);
+
+// The zero-copy variant for hot paths: same verdict and rewrites as
+// evaluatePolicy (they share the match walk and applySets), but mutates
+// `route` directly instead of copying it into a PolicyResult — the common
+// permit-without-rewrite case touches nothing at all. On deny the route is
+// left unmodified (sets only ever apply to the matched, permitting node).
+bool evaluatePolicyInPlace(const PolicyContext& context,
+                           std::optional<NameId> policyName, Route& route);
 
 // Evaluates a single match clause set against a route (exposed for tests and
 // for PBR/redistribution which reuse clause matching).

@@ -173,11 +173,13 @@ std::vector<InputRoute> computeRedistributedInputs(const NetworkModel& model) {
           break;  // Not redistributable sources.
       }
       for (Route& route : candidates) {
-        // Per-redistribution policy filter/rewrite.
+        // Per-redistribution policy filter/rewrite. Nothing reads the reason
+        // trace here — skip formatting it.
         if (redist.policy) {
-          const PolicyResult verdict = evaluatePolicy(context, redist.policy, route);
+          PolicyResult verdict =
+              evaluatePolicy(context, redist.policy, route, /*explain=*/false);
           if (!verdict.permitted) continue;
-          route = verdict.route;
+          route = std::move(verdict.route);
         }
         Route bgpRoute = route;
         bgpRoute.protocol = Protocol::kBgp;

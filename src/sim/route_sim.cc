@@ -26,9 +26,20 @@ struct CellKey {
 };
 
 struct CellKeyHash {
+  // splitmix64 finalizer: the previous xor-of-multiplied-ids kept small
+  // NameIds (the common case — ids are dense, starting at 0) clustered in
+  // the low bucket bits; full avalanche costs two multiplies and fixes the
+  // load factor of the cells_/dirty_ maps.
+  static uint64_t mix(uint64_t h) {
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+  }
   size_t operator()(const CellKey& key) const {
-    return (size_t{key.device} * 0x9e3779b97f4a7c15ULL) ^ (size_t{key.vrf} * 1315423911u) ^
-           key.prefix.hashValue();
+    const uint64_t ids = (uint64_t{key.device} << 32) | key.vrf;
+    return static_cast<size_t>(mix(mix(ids) ^ key.prefix.hashValue()));
   }
 };
 
@@ -61,6 +72,10 @@ class RouteSimEngine {
       : model_(model), options_(options) {
     prov_ = options.provenance ? options.provenance : obs::ProvenanceRecorder::global();
     if (prov_ && !prov_->enabled()) prov_ = nullptr;
+    // Provenance bypass: replay needs real per-route event emission, so a
+    // recording engine never consults the memo (the regex cache and interning
+    // still apply through ctx.kernel).
+    memoEnabled_ = options.policyMemo && prov_ == nullptr;
     // Reverse-session lookup: receiving side of each directed session.
     // Parallel sessions between the same device pair are disambiguated by
     // the session addresses (the reverse session dials our local address).
@@ -168,6 +183,12 @@ class RouteSimEngine {
     result.stats.installedRoutes = result.ribs.routeCount();
     materializeSpan.finish();
     result.stats.materializeSeconds = materializeSpan.seconds();
+    result.stats.policy = kernel_.stats();
+    tel.metrics().counter("sim.policy_memo.hits").add(result.stats.policy.memoHits);
+    tel.metrics().counter("sim.policy_memo.misses").add(result.stats.policy.memoMisses);
+    tel.metrics().counter("sim.regex_cache.hits").add(result.stats.policy.regexCacheHits);
+    tel.metrics().counter("sim.regex_cache.misses").add(result.stats.policy.regexCacheMisses);
+    tel.metrics().counter("sim.policy.bad_regex").add(result.stats.policy.badRegexEvals);
     tel.log().debug("route_sim.done",
                     {{"inputs", std::to_string(inputs.size())},
                      {"routes", std::to_string(result.stats.installedRoutes)},
@@ -194,6 +215,22 @@ class RouteSimEngine {
     prov_->record(std::move(event));
   }
 
+  // --- policy ---------------------------------------------------------------
+  // One policy evaluation for this engine. Fast path (no recorder): the
+  // per-class memo (proto/policy_kernel.h) rewrites `route` in place with no
+  // reason strings. Recorder path: the plain evaluator runs, formatting the
+  // decision trace only when `watch` says this prefix's events are recorded.
+  bool applyPolicy(const PolicyContext& context, std::optional<NameId> policyName,
+                   Route& route, bool watch, std::string* reason = nullptr) {
+    if (memoEnabled_) return kernel_.evaluate(context, policyName, route);
+    if (!watch && !reason) return evaluatePolicyInPlace(context, policyName, route);
+    PolicyResult verdict = evaluatePolicy(context, policyName, route, /*explain=*/watch);
+    if (reason) *reason = std::move(verdict.reason);
+    if (!verdict.permitted) return false;
+    route = std::move(verdict.route);
+    return true;
+  }
+
   // --- receive side ---------------------------------------------------------
   void receive(const Advertisement& adv) {
     const BgpSession& session = model_.sessions[adv.session];
@@ -207,7 +244,7 @@ class RouteSimEngine {
     // Deny-policy isolation (Table 5 "device isolation"): sessions stay up
     // but an implicit deny-all policy blocks every update.
     if (config->isolated && vendor.isolationViaDenyPolicy) return;
-    const PolicyContext context{config, &vendor, config->bgp.asn};
+    const PolicyContext context{config, &vendor, config->bgp.asn, &kernel_};
 
     const CellKey key{receiver, receiverSide.vrf, adv.prefix};
     Cell& cell = cellFor(key);
@@ -221,6 +258,7 @@ class RouteSimEngine {
                 adv.prefix, session.local, "all routes from this session withdrawn");
 
     uint32_t pathId = 0;
+    cell.adjIn.reserve(cell.adjIn.size() + adv.routes.size());
     for (const Route& advertised : adv.routes) {
       Route route = advertised;
       route.vrf = receiverSide.vrf;
@@ -249,15 +287,13 @@ class RouteSimEngine {
         }
       }
       // Ingress policy (the receiver's import policy for this neighbour).
-      const PolicyResult verdict =
-          evaluatePolicy(context, receiverSide.importPolicy, route);
-      if (!verdict.permitted) {
+      std::string reason;
+      if (!applyPolicy(context, receiverSide.importPolicy, route, watch, &reason)) {
         if (watch)
           emitEvent(obs::RouteEventKind::kPolicyDenied, receiver, receiverSide.vrf,
-                    adv.prefix, session.local, "ingress: " + verdict.reason);
+                    adv.prefix, session.local, "ingress: " + reason);
         continue;
       }
-      route = verdict.route;
       route.adminDistance =
           session.ebgp ? vendor.ebgpAdminDistance : vendor.ibgpAdminDistance;
       // Nexthop resolution: IGP cost, SR tunnel detection (Table 5 "IGP cost
@@ -273,7 +309,7 @@ class RouteSimEngine {
       route.type = RouteType::kAlternate;
       if (watch)
         emitEvent(obs::RouteEventKind::kReceived, receiver, receiverSide.vrf,
-                  adv.prefix, session.local, verdict.reason, route.str());
+                  adv.prefix, session.local, std::move(reason), route.str());
       cell.adjIn.push_back(ReceivedRoute{route, reverseIdx, pathId++});
       ++installed_;
     }
@@ -446,10 +482,9 @@ class RouteSimEngine {
                                                               : std::nullopt)
                 : sourceExportPolicy;
         if (policy) {
-          const PolicyContext context{config, &vendor, config->bgp.asn};
-          const PolicyResult verdict = evaluatePolicy(context, policy, leakedRoute);
-          permitted = verdict.permitted;
-          if (permitted) leakedRoute = verdict.route;
+          const PolicyContext context{config, &vendor, config->bgp.asn, &kernel_};
+          // Nothing reads a leak-denial reason — never format one.
+          permitted = applyPolicy(context, policy, leakedRoute, /*watch=*/false);
         }
         if (permitted) {
           leakedRoute.vrf = vrfName;
@@ -477,7 +512,7 @@ class RouteSimEngine {
     // BGP best + ECMP among BGP-family routes (selection within the BGP
     // table is independent of admin-distance competition with static/IGP).
     std::vector<Route> bgpRoutes;
-    std::vector<const ReceivedRoute*> provenance;
+    bgpRoutes.reserve(cell.adjIn.size() + cell.localOrigin.size());
     for (const ReceivedRoute& received : cell.adjIn) bgpRoutes.push_back(received.route);
     for (const Route& route : cell.localOrigin)
       if (route.protocol == Protocol::kBgp || route.protocol == Protocol::kAggregate)
@@ -507,21 +542,20 @@ class RouteSimEngine {
           if (!mayAdvertise(candidate, session, key)) continue;
           Route outbound = candidate;
           applyEgress(*config, session, outbound);
-          const PolicyContext context{config, &vendor, config->bgp.asn};
-          const PolicyResult verdict =
-              evaluatePolicy(context, session.exportPolicy, outbound);
-          if (!verdict.permitted) {
+          const PolicyContext context{config, &vendor, config->bgp.asn, &kernel_};
+          std::string reason;
+          if (!applyPolicy(context, session.exportPolicy, outbound, watch, &reason)) {
             if (watch)
               events.push_back(obs::RouteEvent{
                   obs::RouteEventKind::kPolicyDenied, key.device, key.vrf,
-                  key.prefix, session.peer, "egress: " + verdict.reason, {}, 0});
+                  key.prefix, session.peer, "egress: " + reason, {}, 0});
             continue;
           }
           if (watch)
             events.push_back(obs::RouteEvent{
                 obs::RouteEventKind::kAdvertised, key.device, key.vrf, key.prefix,
-                session.peer, {}, verdict.route.str(), 0});
-          adv.routes.push_back(verdict.route);
+                session.peer, {}, outbound.str(), 0});
+          adv.routes.push_back(std::move(outbound));
         }
       }
       // Only emit when the advertised set changed (incl. withdraws).
@@ -627,6 +661,8 @@ class RouteSimEngine {
       lastAdvertised_;
   size_t installed_ = 0;
   obs::ProvenanceRecorder* prov_ = nullptr;  // Null when disabled.
+  PolicyEvalKernel kernel_;
+  bool memoEnabled_ = false;  // options.policyMemo, minus the provenance bypass.
 };
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "net/route.h"
 #include "proto/network_model.h"
+#include "proto/policy_kernel.h"
 #include "sim/route_ec.h"
 
 namespace hoyan::obs {
@@ -42,6 +43,11 @@ struct RouteSimOptions {
   // selection is provisional) and calls recordSelectionEvents() itself after
   // the merged reselect.
   bool provenanceSelectionEvents = true;
+  // Per-class policy-eval memoization (proto/policy_kernel.h). Results are
+  // byte-identical either way — the flag exists for the determinism
+  // differentials and the bench oracle, and is deliberately excluded from
+  // incr:: option fingerprints (cache keys must not churn on it).
+  bool policyMemo = true;
 };
 
 struct RouteSimStats {
@@ -53,6 +59,7 @@ struct RouteSimStats {
   bool converged = true;
   bool outOfMemory = false;
   EcStats ec;
+  PolicyKernelStats policy;  // Policy-eval kernel counters (memo/regex/bad).
   // Per-phase wall times of one simulateRoutes call (also traced as spans).
   double ecSeconds = 0;           // Equivalence-class reduction.
   double propagateSeconds = 0;    // Fixpoint rounds.

@@ -250,6 +250,95 @@ TEST_F(DeterminismTest, RandomizedChangePlansMatchWarmVsCold) {
   }
 }
 
+TEST_F(DeterminismTest, PolicyMemoIsInvisibleUnderRandomizedPolicies) {
+  // Randomized differential for the policy-eval kernel (proto/
+  // policy_kernel.h): fuzz the border import policies with random as-path
+  // regex lists (one deliberately invalid), community and prefix matches,
+  // and local-pref / prepend / nexthop / MED rewrites, then require the
+  // memo-enabled pipeline to be byte-identical to the memo-disabled oracle
+  // at 1, 3, and 6 workers. A stale or mis-keyed memo entry shows up as a
+  // diverging RIB row here.
+  std::mt19937 rng(20260808);
+  for (size_t i = 0; i < wan_.borders.size(); ++i) {
+    DeviceConfig& config = wan_.configs.device(wan_.borders[i]);  // CoW detach.
+    const std::string tag = std::to_string(i);
+    const NameId asList = Names::id("FUZZ-AS-" + tag);
+    AsPathList pathList;
+    pathList.name = asList;
+    switch (rng() % 4) {
+      case 0:
+        pathList.entries.push_back({true, "_6500[0-9]_"});
+        break;
+      case 1:
+        pathList.entries.push_back({true, "^" + std::to_string(65001 + rng() % 8)});
+        break;
+      case 2:
+        // Invalid pattern first: must match nothing (counted, not fatal) and
+        // fall through to the catch-all — identically with and without memo.
+        pathList.entries.push_back({true, "(unclosed"});
+        pathList.entries.push_back({true, ".*"});
+        break;
+      default:
+        pathList.entries.push_back({true, std::to_string(65001 + rng() % 8) + "$"});
+        break;
+    }
+    config.asPathLists[asList] = pathList;
+    const NameId cList = Names::id("FUZZ-COMM-" + tag);
+    CommunityList commList;
+    commList.name = cList;
+    commList.entries.push_back(
+        {true, Community(64512, static_cast<uint16_t>(rng() % 4))});
+    config.communityLists[cList] = commList;
+    const NameId pList = Names::id("FUZZ-PFX-" + tag);
+    PrefixList prefixList;
+    prefixList.name = pList;
+    prefixList.family = IpFamily::kV4;
+    prefixList.entries.push_back(
+        {true, *Prefix::parse("100.0.0.0/8"), 8, static_cast<uint8_t>(16 + rng() % 9)});
+    config.prefixLists[pList] = prefixList;
+
+    for (auto& [policyName, policy] : config.routePolicies) {
+      PolicyNode node;
+      node.sequence = 500 + static_cast<uint32_t>(rng() % 100);
+      node.action = rng() % 8 == 0 ? PolicyAction::kDeny : PolicyAction::kPermit;
+      switch (rng() % 3) {
+        case 0: node.match.asPathList = asList; break;
+        case 1: node.match.communityList = cList; break;
+        default: node.match.prefixList = pList; break;
+      }
+      switch (rng() % 4) {
+        case 0: node.sets.localPref = 100 + 10 * (rng() % 10); break;
+        case 1: node.sets.prepend = {{64512, 1 + rng() % 3}}; break;
+        case 2:
+          node.sets.nexthop = *IpAddress::parse("9.9.9." + std::to_string(rng() % 8));
+          break;
+        default: node.sets.med = rng() % 50; break;
+      }
+      policy.upsertNode(node);
+    }
+  }
+
+  const auto run = [&](size_t workers, bool memo) {
+    const NetworkModel model = wan_.buildModel();
+    DistSimOptions options;
+    options.workers = workers;
+    options.routeSubtasks = 16;
+    options.routeOptions.policyMemo = memo;
+    DistributedSimulator simulator(model, options);
+    DistRouteResult result = simulator.runRouteSimulation(inputs_);
+    EXPECT_TRUE(result.succeeded);
+    return renderedRows(result.ribs);
+  };
+  const auto oracle = run(3, false);
+  ASSERT_GT(oracle.size(), 0u);
+  for (const size_t workers : {1u, 3u, 6u}) {
+    const auto rows = run(workers, true);
+    ASSERT_EQ(rows.size(), oracle.size()) << "workers=" << workers;
+    for (size_t i = 0; i < rows.size(); ++i)
+      ASSERT_EQ(rows[i], oracle[i]) << "workers=" << workers << " row " << i;
+  }
+}
+
 TEST_F(DeterminismTest, TrafficLoadsAreDeterministicAcrossWorkers) {
   const NetworkModel model = wan_.buildModel();
   LinkLoadMap first, second;

@@ -1,0 +1,87 @@
+// Pinned incr:: content-key regression test.
+//
+// The incremental cache's correctness story is "equal key ⇒ byte-identical
+// result"; the dual risk is keys that *churn* when they should not — every
+// warm run silently degrades to cold. This test pins the fingerprints of a
+// fixed generated corpus to hex constants so any accidental change to the
+// hashed field set (or to hashing order) fails loudly and must be a
+// deliberate, reviewed re-pin.
+//
+// The pins are process-stable, not ABI-stable: NameIds are interned in
+// generation order, so this test runs as its own binary with exactly one
+// TEST (a second TEST, or a fixture interning names earlier, would shift
+// every id). Re-pin by running the binary and copying the printed values.
+#include <gtest/gtest.h>
+
+#include "gen/wan_gen.h"
+#include "gen/workload_gen.h"
+#include "incr/fingerprint.h"
+
+namespace hoyan {
+namespace {
+
+TEST(FingerprintPinTest, FixedCorpusKeysAreStable) {
+  WanSpec spec;
+  spec.regions = 2;
+  spec.seed = 11;
+  const GeneratedWan wan = generateWan(spec);
+  WorkloadSpec workload;
+  workload.seed = 13;
+  workload.prefixesPerIsp = 12;
+  workload.prefixesPerDc = 4;
+  const std::vector<InputRoute> inputs = generateInputRoutes(wan, workload);
+  const NetworkModel model = wan.buildModel();
+
+  const auto pin = [](const char* what, uint64_t fingerprint, const char* expected) {
+    EXPECT_EQ(incr::fingerprintHex(fingerprint), expected)
+        << what << " fingerprint changed — if the hashed field set changed on "
+        << "purpose, re-pin this constant; otherwise warm runs just went cold.";
+  };
+
+  pin("model", incr::fingerprintModel(model), "91370cb0c1819bdb");
+  pin("topology", incr::fingerprintTopology(wan.topology), "81ef703ffc1f2719");
+  pin("forwarding-state", incr::fingerprintForwardingState(model), "5e00bbdc1baaa554");
+  pin("local-route-state", incr::fingerprintLocalRouteState(model), "f0916ccf0bf0ab60");
+  ASSERT_FALSE(inputs.empty());
+  pin("input-chunk", incr::fingerprintInputRouteChunk({inputs.data(), inputs.size()}),
+      "187ec3b16b75f1f9");
+  ASSERT_FALSE(wan.borders.empty());
+  const DeviceConfig* border = model.configs.findDevice(wan.borders[0]);
+  ASSERT_NE(border, nullptr);
+  pin("border-config", incr::fingerprintDeviceConfig(*border), "44d8759f9c80921c");
+
+  pin("route-options", incr::fingerprintRouteOptions(RouteSimOptions{}),
+      "8e6dff9b34a049f6");
+  // The policy-eval kernel must be invisible to content keys: toggling the
+  // memo changes no simulation result, so it must change no fingerprint
+  // either (a memo-keyed cache would cold-start every run that flips it).
+  RouteSimOptions memoOff;
+  memoOff.policyMemo = false;
+  EXPECT_EQ(incr::fingerprintRouteOptions(memoOff),
+            incr::fingerprintRouteOptions(RouteSimOptions{}));
+
+  // Re-pin helper: print the actual values when anything above failed.
+  if (::testing::Test::HasFailure()) {
+    std::printf("actual pins:\n");
+    std::printf("  model             %s\n",
+                incr::fingerprintHex(incr::fingerprintModel(model)).c_str());
+    std::printf("  topology          %s\n",
+                incr::fingerprintHex(incr::fingerprintTopology(wan.topology)).c_str());
+    std::printf("  forwarding-state  %s\n",
+                incr::fingerprintHex(incr::fingerprintForwardingState(model)).c_str());
+    std::printf("  local-route-state %s\n",
+                incr::fingerprintHex(incr::fingerprintLocalRouteState(model)).c_str());
+    std::printf("  input-chunk       %s\n",
+                incr::fingerprintHex(
+                    incr::fingerprintInputRouteChunk({inputs.data(), inputs.size()}))
+                    .c_str());
+    std::printf("  border-config     %s\n",
+                incr::fingerprintHex(incr::fingerprintDeviceConfig(*border)).c_str());
+    std::printf("  route-options     %s\n",
+                incr::fingerprintHex(incr::fingerprintRouteOptions(RouteSimOptions{}))
+                    .c_str());
+  }
+}
+
+}  // namespace
+}  // namespace hoyan

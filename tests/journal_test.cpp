@@ -55,6 +55,7 @@ void emitAllEventTypes(obs::RunJournal& journal) {
   journal.sweepPlan("fault_sweep", 300, 20, 12, 268);
   journal.sweepVerdict("fault_sweep", "s000007", false, "cas/k/0123", 2);
   journal.sweepResult("fault_sweep", 300, 1, 240, 0);
+  journal.policyKernel("route", 9000, 120, 4400, 16);
   journal.phaseEnd("route.split", 0.5);
   journal.runEnd("plan-1", 1.25);
 }
@@ -62,7 +63,7 @@ void emitAllEventTypes(obs::RunJournal& journal) {
 TEST(JournalTest, EveryEventTypeValidatesAgainstTheInspectSchema) {
   obs::RunJournal journal({.enabled = true});
   emitAllEventTypes(journal);
-  EXPECT_EQ(journal.eventCount(), 18u);
+  EXPECT_EQ(journal.eventCount(), 19u);
 
   std::string error;
   EXPECT_TRUE(inspect::validateJournal(journal.toJsonl(), error)) << error;
@@ -96,12 +97,12 @@ TEST(JournalTest, OperationalExportCarriesOrderAndSummary) {
   std::vector<inspect::Event> events;
   std::string error;
   ASSERT_TRUE(inspect::parseJournal(journal.toJsonl(), events, error)) << error;
-  ASSERT_EQ(events.size(), 19u);  // 18 events + the summary line.
+  ASSERT_EQ(events.size(), 20u);  // 19 events + the summary line.
   // seq is record order.
-  for (size_t i = 0; i < 18; ++i)
+  for (size_t i = 0; i < 19; ++i)
     EXPECT_EQ(events[i].num("seq").value_or(-1), static_cast<double>(i)) << i;
   EXPECT_EQ(events.back().ev, "journal_summary");
-  EXPECT_EQ(events.back().num("events").value_or(-1), 18.0);
+  EXPECT_EQ(events.back().num("events").value_or(-1), 19.0);
   EXPECT_EQ(events.back().num("dropped").value_or(-1), 0.0);
   // Volatile attribution is present operationally...
   EXPECT_TRUE(events[8].field("worker"));  // subtask_start
@@ -167,6 +168,7 @@ TEST(JournalTest, DisabledEmittersDoNotAllocate) {
   journal.sweepPlan(phase, 1, 2, 3, 4);
   journal.sweepVerdict(phase, id, true, key, 1);
   journal.sweepResult(phase, 1, 2, 3, 4);
+  journal.policyKernel(phase, 1, 2, 3, 4);
   journal.phaseEnd(phase, 0.5);
   journal.runEnd(phase, 1.0);
   EXPECT_EQ(g_allocations.load(), before);

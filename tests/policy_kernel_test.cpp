@@ -1,0 +1,371 @@
+// Tests for the cold-run policy-evaluation kernel (proto/policy_kernel.h):
+// the process-wide compiled-regex cache, attribute interning, per-class
+// memoization (byte-identity against the plain evaluator), lazy reason
+// traces, bad-regex surfacing, and the AsPath render memo.
+#include <gtest/gtest.h>
+
+#include "config/vendor.h"
+#include "net/as_path.h"
+#include "proto/policy_eval.h"
+#include "proto/policy_kernel.h"
+
+namespace hoyan {
+namespace {
+
+// --- AsPathRegexCache --------------------------------------------------------
+
+TEST(AsPathRegexCacheTest, CompilesOncePerPattern) {
+  AsPathRegexCache cache;
+  const auto first = cache.get("_65001_");
+  ASSERT_TRUE(first);
+  EXPECT_TRUE(first->valid);
+  // Same pattern: the exact same immutable entry, not a recompilation.
+  EXPECT_EQ(cache.get("_65001_").get(), first.get());
+  EXPECT_EQ(cache.size(), 1u);
+  cache.get("^100");
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(AsPathRegexCacheTest, InvalidPatternCachesAnInvalidEntry) {
+  AsPathRegexCache cache;
+  const auto bad = cache.get("(unclosed");
+  ASSERT_TRUE(bad);
+  EXPECT_FALSE(bad->valid);
+  EXPECT_FALSE(bad->error.empty());
+  // Cached, not retried: same entry on the next lookup.
+  EXPECT_EQ(cache.get("(unclosed").get(), bad.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AsPathRegexCacheTest, TranslatesUnderscoreBoundaries) {
+  AsPathRegexCache cache;
+  const auto compiled = cache.get("_123_");
+  ASSERT_TRUE(compiled->valid);
+  const AsPath path({100, 123, 300});
+  EXPECT_TRUE(std::regex_search(path.str(), compiled->regex));
+  // `_23_` must not match inside 123 (boundary semantics).
+  const auto inner = cache.get("_23_");
+  EXPECT_FALSE(std::regex_search(path.str(), inner->regex));
+}
+
+// --- AttrInternTable ---------------------------------------------------------
+
+TEST(AttrInternTableTest, EqualAttributesShareOneClass) {
+  AttrInternTable table;
+  BgpAttributes a;
+  a.localPref = 200;
+  a.communities.insert(Community(100, 1));
+  a.asPath = AsPath({65001, 70000});
+  BgpAttributes b = a;  // Equal by value.
+  const AttrClassId idA = table.intern(a);
+  EXPECT_EQ(table.intern(b), idA);
+  EXPECT_EQ(table.size(), 1u);
+
+  BgpAttributes c = a;
+  c.med = 7;
+  const AttrClassId idC = table.intern(c);
+  EXPECT_NE(idC, idA);
+  EXPECT_EQ(table.size(), 2u);
+  // Round trip: the stored class is the interned value.
+  EXPECT_EQ(table.attrs(idA), a);
+  EXPECT_EQ(table.attrs(idC), c);
+  EXPECT_EQ(table.hash(idA), a.hashValue());
+}
+
+// --- PolicyEvalKernel memoization -------------------------------------------
+
+class PolicyKernelTest : public ::testing::Test {
+ protected:
+  Route makeRoute(const std::string& prefix = "10.0.0.0/24") {
+    Route route;
+    route.prefix = *Prefix::parse(prefix);
+    route.protocol = Protocol::kBgp;
+    route.attrs.communities.insert(Community(100, 1));
+    route.attrs.asPath = AsPath({65001, 70000});
+    return route;
+  }
+
+  // The memo's structural gate only engages for policies that match as-path
+  // lists; memo-behaviour tests attach this catch-all (`.*` permits any
+  // rendered path) so their policies qualify without changing verdicts.
+  void matchAnyAsPath(PolicyNode& node) {
+    const NameId listName = Names::id("ANY-PATH");
+    if (config_.asPathLists.find(listName) == config_.asPathLists.end()) {
+      AsPathList list;
+      list.name = listName;
+      list.entries.push_back({true, ".*"});
+      config_.asPathLists.emplace(listName, list);
+    }
+    node.match.asPathList = listName;
+  }
+
+  // Asserts kernel evaluation is byte-identical to the plain evaluator for
+  // `route`, and returns whether it was permitted.
+  bool evalBothWays(std::optional<NameId> policy, const Route& route) {
+    const PolicyContext plain{&config_, &vendorA(), 64512};
+    const PolicyResult expect = evaluatePolicy(plain, policy, route);
+    PolicyContext fast{&config_, &vendorA(), 64512, &kernel_};
+    Route got = route;
+    const bool permitted = kernel_.evaluate(fast, policy, got);
+    EXPECT_EQ(permitted, expect.permitted);
+    if (permitted && expect.permitted) {
+      EXPECT_EQ(got.attrs, expect.route.attrs);
+      EXPECT_TRUE(got.nexthop == expect.route.nexthop);
+      EXPECT_EQ(got.prefix, expect.route.prefix);
+    }
+    return permitted;
+  }
+
+  DeviceConfig config_;
+  PolicyEvalKernel kernel_;
+};
+
+TEST_F(PolicyKernelTest, MemoHitReplaysTheVerdict) {
+  const NameId name = Names::id("PREF-UP");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.sets.localPref = 321;
+  matchAnyAsPath(node);
+  policy.upsertNode(node);
+
+  // Same attribute class across different prefixes: the policy reads no
+  // prefix, so the second evaluation is a memo hit.
+  EXPECT_TRUE(evalBothWays(name, makeRoute("10.0.0.0/24")));
+  EXPECT_TRUE(evalBothWays(name, makeRoute("10.0.1.0/24")));
+  const PolicyKernelStats stats = kernel_.stats();
+  EXPECT_EQ(stats.memoMisses, 1u);
+  EXPECT_EQ(stats.memoHits, 1u);
+  EXPECT_EQ(kernel_.memoEntries(), 1u);
+}
+
+TEST_F(PolicyKernelTest, PrefixReadingPolicyKeysOnThePrefix) {
+  const NameId listName = Names::id("TEN-SLASH-24");
+  PrefixList list;
+  list.name = listName;
+  list.family = IpFamily::kV4;
+  list.entries.push_back({true, *Prefix::parse("10.0.0.0/24"), 0, 0});
+  config_.prefixLists.emplace(listName, list);
+  const NameId name = Names::id("MATCH-PREFIX");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.match.prefixList = listName;
+  node.sets.localPref = 555;
+  matchAnyAsPath(node);
+  policy.upsertNode(node);
+
+  // Different prefixes with the same attribute class must NOT share a memo
+  // entry: one matches the list, the other falls to the tail.
+  EXPECT_TRUE(evalBothWays(name, makeRoute("10.0.0.0/24")));
+  evalBothWays(name, makeRoute("10.9.9.0/24"));
+  EXPECT_EQ(kernel_.stats().memoMisses, 2u);
+  EXPECT_EQ(kernel_.stats().memoHits, 0u);
+  // Re-seeing either prefix hits.
+  EXPECT_TRUE(evalBothWays(name, makeRoute("10.0.0.0/24")));
+  EXPECT_EQ(kernel_.stats().memoHits, 1u);
+}
+
+TEST_F(PolicyKernelTest, NexthopWritingPolicyKeysOnTheInputNexthop) {
+  const NameId name = Names::id("SET-NH");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.sets.nexthop = *IpAddress::parse("4.4.4.4");
+  matchAnyAsPath(node);
+  policy.upsertNode(node);
+
+  Route first = makeRoute();
+  first.nexthop = *IpAddress::parse("1.1.1.1");
+  Route second = makeRoute();
+  second.nexthop = *IpAddress::parse("2.2.2.2");
+  // The outcome rewrites the nexthop; with distinct input nexthops both must
+  // still come out as 4.4.4.4 (so a shared key would be unsound if the
+  // profile ignored writes — this is the regression the profile guards).
+  EXPECT_TRUE(evalBothWays(name, first));
+  EXPECT_TRUE(evalBothWays(name, second));
+  PolicyContext fast{&config_, &vendorA(), 64512, &kernel_};
+  Route replay = makeRoute();
+  replay.nexthop = *IpAddress::parse("1.1.1.1");
+  ASSERT_TRUE(kernel_.evaluate(fast, name, replay));
+  EXPECT_TRUE(replay.nexthop == *IpAddress::parse("4.4.4.4"));
+}
+
+TEST_F(PolicyKernelTest, DenialsMemoizeToo) {
+  const NameId name = Names::id("DENY-ALL");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kDeny;
+  matchAnyAsPath(node);
+  policy.upsertNode(node);
+  EXPECT_FALSE(evalBothWays(name, makeRoute("10.0.0.0/24")));
+  EXPECT_FALSE(evalBothWays(name, makeRoute("10.0.1.0/24")));
+  EXPECT_EQ(kernel_.stats().memoHits, 1u);
+}
+
+TEST_F(PolicyKernelTest, MatchCheapPoliciesBypassTheMemo) {
+  // No as-path-list match anywhere: walking this one-node policy is cheaper
+  // than interning attributes, so the structural gate skips the memo — but
+  // the result must still be byte-identical to the plain evaluator.
+  const NameId name = Names::id("CHEAP");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.sets.localPref = 250;
+  policy.upsertNode(node);
+
+  EXPECT_TRUE(evalBothWays(name, makeRoute("10.0.0.0/24")));
+  EXPECT_TRUE(evalBothWays(name, makeRoute("10.0.0.0/24")));
+  const PolicyKernelStats stats = kernel_.stats();
+  EXPECT_EQ(stats.memoHits, 0u);
+  EXPECT_EQ(stats.memoMisses, 0u);
+  EXPECT_EQ(stats.attrClasses, 0u);
+  EXPECT_EQ(kernel_.memoEntries(), 0u);
+}
+
+TEST_F(PolicyKernelTest, BadRegexIsCountedAndMatchesPlainEvaluator) {
+  const NameId listName = Names::id("BROKEN");
+  AsPathList list;
+  list.name = listName;
+  list.entries.push_back({true, "(unclosed"});
+  list.entries.push_back({true, "_65001_"});  // Valid fallback entry.
+  config_.asPathLists.emplace(listName, list);
+  const NameId name = Names::id("MATCH-ASPATH");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.match.asPathList = listName;
+  node.sets.localPref = 777;
+  policy.upsertNode(node);
+
+  // The invalid entry matches nothing; the valid one matches — identically
+  // with and without the kernel — and the bad evaluation is counted.
+  EXPECT_TRUE(evalBothWays(name, makeRoute()));
+  EXPECT_GE(kernel_.stats().badRegexEvals, 1u);
+}
+
+TEST_F(PolicyKernelTest, RegexL1CountsPerEngine) {
+  const NameId listName = Names::id("L1");
+  AsPathList list;
+  list.name = listName;
+  list.entries.push_back({true, "_70000$"});
+  config_.asPathLists.emplace(listName, list);
+  const NameId name = Names::id("MATCH-L1");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  node.match.asPathList = listName;
+  policy.upsertNode(node);
+
+  PolicyContext fast{&config_, &vendorA(), 64512, &kernel_};
+  Route route = makeRoute();
+  ASSERT_TRUE(kernel_.evaluate(fast, name, route));
+  EXPECT_EQ(kernel_.stats().regexCacheMisses, 1u);
+  EXPECT_EQ(kernel_.stats().regexCacheHits, 0u);
+  // Second evaluation with a fresh attribute class forces a real policy walk
+  // that consults the pattern again: an L1 hit this time.
+  Route other = makeRoute();
+  other.attrs.localPref = 42;
+  ASSERT_TRUE(kernel_.evaluate(fast, name, other));
+  EXPECT_EQ(kernel_.stats().regexCacheMisses, 1u);
+  EXPECT_EQ(kernel_.stats().regexCacheHits, 1u);
+}
+
+TEST_F(PolicyKernelTest, InPlaceEvaluatorMatchesTheCopyingOne) {
+  const NameId listName = Names::id("TEN-ONLY");
+  PrefixList list;
+  list.name = listName;
+  list.family = IpFamily::kV4;
+  list.entries.push_back({true, *Prefix::parse("10.0.0.0/24"), 0, 0});
+  config_.prefixLists.emplace(listName, list);
+  const NameId name = Names::id("REWRITE-OR-DENY");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode rewrite;
+  rewrite.sequence = 10;
+  rewrite.action = PolicyAction::kPermit;
+  rewrite.match.prefixList = listName;
+  rewrite.sets.localPref = 900;
+  rewrite.sets.addCommunities.push_back(Community(64512, 77));
+  policy.upsertNode(rewrite);
+  PolicyNode tail;
+  tail.sequence = 20;
+  tail.action = PolicyAction::kDeny;
+  policy.upsertNode(tail);
+
+  const PolicyContext context{&config_, &vendorA(), 64512};
+  // Permit with rewrites, and deny: in both cases the in-place variant must
+  // agree with the copying evaluator — and leave a denied route untouched.
+  for (const char* prefix : {"10.0.0.0/24", "10.5.0.0/24"}) {
+    const Route original = makeRoute(prefix);
+    const PolicyResult expect = evaluatePolicy(context, name, original);
+    Route inPlace = original;
+    const bool permitted = evaluatePolicyInPlace(context, name, inPlace);
+    EXPECT_EQ(permitted, expect.permitted) << prefix;
+    if (permitted)
+      EXPECT_EQ(inPlace.attrs, expect.route.attrs) << prefix;
+    else
+      EXPECT_EQ(inPlace.attrs, original.attrs) << prefix;
+  }
+}
+
+// --- lazy reason traces ------------------------------------------------------
+
+TEST_F(PolicyKernelTest, ReasonsAreLazilyFormatted) {
+  const NameId name = Names::id("TRACED");
+  RoutePolicy& policy = config_.routePolicy(name);
+  PolicyNode node;
+  node.sequence = 10;
+  node.action = PolicyAction::kPermit;
+  policy.upsertNode(node);
+  const PolicyContext context{&config_, &vendorA(), 64512};
+  const PolicyResult traced = evaluatePolicy(context, name, makeRoute());
+  EXPECT_FALSE(traced.reason.empty());
+  const PolicyResult silent =
+      evaluatePolicy(context, name, makeRoute(), /*explain=*/false);
+  EXPECT_TRUE(silent.reason.empty());
+  // The verdict and rewrites are unaffected by explain.
+  EXPECT_EQ(silent.permitted, traced.permitted);
+  EXPECT_EQ(silent.route.attrs, traced.route.attrs);
+  EXPECT_EQ(silent.matchedNode, traced.matchedNode);
+}
+
+// --- AsPath render memo ------------------------------------------------------
+
+TEST(AsPathRenderTest, StrIsMemoizedPerInstance) {
+  AsPath path({100, 200});
+  const std::string& first = path.str();
+  EXPECT_EQ(first, "100 200");
+  // Same storage on repeat calls (the memo, not a fresh temporary).
+  EXPECT_EQ(&path.str(), &first);
+}
+
+TEST(AsPathRenderTest, MutatorsInvalidateTheRender) {
+  AsPath path({100, 200});
+  EXPECT_EQ(path.str(), "100 200");
+  path.prepend(50);
+  EXPECT_EQ(path.str(), "50 100 200");
+  path.appendSet({300, 400});
+  EXPECT_EQ(path.str(), "50 100 200 {300,400}");
+}
+
+TEST(AsPathRenderTest, CopiesShareAndMovesSteal) {
+  AsPath path({100, 200});
+  const std::string& rendered = path.str();
+  AsPath copy = path;
+  EXPECT_EQ(&copy.str(), &rendered);  // Shared cache, equal segments.
+  copy.prepend(1);
+  EXPECT_EQ(copy.str(), "1 100 200");
+  EXPECT_EQ(path.str(), "100 200");  // The original is untouched.
+  AsPath moved = std::move(path);
+  EXPECT_EQ(&moved.str(), &rendered);
+}
+
+}  // namespace
+}  // namespace hoyan

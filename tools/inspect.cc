@@ -217,6 +217,8 @@ const std::map<std::string, std::vector<std::string>>& eventSchema() {
       {"sweep_verdict", {"phase", "id", "note", "key", "shared"}},
       {"sweep_result",
        {"phase", "checked", "counterexamples", "cache_hits", "retries"}},
+      {"policy_kernel",
+       {"phase", "memo_hits", "memo_misses", "regex_hits", "regex_misses"}},
       {"journal_summary", {"events", "dropped"}},
   };
   return schema;
